@@ -1,0 +1,64 @@
+"""Ablation (Section 6.2): adaptive vs. universal application of shrinkage.
+
+The paper evaluated always-shrink ("universal") against the adaptive rule
+of Figure 3: only bGlOSS — which has no smoothing of its own — likes
+universal shrinkage; CORI and LM did worse with it than with the adaptive
+rule. This ablation regenerates that comparison.
+"""
+
+import numpy as np
+
+from benchmarks.common import SCALE, report
+from repro.evaluation import harness
+from repro.evaluation.reporting import format_rk_series
+
+K_MAX = 20
+
+
+def compute():
+    results = {}
+    for dataset in ("trec4", "trec6"):
+        cell = harness.get_cell(dataset, "qbs", False, scale=SCALE)
+        for algorithm in ("bgloss", "cori", "lm"):
+            results[(dataset, algorithm)] = {
+                "Adaptive": harness.rk_experiment(
+                    cell, algorithm, "shrinkage", K_MAX
+                ),
+                "Universal": harness.rk_experiment(
+                    cell, algorithm, "universal", K_MAX
+                ),
+                "Plain": harness.rk_experiment(cell, algorithm, "plain", K_MAX),
+            }
+    return results
+
+
+def test_adaptive_vs_universal(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    blocks = [
+        format_rk_series(
+            f"Ablation ({dataset.upper()}, QBS, {algorithm}): adaptive vs universal",
+            series,
+        )
+        for (dataset, algorithm), series in results.items()
+    ]
+    text = "\n\n".join(blocks)
+    text += (
+        "\nPaper (Section 6.2): universal shrinkage helps bGlOSS but makes "
+        "CORI and LM worse than the adaptive strategy."
+    )
+    report("ablation_adaptive", text)
+
+    for (dataset, algorithm), series in results.items():
+        adaptive = np.nanmean(series["Adaptive"])
+        universal = np.nanmean(series["Universal"])
+        plain = np.nanmean(series["Plain"])
+        if algorithm == "bgloss":
+            # bGlOSS: any shrinkage beats none.
+            assert universal > plain
+            assert adaptive > plain
+        else:
+            # Smoothed algorithms: the paper found adaptive better than
+            # universal; the margin is corpus-dependent (unreported in the
+            # paper), so the check allows a small inversion on individual
+            # cells while catching any systematic loss.
+            assert adaptive >= universal - 0.06, (dataset, algorithm)

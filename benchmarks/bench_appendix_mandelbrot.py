@@ -1,0 +1,78 @@
+"""Appendix A: Mandelbrot parameter drift with sample size.
+
+The frequency-estimation technique rests on the empirical observation
+that the sample's fitted ``alpha`` and ``log(beta)`` "generally tend to
+increase logarithmically with the sample size |S|" (Equations 4a/4b).
+This benchmark fits the law at growing sample prefixes of real QBS
+samples and checks the trend, plus the quality of the Equation 5
+extrapolation against the true database frequencies.
+"""
+
+import numpy as np
+
+from benchmarks.common import SCALE, report
+from repro.evaluation import harness
+from repro.summaries.frequency import FrequencyEstimator
+
+
+def compute():
+    cell = harness.get_cell("trec4", "qbs", False, scale=SCALE)
+    samples, _cls, _sizes = harness._collect_samples("trec4", "qbs", SCALE)
+    drift_rows = []
+    estimation_errors = []
+    for db in cell.testbed.databases[:12]:
+        sample = samples[db.name]
+        if sample.size < 8:
+            continue
+        try:
+            estimator = FrequencyEstimator.from_sample(sample, num_checkpoints=6)
+        except ValueError:
+            continue
+        checkpoints = estimator.checkpoints
+        drift_rows.append((db.name, checkpoints))
+
+        # Extrapolation quality: relative error of estimated df against
+        # the database's true df for the sample's words.
+        estimates = estimator.estimate_document_frequencies(
+            sample.documents, db.size
+        )
+        index = db.engine.index
+        errors = []
+        for word, estimate in estimates.items():
+            true_df = index.doc_frequency(word)
+            if true_df > 0:
+                errors.append(abs(estimate - true_df) / true_df)
+        if errors:
+            estimation_errors.append(float(np.median(errors)))
+    return drift_rows, estimation_errors
+
+
+def test_appendix_a_mandelbrot_drift(benchmark):
+    drift_rows, estimation_errors = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    lines = ["Appendix A: (|S|, alpha, beta) checkpoints per database"]
+    beta_trend_up = 0
+    for name, checkpoints in drift_rows:
+        rendered = " ".join(
+            f"({size}, {alpha:.2f}, {beta:.1f})" for size, alpha, beta in checkpoints
+        )
+        lines.append(f"  {name}: {rendered}")
+        if checkpoints[-1][2] > checkpoints[0][2]:
+            beta_trend_up += 1
+    lines.append(
+        "median relative df-estimation error per database: "
+        + " ".join(f"{e:.2f}" for e in estimation_errors)
+    )
+    text = "\n".join(lines)
+    text += (
+        "\nPaper (Appendix A): alpha and log(beta) increase roughly "
+        "logarithmically with |S|; Equation 5 extrapolates them to |D|."
+    )
+    report("appendix_mandelbrot", text)
+
+    assert drift_rows
+    # log(beta) grows with the sample in the (vast) majority of databases.
+    assert beta_trend_up >= len(drift_rows) * 2 // 3
+    # Extrapolated frequencies land within a small factor of the truth.
+    assert float(np.median(estimation_errors)) < 1.0

@@ -1,0 +1,51 @@
+"""Figure 5: Rk for bGlOSS (TREC4, QBS) and LM (TREC6, FPS).
+
+Expected shape (paper): the ordering of Figure 4 holds across base
+algorithms — Shrinkage clearly above Plain; for bGlOSS the gap is the
+largest of all (missing query words zero out its scores entirely).
+"""
+
+import numpy as np
+
+from benchmarks.common import SCALE, paper_reference_block, report
+from repro.evaluation import harness
+from repro.evaluation.reporting import format_rk_series
+
+K_MAX = 20
+
+
+def compute():
+    results = {}
+    for label, dataset, sampler, algorithm in [
+        ("bGlOSS (TREC4, QBS)", "trec4", "qbs", "bgloss"),
+        ("LM (TREC6, FPS)", "trec6", "fps", "lm"),
+    ]:
+        cell = harness.get_cell(dataset, sampler, False, scale=SCALE)
+        results[label] = {
+            "Shrinkage": harness.rk_experiment(cell, algorithm, "shrinkage", K_MAX),
+            "Hierarchical": harness.rk_experiment(
+                cell, algorithm, "hierarchical", K_MAX
+            ),
+            "Plain": harness.rk_experiment(cell, algorithm, "plain", K_MAX),
+        }
+    return results
+
+
+def test_figure5_bgloss_lm(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    blocks = [
+        format_rk_series(f"Figure 5: {label} Rk", series)
+        for label, series in results.items()
+    ]
+    text = "\n\n".join(blocks) + "\n" + paper_reference_block("fig5")
+    report("fig5_bgloss_lm", text)
+
+    for label, series in results.items():
+        shrinkage = np.nanmean(series["Shrinkage"])
+        plain = np.nanmean(series["Plain"])
+        assert shrinkage > plain, label
+
+    # bGlOSS shows the most dramatic improvement (no built-in smoothing).
+    bgloss = results["bGlOSS (TREC4, QBS)"]
+    gap = np.nanmean(bgloss["Shrinkage"]) - np.nanmean(bgloss["Plain"])
+    assert gap > 0.15

@@ -1,0 +1,44 @@
+"""Table 10: fraction of (query, database) pairs where shrinkage applies.
+
+Expected shape (paper): bGlOSS triggers shrinkage far more often than CORI
+and LM (no built-in smoothing, so uncertainty looms larger), and the
+long-query workload (TREC4) triggers it at least as often as the short
+one for bGlOSS (78% vs 59% with QBS).
+"""
+
+from benchmarks.common import SCALE, paper_reference_block, report
+from repro.evaluation import harness
+from repro.evaluation.reporting import format_application_table
+
+MATRIX = [
+    ("trec4", "fps"),
+    ("trec4", "qbs"),
+    ("trec6", "fps"),
+    ("trec6", "qbs"),
+]
+
+
+def compute():
+    rows = []
+    for dataset, sampler in MATRIX:
+        cell = harness.get_cell(dataset, sampler, False, scale=SCALE)
+        for algorithm in ("bgloss", "cori", "lm"):
+            rate = harness.shrinkage_application_rate(cell, algorithm)
+            rows.append((dataset, sampler, algorithm, rate))
+    return rows
+
+
+def test_table10_application_rate(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_application_table(
+        "Table 10: shrinkage application percentage", rows
+    )
+    text += "\n" + paper_reference_block("table10")
+    report("table10", text)
+
+    rates = {(d, s, a): r for d, s, a, r in rows}
+    for dataset, sampler in MATRIX:
+        # bGlOSS applies shrinkage more often than CORI.
+        assert rates[(dataset, sampler, "bgloss")] > rates[(dataset, sampler, "cori")]
+        # CORI never saturates: its floor keeps most pairs certain.
+        assert rates[(dataset, sampler, "cori")] < 0.6

@@ -1,0 +1,48 @@
+"""Table 2: the lambda mixture weights of example databases.
+
+The paper reports, for AIDS.org and the American Economics Association,
+that the database itself and its most specific category receive the two
+highest weights while higher-level categories stay non-negligible. This
+benchmark computes the weights for two deep-classified databases of the
+Web testbed and checks the same shape.
+"""
+
+from benchmarks.common import SCALE, report
+from repro.evaluation import harness
+from repro.evaluation.reporting import format_lambda_table
+
+
+def _example_databases(cell, count=2):
+    """Pick databases classified deepest (the paper's examples are depth 3)."""
+    by_depth = sorted(
+        cell.classifications.items(), key=lambda item: -len(item[1])
+    )
+    return [name for name, _path in by_depth[:count]]
+
+
+def compute():
+    cell = harness.get_cell("web", "qbs", False, scale=SCALE)
+    weights = {}
+    for name in _example_databases(cell):
+        shrunk = cell.metasearcher.shrunk_summaries[name]
+        weights[name] = shrunk.mixture_weights()
+    return weights
+
+
+def test_table2_lambda_weights(benchmark):
+    weights = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_lambda_table(
+        "Table 2: category mixture weights (lambda) for example databases",
+        weights,
+    )
+    text += (
+        "\nPaper (Table 2): AIDS.org — Uniform .075, Root .026, Health "
+        ".061, Diseases .003, AIDS .414, AIDS.org .421"
+    )
+    report("table2", text)
+
+    for name, mixture in weights.items():
+        values = list(mixture.values())
+        assert abs(sum(values) - 1.0) < 1e-6
+        # The database and its most specific category dominate.
+        assert values[-1] + values[-2] > max(values[:-2] or [0.0])

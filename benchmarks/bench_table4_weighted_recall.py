@@ -1,0 +1,28 @@
+"""Table 4: weighted recall (wr) of shrunk vs. unshrunk summaries.
+
+Expected shape (paper): wr is already high without shrinkage; shrinkage
+lifts it close to 1 in every cell, with the largest absolute gains on the
+Web set (largest databases, least complete samples).
+"""
+
+import pytest
+
+from benchmarks.common import paper_reference_block, quality_rows, report
+from repro.evaluation.reporting import format_quality_table
+
+
+def test_table4_weighted_recall(benchmark):
+    rows = benchmark.pedantic(
+        lambda: quality_rows("weighted_recall"), rounds=1, iterations=1
+    )
+    text = format_quality_table("Table 4: weighted recall wr", rows)
+    text += "\n" + paper_reference_block("table4")
+    report("table4", text)
+
+    for _dataset, _sampler, _freq, with_shrinkage, without in rows:
+        # Shrinkage must not lose recall, and every cell stays high.
+        assert with_shrinkage >= without - 1e-9
+        assert with_shrinkage > 0.6
+
+    mean_gain = sum(w - wo for *_x, w, wo in rows) / len(rows)
+    assert mean_gain > 0.0

@@ -1,0 +1,26 @@
+"""Table 5: unweighted recall (ur) — vocabulary coverage.
+
+Expected shape (paper): sampled summaries miss most of the vocabulary
+(ur well below 1); shrinkage raises ur substantially in every cell, and
+frequency estimation amplifies the gain (the shrunk-in words then carry
+realistic frequencies and survive the word-drop rule).
+"""
+
+from benchmarks.common import paper_reference_block, quality_rows, report
+from repro.evaluation.reporting import format_quality_table
+
+
+def test_table5_unweighted_recall(benchmark):
+    rows = benchmark.pedantic(
+        lambda: quality_rows("unweighted_recall"), rounds=1, iterations=1
+    )
+    text = format_quality_table("Table 5: unweighted recall ur", rows)
+    text += "\n" + paper_reference_block("table5")
+    report("table5", text)
+
+    for _dataset, _sampler, _freq, with_shrinkage, without in rows:
+        assert with_shrinkage >= without - 1e-9
+        assert without < 0.95  # the sparse-data problem is real
+
+    mean_gain = sum(w - wo for *_x, w, wo in rows) / len(rows)
+    assert mean_gain > 0.02

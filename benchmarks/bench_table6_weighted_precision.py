@@ -1,0 +1,25 @@
+"""Table 6: weighted precision (wp).
+
+Expected shape (paper): unshrunk summaries have wp = 1 by construction
+(every sampled word exists in the database); shrinkage costs only a few
+percent because the spurious words it introduces carry low weight.
+"""
+
+import pytest
+
+from benchmarks.common import paper_reference_block, quality_rows, report
+from repro.evaluation.reporting import format_quality_table
+
+
+def test_table6_weighted_precision(benchmark):
+    rows = benchmark.pedantic(
+        lambda: quality_rows("weighted_precision"), rounds=1, iterations=1
+    )
+    text = format_quality_table("Table 6: weighted precision wp", rows)
+    text += "\n" + paper_reference_block("table6")
+    report("table6", text)
+
+    for _dataset, _sampler, _freq, with_shrinkage, without in rows:
+        assert without == pytest.approx(1.0)
+        # Paper: shrinkage decreases wp by just 0.8% to 5.7%.
+        assert with_shrinkage > 0.9

@@ -1,0 +1,24 @@
+"""Table 7: unweighted precision (up).
+
+Expected shape (paper): up stays high (usually above 0.9, always above
+0.84) — most words shrinkage adds genuinely occur in the database, since
+topically related databases share vocabulary.
+"""
+
+import pytest
+
+from benchmarks.common import paper_reference_block, quality_rows, report
+from repro.evaluation.reporting import format_quality_table
+
+
+def test_table7_unweighted_precision(benchmark):
+    rows = benchmark.pedantic(
+        lambda: quality_rows("unweighted_precision"), rounds=1, iterations=1
+    )
+    text = format_quality_table("Table 7: unweighted precision up", rows)
+    text += "\n" + paper_reference_block("table7")
+    report("table7", text)
+
+    for _dataset, _sampler, _freq, with_shrinkage, without in rows:
+        assert without == pytest.approx(1.0)
+        assert with_shrinkage > 0.75

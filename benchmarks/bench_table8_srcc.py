@@ -1,0 +1,23 @@
+"""Table 8: Spearman rank correlation of summary word rankings.
+
+Expected shape (paper): shrinkage improves SRCC in every cell — the words
+it adds are not only present but also ranked sensibly.
+"""
+
+from benchmarks.common import paper_reference_block, quality_rows, report
+from repro.evaluation.reporting import format_quality_table
+
+
+def test_table8_spearman(benchmark):
+    rows = benchmark.pedantic(
+        lambda: quality_rows("spearman"), rounds=1, iterations=1
+    )
+    text = format_quality_table("Table 8: Spearman rank correlation SRCC", rows)
+    text += "\n" + paper_reference_block("table8")
+    report("table8", text)
+
+    improved = sum(1 for *_x, w, wo in rows if w >= wo - 1e-9)
+    assert improved >= len(rows) * 2 // 3
+
+    mean_gain = sum(w - wo for *_x, w, wo in rows) / len(rows)
+    assert mean_gain > 0.0

@@ -1,0 +1,137 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6). Heavy artifacts — testbeds, samples, summaries, shrunk
+summaries — are cached inside :mod:`repro.evaluation.harness`, so the full
+suite builds each only once per pytest session.
+
+Set ``REPRO_BENCH_SCALE=small`` for a quick smoke run of every benchmark
+(minutes instead of tens of minutes); the default ``bench`` scale is the
+one EXPERIMENTS.md reports.
+
+Results are registered here and (a) written to ``benchmarks/results/`` and
+(b) echoed into pytest's terminal summary, so ``pytest benchmarks/
+--benchmark-only`` shows the regenerated tables without ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.evaluation import harness
+from repro.evaluation.summary_quality import SummaryQuality
+
+#: Experiment scale; "small" gives a fast smoke run.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+#: The paper's evaluation matrix: dataset x sampler x frequency estimation.
+CELL_MATRIX: list[tuple[str, str, bool]] = [
+    (dataset, sampler, freq_est)
+    for dataset in ("web", "trec4", "trec6")
+    for sampler in ("qbs", "fps")
+    for freq_est in (False, True)
+]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: (title, formatted table) pairs registered by benchmarks this session.
+_REGISTERED: list[tuple[str, str]] = []
+
+
+def report(name: str, text: str) -> None:
+    """Persist one regenerated table and queue it for terminal output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _REGISTERED.append((name, text))
+
+
+def registered_reports() -> list[tuple[str, str]]:
+    """All tables registered so far (consumed by the conftest hook)."""
+    return list(_REGISTERED)
+
+
+# -- shared expensive computations --------------------------------------------
+
+_QUALITY_CACHE: dict[tuple, SummaryQuality] = {}
+
+
+def cell_quality(
+    dataset: str, sampler: str, freq_est: bool, shrinkage: bool
+) -> SummaryQuality:
+    """Mean summary-quality metrics for one cell (cached across tables)."""
+    key = (dataset, sampler, freq_est, shrinkage, SCALE)
+    if key not in _QUALITY_CACHE:
+        cell = harness.get_cell(dataset, sampler, freq_est, scale=SCALE)
+        _QUALITY_CACHE[key] = harness.summary_quality(cell, shrinkage=shrinkage)
+    return _QUALITY_CACHE[key]
+
+
+def quality_rows(metric: str) -> list[tuple[str, str, bool, float, float]]:
+    """Rows of one Section 6.1 table: (dataset, sampler, freq-est, yes, no)."""
+    rows = []
+    for dataset, sampler, freq_est in CELL_MATRIX:
+        with_shrinkage = getattr(
+            cell_quality(dataset, sampler, freq_est, True), metric
+        )
+        without = getattr(cell_quality(dataset, sampler, freq_est, False), metric)
+        rows.append((dataset, sampler, freq_est, with_shrinkage, without))
+    return rows
+
+
+def paper_reference_block(table: str) -> str:
+    """The paper's reported numbers for a table, for side-by-side reading."""
+    return PAPER_REFERENCE.get(table, "")
+
+
+#: Verbatim numbers from the paper (shrinkage=Yes / shrinkage=No), in the
+#: row order of CELL_MATRIX, for eyeballing shape agreement.
+PAPER_REFERENCE: dict[str, str] = {
+    "table4": (
+        "Paper (Table 4, wr  Yes/No): Web QBS .962/.875 .976/.875 "
+        "FPS .989/.887 .993/.887 | TREC4 QBS .937/.918 .959/.918 "
+        "FPS .980/.972 .983/.972 | TREC6 QBS .959/.937 .985/.937 "
+        "FPS .979/.975 .982/.975"
+    ),
+    "table5": (
+        "Paper (Table 5, ur  Yes/No): Web QBS .438/.424 .489/.424 "
+        "FPS .681/.520 .711/.520 | TREC4 QBS .402/.347 .542/.347 "
+        "FPS .678/.599 .714/.599 | TREC6 QBS .549/.475 .708/.475 "
+        "FPS .731/.662 .784/.662"
+    ),
+    "table6": (
+        "Paper (Table 6, wp  Yes/No): Web QBS .981/1 .973/1 FPS .987/1 "
+        ".947/1 | TREC4 QBS .992/1 .978/1 FPS .987/1 .984/1 | "
+        "TREC6 QBS .978/1 .943/1 FPS .976/1 .958/1"
+    ),
+    "table7": (
+        "Paper (Table 7, up  Yes/No): Web QBS .954/1 .942/1 FPS .923/1 "
+        ".909/1 | TREC4 QBS .965/1 .955/1 FPS .901/1 .856/1 | "
+        "TREC6 QBS .936/1 .847/1 FPS .894/1 .850/1"
+    ),
+    "table8": (
+        "Paper (Table 8, SRCC Yes/No): Web QBS .904/.812 FPS .917/.813 | "
+        "TREC4 QBS .981/.833 FPS .943/.884 | TREC6 QBS .961/.865 "
+        "FPS .937/.905 (freq. estimation does not change SRCC)"
+    ),
+    "table9": (
+        "Paper (Table 9, KL  Yes/No): Web QBS .361/.531 .382/.472 "
+        "FPS .298/.254 .281/.224 | TREC4 QBS .296/.300 .175/.180 "
+        "FPS .253/.203 .193/.118 | TREC6 QBS .305/.352 .287/.354 "
+        "FPS .223/.193 .301/.126"
+    ),
+    "table10": (
+        "Paper (Table 10, shrinkage application): TREC4 FPS bGlOSS 35.42% "
+        "CORI 17.32% LM 15.40%; TREC4 QBS bGlOSS 78.12% CORI 15.68% "
+        "LM 17.32%; TREC6 FPS bGlOSS 33.43% CORI 13.12% LM 12.78%; "
+        "TREC6 QBS bGlOSS 58.94% CORI 14.32% LM 11.73%"
+    ),
+    "fig4": (
+        "Paper (Figure 4): CORI Rk over k=1..20 — Shrinkage above "
+        "Hierarchical above Plain on TREC4 and TREC6, for QBS and FPS."
+    ),
+    "fig5": (
+        "Paper (Figure 5): bGlOSS (TREC4, QBS) and LM (TREC6, FPS) — "
+        "Shrinkage above Hierarchical above Plain."
+    ),
+}

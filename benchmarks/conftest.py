@@ -1,0 +1,19 @@
+"""Benchmark-suite pytest hooks: echo regenerated tables in the summary."""
+
+from benchmarks.common import registered_reports
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = registered_reports()
+    if not reports:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables and figures")
+    for name, text in reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "Tables also written to benchmarks/results/*.txt"
+    )

@@ -1,0 +1,66 @@
+"""Classifying uncooperative databases by query probing ([14], Section 5.2).
+
+The shrinkage technique needs every database placed in a topic hierarchy.
+Web databases often come with a directory category; everything else gets
+classified automatically by probing: send topically loaded queries, watch
+the match counts, descend the hierarchy where coverage and specificity are
+high. FPS does the same while also collecting a document sample.
+
+Run:  python examples/database_classification.py
+"""
+
+import numpy as np
+
+from repro import FPSConfig, FPSSampler, build_trec_style_testbed
+from repro.classify.prober import ProbeClassifier
+from repro.classify.rules import build_probe_rules
+from repro.corpus.language_model import CorpusModelConfig
+
+# A TREC-style testbed: topically clustered databases with NO category
+# labels available to the metasearcher.
+testbed = build_trec_style_testbed(
+    num_databases=12,
+    num_leaves=6,
+    size_range=(400, 1200),
+    doc_length_median=80,
+    config=CorpusModelConfig(
+        general_vocab_size=1200, node_vocab_sizes={1: 300, 2: 250, 3: 200}
+    ),
+    seed=31,
+)
+
+rules = build_probe_rules(testbed.corpus_model, probes_per_category=8)
+print(f"Probe rules: {len(rules.categories())} categories, "
+      f"{len(rules.probe_words())} probe words\n")
+
+# --- Route 1: standalone probe classification (used for QBS summaries) ---
+classifier = ProbeClassifier(rules, coverage_threshold=10)
+print(f"{'database':<14} {'true category':<38} {'probe classification':<38} ok")
+correct = 0
+for db in testbed.databases:
+    result = classifier.classify(db.engine)
+    ok = result.path == db.category
+    correct += ok
+    print(
+        f"{db.name:<14} {'/'.join(db.category):<38} "
+        f"{'/'.join(result.path):<38} {'yes' if ok else 'NO'}"
+    )
+print(f"\nProbe classifier accuracy: {correct}/{len(testbed.databases)}")
+
+# --- Route 2: FPS classifies *while sampling* (no separate step) ---
+sampler = FPSSampler(rules, FPSConfig(docs_per_probe=4, max_sample_docs=150))
+db = testbed.databases[0]
+result = sampler.sample(db.engine)
+print(
+    f"\nFPS on {db.name}: {result.sample.size} documents sampled, "
+    f"{result.sample.num_queries} probes issued,"
+)
+print(f"classified under {'/'.join(result.classification)} "
+      f"(truth: {'/'.join(db.category)})")
+print("\nPer-category coverage along the descent:")
+for path, coverage in sorted(result.coverage.items()):
+    specificity = result.specificity.get(path, 0.0)
+    print(
+        f"  {'/'.join(path):<38} coverage={coverage:<6d} "
+        f"specificity={specificity:.2f}"
+    )

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The declarative configuration lives in pyproject.toml; this file exists so
+the package installs in environments whose tooling predates PEP 660
+editable installs (``python setup.py develop`` needs it).
+"""
+
+from setuptools import setup
+
+setup()

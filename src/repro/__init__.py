@@ -1,0 +1,95 @@
+"""repro — shrinkage-based content summaries for text database selection.
+
+A from-scratch reproduction of Ipeirotis & Gravano, *"When one Sample is
+not Enough: Improving Text Database Selection Using Shrinkage"* (SIGMOD
+2004), including every substrate the paper depends on: a text-analysis
+chain, an in-memory search engine, synthetic TREC/Web-style corpora over a
+72-node topic hierarchy, QBS/FPS document sampling, query-probing database
+classification, frequency and size estimation, shrinkage with EM mixture
+weights, the adaptive selection algorithm, the bGlOSS/CORI/LM base
+algorithms, the hierarchical selection baseline, and the full evaluation
+harness for the paper's tables and figures.
+
+Typical usage::
+
+    from repro import (
+        build_web_style_testbed, QBSSampler, build_raw_summary,
+        CategorySummaryBuilder, shrink_all_summaries, Metasearcher,
+    )
+
+See README.md for a guided tour and DESIGN.md for the system inventory.
+"""
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveDecision, decide_summary
+from repro.core.category import CategorySummaryBuilder
+from repro.core.shrinkage import (
+    ShrinkageConfig,
+    ShrunkSummary,
+    shrink_all_summaries,
+    shrink_database_summary,
+)
+from repro.corpus.hierarchy import Hierarchy, default_hierarchy
+from repro.corpus.queries import RelevanceJudgments, generate_workload
+from repro.corpus.testbeds import (
+    Testbed,
+    build_trec_style_testbed,
+    build_web_style_testbed,
+)
+from repro.index.document import Document
+from repro.index.engine import SearchEngine, TextDatabase
+from repro.selection.base import rank_databases, select_databases
+from repro.selection.bgloss import BGlossScorer
+from repro.selection.cori import CoriScorer
+from repro.selection.hierarchical import HierarchicalSelector
+from repro.selection.lm import LanguageModelScorer
+from repro.selection.metasearcher import Metasearcher, SelectionStrategy
+from repro.selection.redde import ReddeSelector
+from repro.summaries.focused import FPSConfig, FPSSampler
+from repro.summaries.frequency import build_estimated_summary, build_raw_summary
+from repro.summaries.sampling import QBSConfig, QBSSampler
+from repro.summaries.size import sample_resample_size
+from repro.summaries.summary import ContentSummary, SampledSummary, build_exact_summary
+from repro.text.analyzer import Analyzer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveDecision",
+    "Analyzer",
+    "BGlossScorer",
+    "CategorySummaryBuilder",
+    "ContentSummary",
+    "CoriScorer",
+    "Document",
+    "FPSConfig",
+    "FPSSampler",
+    "HierarchicalSelector",
+    "Hierarchy",
+    "LanguageModelScorer",
+    "Metasearcher",
+    "QBSConfig",
+    "QBSSampler",
+    "ReddeSelector",
+    "RelevanceJudgments",
+    "SampledSummary",
+    "SearchEngine",
+    "SelectionStrategy",
+    "ShrinkageConfig",
+    "ShrunkSummary",
+    "Testbed",
+    "TextDatabase",
+    "build_estimated_summary",
+    "build_exact_summary",
+    "build_raw_summary",
+    "build_trec_style_testbed",
+    "build_web_style_testbed",
+    "decide_summary",
+    "default_hierarchy",
+    "generate_workload",
+    "rank_databases",
+    "sample_resample_size",
+    "select_databases",
+    "shrink_all_summaries",
+    "shrink_database_summary",
+]

@@ -1,0 +1,20 @@
+"""Database classification substrate (QProber stand-in, [14]).
+
+The paper classifies databases into the topic hierarchy either via an
+existing directory (the Web set) or automatically by query probing
+(TREC4/TREC6). This subpackage implements the probing route: each category
+owns a small set of probe queries; a database's coverage of and specificity
+for a category's probes drive a top-down descent of the hierarchy, exactly
+as in [14]/[17]. Following the paper's footnote 8, each database ends up in
+exactly one category.
+"""
+
+from repro.classify.prober import ClassificationResult, ProbeClassifier
+from repro.classify.rules import ProbeRuleSet, build_probe_rules
+
+__all__ = [
+    "ClassificationResult",
+    "ProbeClassifier",
+    "ProbeRuleSet",
+    "build_probe_rules",
+]

@@ -1,0 +1,88 @@
+"""Probe-based hierarchical database classification ([14], adapted).
+
+``ProbeClassifier`` walks the hierarchy top-down. At each node it issues
+the probe queries of every child category and aggregates the databases'
+reported match counts into:
+
+* **coverage**: total matches for the child's probes — "how many documents
+  about this topic does the database hold";
+* **specificity**: the child's share of all sibling coverage — "how focused
+  on this topic is the database".
+
+A child is entered when both exceed their thresholds; following the paper's
+footnote 8 the classifier commits to the single best child per level, so
+every database lands in exactly one category (possibly an internal node, or
+the root for unfocused databases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classify.rules import ProbeRuleSet
+from repro.index.engine import SearchEngine
+
+
+@dataclass
+class ClassificationResult:
+    """Outcome of classifying one database."""
+
+    path: tuple[str, ...]
+    coverage: dict[tuple[str, ...], int] = field(default_factory=dict)
+    specificity: dict[tuple[str, ...], float] = field(default_factory=dict)
+    match_counts: dict[str, int] = field(default_factory=dict)
+    probes_issued: int = 0
+
+
+class ProbeClassifier:
+    """Hierarchical query-probing classifier."""
+
+    def __init__(
+        self,
+        rules: ProbeRuleSet,
+        coverage_threshold: int = 10,
+        specificity_threshold: float = 0.4,
+    ) -> None:
+        if coverage_threshold < 0:
+            raise ValueError("coverage_threshold must be non-negative")
+        if not 0.0 <= specificity_threshold <= 1.0:
+            raise ValueError("specificity_threshold must lie in [0, 1]")
+        self.rules = rules
+        self.coverage_threshold = coverage_threshold
+        self.specificity_threshold = specificity_threshold
+
+    def classify(self, engine: SearchEngine) -> ClassificationResult:
+        """Classify the database behind ``engine`` into one category path."""
+        result = ClassificationResult(path=(self.rules.hierarchy.root.name,))
+        node = self.rules.hierarchy.root
+        while node.children:
+            coverages: dict[tuple[str, ...], int] = {}
+            for child in node.children:
+                total = 0
+                for probe in self.rules.probes_for(child.path):
+                    matches = engine.match_count(probe)
+                    result.probes_issued += 1
+                    if len(probe) == 1:
+                        result.match_counts[probe[0]] = matches
+                    total += matches
+                coverages[child.path] = total
+                result.coverage[child.path] = total
+
+            sibling_total = sum(coverages.values())
+            if sibling_total == 0:
+                break
+            for path, coverage in coverages.items():
+                result.specificity[path] = coverage / sibling_total
+
+            eligible = [
+                child
+                for child in node.children
+                if coverages[child.path] >= self.coverage_threshold
+                and result.specificity[child.path] >= self.specificity_threshold
+            ]
+            if not eligible:
+                break
+            # Footnote 8: commit to exactly one category per level.
+            node = max(eligible, key=lambda child: coverages[child.path])
+            result.path = node.path
+        return result

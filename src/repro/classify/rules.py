@@ -1,0 +1,74 @@
+"""Probe rules: per-category query sets.
+
+QProber [14] extracts classification rules from a trained document
+classifier (e.g. RIPPER); each rule becomes a boolean probe query whose
+match count at a database counts documents of that category. Training such
+a classifier requires labelled web documents we do not have offline, so —
+per the substitution policy in DESIGN.md — we derive each category's probes
+from the corpus ground truth instead: the most characteristic words of the
+category's own vocabulary block. This matches what a well-trained rule
+learner converges to, and keeps the probing *interface* (queries in, match
+counts out) identical to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.hierarchy import Hierarchy
+from repro.corpus.language_model import CorpusModel
+
+
+@dataclass
+class ProbeRuleSet:
+    """Maps each non-root category path to its probe queries.
+
+    Every probe is a tuple of terms evaluated conjunctively (single-word
+    probes are the common case, as in the paper's examples).
+    """
+
+    hierarchy: Hierarchy
+    probes: dict[tuple[str, ...], list[tuple[str, ...]]] = field(
+        default_factory=dict
+    )
+
+    def probes_for(self, path: tuple[str, ...]) -> list[tuple[str, ...]]:
+        """Probe queries of the category at ``path``."""
+        return list(self.probes.get(tuple(path), ()))
+
+    def categories(self) -> list[tuple[str, ...]]:
+        """All category paths that own probes."""
+        return list(self.probes)
+
+    def probe_words(self) -> set[str]:
+        """Every word used by any probe (useful as a sampler seed set)."""
+        words: set[str] = set()
+        for probe_list in self.probes.values():
+            for probe in probe_list:
+                words.update(probe)
+        return words
+
+
+def build_probe_rules(
+    corpus_model: CorpusModel,
+    probes_per_category: int = 10,
+    skip_top_ranks: int = 2,
+) -> ProbeRuleSet:
+    """Build single-word probe rules for every non-root category.
+
+    ``skip_top_ranks`` drops each block's very top words: a rule learner
+    favours *discriminative* words over merely frequent ones, and skipping
+    the head also keeps the probes from being the exact words a sampler
+    would find first anyway.
+    """
+    if probes_per_category <= 0:
+        raise ValueError("probes_per_category must be positive")
+    rules: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+    for node in corpus_model.hierarchy.nodes():
+        if node.parent is None:
+            continue
+        block_words = corpus_model.node_block_words(node.path)
+        start = min(skip_top_ranks, max(len(block_words) - probes_per_category, 0))
+        chosen = block_words[start : start + probes_per_category]
+        rules[node.path] = [(word,) for word in chosen]
+    return ProbeRuleSet(hierarchy=corpus_model.hierarchy, probes=rules)

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the experiment harness without writing Python:
+
+* ``summary-quality`` — the Section 6.1 metrics for one cell of the
+  evaluation matrix, shrunk vs. unshrunk.
+* ``selection`` — mean Rk curves for one dataset/algorithm across the
+  selection strategies.
+* ``lambdas`` — the EM mixture weights of a database's shrunk summary.
+* ``info`` — the library's layout and the experiment matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _add_cell_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=("trec4", "trec6", "web"), default="trec4"
+    )
+    parser.add_argument("--sampler", choices=("qbs", "fps"), default="qbs")
+    parser.add_argument(
+        "--freq-est", action="store_true",
+        help="apply Appendix A frequency estimation",
+    )
+    parser.add_argument(
+        "--scale", choices=("small", "bench", "paper"), default="small",
+        help="testbed scale (small is seconds, bench is minutes)",
+    )
+
+
+def _cmd_summary_quality(args: argparse.Namespace) -> int:
+    from repro.evaluation import harness
+
+    cell = harness.get_cell(args.dataset, args.sampler, args.freq_est, args.scale)
+    plain = harness.summary_quality(cell, shrinkage=False)
+    shrunk = harness.summary_quality(cell, shrinkage=True)
+    print(
+        f"Summary quality — {args.dataset} / {args.sampler.upper()} / "
+        f"freq-est={'yes' if args.freq_est else 'no'} / scale={args.scale}"
+    )
+    print(f"{'metric':<22} {'unshrunk':>9} {'shrunk':>9}")
+    for label, field in [
+        ("weighted recall", "weighted_recall"),
+        ("unweighted recall", "unweighted_recall"),
+        ("weighted precision", "weighted_precision"),
+        ("unweighted precision", "unweighted_precision"),
+        ("Spearman (SRCC)", "spearman"),
+        ("KL divergence", "kl"),
+    ]:
+        print(
+            f"{label:<22} {getattr(plain, field):>9.3f} "
+            f"{getattr(shrunk, field):>9.3f}"
+        )
+    return 0
+
+
+def _cmd_selection(args: argparse.Namespace) -> int:
+    from repro.evaluation import harness
+    from repro.evaluation.reporting import format_rk_series
+
+    cell = harness.get_cell(args.dataset, args.sampler, args.freq_est, args.scale)
+    series = {}
+    for strategy in ("plain", "hierarchical", "shrinkage", "universal"):
+        series[strategy.capitalize()] = harness.rk_experiment(
+            cell, args.algorithm, strategy, k_max=args.k
+        )
+    print(
+        format_rk_series(
+            f"Mean Rk — {args.dataset} / {args.sampler.upper()} / "
+            f"{args.algorithm} / scale={args.scale}",
+            series,
+        )
+    )
+    rate = harness.shrinkage_application_rate(cell, args.algorithm)
+    print(f"adaptive shrinkage application rate: {rate * 100:.1f}%")
+    significance = harness.rk_significance(
+        cell, args.algorithm, "shrinkage", "plain", k_max=args.k
+    )
+    print(
+        f"shrinkage vs plain: mean Rk difference "
+        f"{significance.mean_difference:+.3f}, paired t-test "
+        f"p = {significance.p_value:.4f}"
+    )
+    return 0
+
+
+def _cmd_lambdas(args: argparse.Namespace) -> int:
+    from repro.evaluation import harness
+
+    cell = harness.get_cell(args.dataset, args.sampler, args.freq_est, args.scale)
+    names = sorted(cell.summaries)
+    name = args.database or names[0]
+    if name not in cell.summaries:
+        print(f"unknown database {name!r}; try one of {names[:5]} ...")
+        return 2
+    shrunk = cell.metasearcher.shrunk_summaries[name]
+    print(f"Mixture weights (lambda) for {name}:")
+    for component, weight in shrunk.mixture_weights().items():
+        print(f"  {component:<28} {weight:.3f}")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro.evaluation.harness import DATASETS, SAMPLERS, SCALES
+
+    print(__doc__)
+    print(f"datasets: {', '.join(DATASETS)}")
+    print(f"samplers: {', '.join(SAMPLERS)}")
+    print(f"scales:   {', '.join(SCALES)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shrinkage-based content summaries (SIGMOD 2004 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    quality = commands.add_parser(
+        "summary-quality", help="Section 6.1 metrics for one matrix cell"
+    )
+    _add_cell_arguments(quality)
+    quality.set_defaults(handler=_cmd_summary_quality)
+
+    selection = commands.add_parser(
+        "selection", help="mean Rk curves across selection strategies"
+    )
+    _add_cell_arguments(selection)
+    selection.add_argument(
+        "--algorithm", choices=("bgloss", "cori", "lm"), default="cori"
+    )
+    selection.add_argument("--k", type=int, default=10)
+    selection.set_defaults(handler=_cmd_selection)
+
+    lambdas = commands.add_parser(
+        "lambdas", help="EM mixture weights of one database"
+    )
+    _add_cell_arguments(lambdas)
+    lambdas.add_argument("--database", help="database name (default: first)")
+    lambdas.set_defaults(handler=_cmd_lambdas)
+
+    info = commands.add_parser("info", help="library overview")
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""Shrunk content summaries (Definition 4) and the EM of Figure 2.
+
+The shrunk summary of a database ``D`` classified under ``C1..Cm`` is the
+mixture
+
+    pR(w|D) = lambda_{m+1} * p(w|D) + sum_{i=0..m} lambda_i * p(w|C_i)
+
+where ``C0`` is a dummy category assigning the same probability to every
+word (uniform over the corpus-wide vocabulary). The mixture weights are
+learned per database by the expectation–maximization procedure of Figure 2:
+the E step measures the "similarity" of each component with the current
+mixture over the words of the database's own sampled summary, and the M
+step renormalizes. The weights are computed offline, once per database —
+no query-time overhead (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from repro.core.category import CategorySummaryBuilder
+from repro.summaries.summary import ContentSummary, SampledSummary
+
+
+@dataclass(frozen=True)
+class ShrinkageConfig:
+    """EM parameters.
+
+    ``epsilon`` is the convergence threshold on the largest per-iteration
+    change of any lambda (the paper's "small epsilon");
+    ``max_iterations`` bounds runaway EM on degenerate inputs;
+    ``loo_discount`` is the fraction of each word's own observation removed
+    from the database component during the E step (the leave-one-out
+    correction of McCallum et al. [22] — see ``_run_em``). 0 disables the
+    correction (pure Figure 2, which degenerates to an all-database
+    mixture); 1 removes a full observation, which over-penalizes singleton
+    words; the 0.75 default yields mixture weights in the regime the
+    paper's Table 2 reports (database highest, its category a close
+    second, ancestors small but non-negligible).
+    """
+
+    epsilon: float = 1e-4
+    max_iterations: int = 200
+    loo_discount: float = 0.75
+
+
+class ShrunkSummary(ContentSummary):
+    """A shrinkage-based content summary R(D).
+
+    Stores explicit probabilities for every word of any mixture component;
+    all *other* words receive the uniform-component floor
+    ``lambda_0 * p(w|C0)``, which is how "every word appears with non-zero
+    probability in every shrunk content summary" (Section 5.3).
+    """
+
+    def __init__(
+        self,
+        size: float,
+        df_probs: Mapping[str, float],
+        tf_probs: Mapping[str, float],
+        lambdas: Sequence[float],
+        tf_lambdas: Sequence[float],
+        component_names: Sequence[str],
+        uniform_probability: float,
+        base: SampledSummary | ContentSummary,
+    ) -> None:
+        super().__init__(size, df_probs, tf_probs)
+        self.lambdas = tuple(lambdas)
+        self.tf_lambdas = tuple(tf_lambdas)
+        self.component_names = tuple(component_names)
+        self.uniform_probability = uniform_probability
+        self.base = base
+
+    def p(self, word: str) -> float:
+        explicit = super().p(word)
+        if explicit > 0.0 or word in self:
+            return explicit
+        return self.lambdas[0] * self.uniform_probability
+
+    def tf_p(self, word: str) -> float:
+        explicit = super().tf_p(word)
+        if explicit > 0.0 or word in self:
+            return explicit
+        return self.tf_lambdas[0] * self.uniform_probability
+
+    def mixture_weights(self) -> dict[str, float]:
+        """{component name: lambda} for the document-frequency regime."""
+        return dict(zip(self.component_names, self.lambdas))
+
+
+def _run_em(
+    db_probs: Mapping[str, float],
+    component_probs: Sequence[Mapping[str, float]],
+    uniform_probability: float,
+    config: ShrinkageConfig,
+    db_loo_probs: Mapping[str, float] | None = None,
+) -> list[float]:
+    """Figure 2: EM over components [C0, C1..Cm, D]; returns the lambdas.
+
+    ``component_probs`` holds the category probability maps for C1..Cm;
+    C0 is represented by ``uniform_probability`` and the database itself by
+    ``db_probs``. The sums of the E step run over the words of the
+    database's approximate summary, exactly as in the figure.
+
+    ``db_loo_probs``, when given, replaces the database column *during EM*
+    with leave-one-out estimates (each word's own observation removed).
+    Without it, maximum likelihood degenerates: the database component is
+    the empirical distribution of exactly the words being scored, so EM
+    drifts to an all-database mixture. McCallum et al. [22] — the source
+    of the shrinkage technique — prescribe this correction; the final
+    mixture still uses the unmodified database probabilities.
+    """
+    words = list(db_probs)
+    num_components = len(component_probs) + 2  # C0 + categories + database
+    if not words:
+        # Degenerate: an empty sample gives EM nothing to fit. Uniform
+        # weights keep the mixture well-defined.
+        return [1.0 / num_components] * num_components
+
+    em_db_probs = db_loo_probs if db_loo_probs is not None else db_probs
+
+    # Per-word probability of each component, dense over the summary words.
+    columns: list[list[float]] = []
+    columns.append([uniform_probability] * len(words))  # C0
+    for probs in component_probs:
+        columns.append([probs.get(word, 0.0) for word in words])
+    columns.append([em_db_probs.get(word, 0.0) for word in words])  # the database
+
+    lambdas = [1.0 / num_components] * num_components
+    for _iteration in range(config.max_iterations):
+        betas = [0.0] * num_components
+        for word_index in range(len(words)):
+            mixture = 0.0
+            for j in range(num_components):
+                mixture += lambdas[j] * columns[j][word_index]
+            if mixture <= 0.0:
+                continue
+            for j in range(num_components):
+                betas[j] += lambdas[j] * columns[j][word_index] / mixture
+        total = sum(betas)
+        if total <= 0.0:
+            break
+        new_lambdas = [beta / total for beta in betas]
+        delta = max(
+            abs(new - old) for new, old in zip(new_lambdas, lambdas)
+        )
+        lambdas = new_lambdas
+        if delta < config.epsilon:
+            break
+    return lambdas
+
+
+def _mix(
+    db_probs: Mapping[str, float],
+    component_probs: Sequence[Mapping[str, float]],
+    uniform_probability: float,
+    lambdas: Sequence[float],
+) -> dict[str, float]:
+    """Materialize pR(w|D) over the union of the component vocabularies."""
+    vocabulary: set[str] = set(db_probs)
+    for probs in component_probs:
+        vocabulary.update(probs)
+    background = lambdas[0] * uniform_probability
+    mixed: dict[str, float] = {}
+    for word in vocabulary:
+        value = background
+        for j, probs in enumerate(component_probs, start=1):
+            value += lambdas[j] * probs.get(word, 0.0)
+        value += lambdas[-1] * db_probs.get(word, 0.0)
+        mixed[word] = min(value, 1.0)
+    return mixed
+
+
+def shrink_database_summary(
+    db_name: str,
+    db_summary: ContentSummary,
+    builder: CategorySummaryBuilder,
+    config: ShrinkageConfig | None = None,
+) -> ShrunkSummary:
+    """Compute R(D) for one database (Definition 4 + Figure 2).
+
+    EM is run independently for the document-frequency regime (used by
+    bGlOSS/CORI) and the term-frequency regime (used by LM), per the
+    adaptation note of Section 5.3.
+    """
+    config = config or ShrinkageConfig()
+    path_summaries = builder.exclusive_path_summaries(db_name)
+    uniform_probability = builder.uniform_probability()
+
+    component_names = ["Uniform"]
+    component_names.extend(path[-1] for path, _summary in path_summaries)
+    component_names.append(db_name)
+
+    df_components = [
+        summary.probabilities("df") for _path, summary in path_summaries
+    ]
+    tf_components = [
+        summary.probabilities("tf") for _path, summary in path_summaries
+    ]
+    db_df = db_summary.probabilities("df")
+    db_tf = db_summary.probabilities("tf")
+    if config.loo_discount <= 0.0:
+        loo_df = None
+        loo_tf = None
+    elif isinstance(db_summary, SampledSummary):
+        loo_df = db_summary.leave_one_out_probabilities("df", config.loo_discount)
+        loo_tf = db_summary.leave_one_out_probabilities("tf", config.loo_discount)
+    else:
+        # No raw sample statistics: discount one document's worth of
+        # evidence per word, the same correction at summary granularity.
+        size = max(db_summary.size, 1.0)
+        loo_df = {
+            w: max(p - config.loo_discount / size, 0.0) for w, p in db_df.items()
+        }
+        loo_tf = None
+
+    lambdas = _run_em(
+        db_df, df_components, uniform_probability, config, db_loo_probs=loo_df
+    )
+    tf_lambdas = _run_em(
+        db_tf, tf_components, uniform_probability, config, db_loo_probs=loo_tf
+    )
+
+    df_probs = _mix(db_df, df_components, uniform_probability, lambdas)
+    tf_probs = _mix(db_tf, tf_components, uniform_probability, tf_lambdas)
+
+    return ShrunkSummary(
+        size=db_summary.size,
+        df_probs=df_probs,
+        tf_probs=tf_probs,
+        lambdas=lambdas,
+        tf_lambdas=tf_lambdas,
+        component_names=component_names,
+        uniform_probability=uniform_probability,
+        base=db_summary,
+    )
+
+
+def shrink_all_summaries(
+    builder: CategorySummaryBuilder,
+    summaries: Mapping[str, ContentSummary],
+    config: ShrinkageConfig | None = None,
+) -> dict[str, ShrunkSummary]:
+    """R(D) for every database in ``summaries``."""
+    return {
+        name: shrink_database_summary(name, summary, builder, config)
+        for name, summary in summaries.items()
+    }

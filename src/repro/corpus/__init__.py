@@ -1,0 +1,38 @@
+"""Synthetic corpus substrate.
+
+The paper evaluates over TREC-4/TREC-6 document collections and 315 crawled
+web databases — resources that are licensed or long gone. This subpackage
+generates the statistical equivalent: documents drawn from Zipf/Mandelbrot
+unigram language models that are correlated along a 4-level, 72-node topic
+hierarchy (the same shape as the Open Directory subset of [14] used in the
+paper). See DESIGN.md, "Substitutions," for why this preserves the paper's
+phenomena.
+"""
+
+from repro.corpus.generator import DatabaseSpec, generate_database, generate_document
+from repro.corpus.hierarchy import CategoryNode, Hierarchy, default_hierarchy
+from repro.corpus.language_model import CorpusModel, CorpusModelConfig, TopicLanguageModel
+from repro.corpus.queries import Query, QueryWorkload, RelevanceJudgments
+from repro.corpus.testbeds import Testbed, build_trec_style_testbed, build_web_style_testbed
+from repro.corpus.zipf import ZipfSampler, mandelbrot_probabilities, zipf_probabilities
+
+__all__ = [
+    "CategoryNode",
+    "CorpusModel",
+    "CorpusModelConfig",
+    "DatabaseSpec",
+    "Hierarchy",
+    "Query",
+    "QueryWorkload",
+    "RelevanceJudgments",
+    "Testbed",
+    "TopicLanguageModel",
+    "ZipfSampler",
+    "build_trec_style_testbed",
+    "build_web_style_testbed",
+    "default_hierarchy",
+    "generate_database",
+    "generate_document",
+    "mandelbrot_probabilities",
+    "zipf_probabilities",
+]

@@ -1,0 +1,178 @@
+"""Document and database synthesis.
+
+Databases are generated to mirror the paper's testbeds: each database draws
+most of its documents from one category's language model (the TREC4/TREC6
+databases are built by topic clustering, so they are "on roughly the same
+topic"; the Web databases sit in one Google Directory category), with an
+optional fraction of off-topic noise documents standing in for imperfect
+clustering and mixed-content web sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.language_model import CorpusModel
+from repro.index.document import Document
+from repro.index.engine import TextDatabase
+
+
+@dataclass(frozen=True)
+class DatabaseSpec:
+    """Recipe for one synthetic database.
+
+    Parameters
+    ----------
+    name:
+        Database name (unique within a testbed).
+    category:
+        Category path of the database's dominant topic.
+    num_docs:
+        Number of documents, |D|.
+    doc_length_median / doc_length_sigma:
+        Log-normal document-length distribution parameters (in terms).
+    noise_fraction:
+        Fraction of documents drawn from a uniformly random *other* leaf
+        category instead of the dominant topic.
+    secondary_categories:
+        Optional (category, fraction) pairs of additional topics the
+        database covers. Real databases are never single-topic — TREC
+        k-means clusters are impure and web sites stray from their
+        directory category — and these secondary topics are what spreads a
+        query's relevant documents over many databases, giving the Rk
+        metric its discriminative tail. Fractions are of the total
+        document count; together with ``noise_fraction`` they must stay
+        below 1.
+    """
+
+    name: str
+    category: tuple[str, ...]
+    num_docs: int
+    doc_length_median: float = 110.0
+    doc_length_sigma: float = 0.35
+    noise_fraction: float = 0.05
+    secondary_categories: tuple[tuple[tuple[str, ...], float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_docs <= 0:
+            raise ValueError("num_docs must be positive")
+        if not 0.0 <= self.noise_fraction < 1.0:
+            raise ValueError("noise_fraction must lie in [0, 1)")
+        if self.doc_length_median < 1:
+            raise ValueError("doc_length_median must be >= 1")
+        secondary_total = sum(f for _c, f in self.secondary_categories)
+        if any(f < 0 for _c, f in self.secondary_categories):
+            raise ValueError("secondary fractions must be non-negative")
+        if secondary_total + self.noise_fraction >= 1.0:
+            raise ValueError(
+                "secondary and noise fractions must leave room for the "
+                "dominant topic"
+            )
+
+
+def topic_label(path: tuple[str, ...]) -> str:
+    """Canonical string form of a category path (stored on documents)."""
+    return "/".join(path)
+
+
+def generate_document(
+    model,
+    rng: np.random.Generator,
+    doc_id: int,
+    length: int,
+    facet_preferences: list[np.ndarray] | None = None,
+) -> Document:
+    """Draw one document of ``length`` terms from ``model``."""
+    terms = tuple(model.sample_document_terms(rng, length, facet_preferences))
+    return Document(doc_id=doc_id, terms=terms, topic=topic_label(model.path))
+
+
+def draw_facet_preferences(
+    model, rng: np.random.Generator, concentration: float
+) -> list[np.ndarray] | None:
+    """One facet-preference vector per block of ``model`` (database-level).
+
+    Databases under the same topic get different preference draws, so each
+    covers the topic's facets unevenly — siblings then complement each
+    other's vocabulary, the property shrinkage exploits.
+    """
+    counts = model.facet_counts()
+    if not any(counts):
+        return None
+    preferences: list[np.ndarray] = []
+    for count in counts:
+        if count == 0:
+            preferences.append(np.array([]))
+        else:
+            preferences.append(rng.dirichlet(np.full(count, concentration)))
+    return preferences
+
+
+def _draw_lengths(
+    rng: np.random.Generator, spec: DatabaseSpec
+) -> np.ndarray:
+    lengths = rng.lognormal(
+        mean=np.log(spec.doc_length_median), sigma=spec.doc_length_sigma,
+        size=spec.num_docs,
+    )
+    return np.maximum(lengths.round().astype(int), 5)
+
+
+def generate_database(
+    corpus_model: CorpusModel,
+    spec: DatabaseSpec,
+    seed: int,
+) -> TextDatabase:
+    """Generate the database described by ``spec``.
+
+    Noise documents are drawn from leaf categories other than the dominant
+    one, chosen uniformly; the stream of documents is shuffled so samplers
+    see no ordering artifacts.
+    """
+    rng = np.random.default_rng(seed)
+    concentration = corpus_model.config.facet_concentration
+
+    # Topic components: the dominant category plus any secondary ones,
+    # each with its own database-level facet preferences.
+    components: list[tuple[object, list | None, float]] = []
+    secondary_total = 0.0
+    for category, fraction in spec.secondary_categories:
+        model = corpus_model.topic_model(tuple(category))
+        preferences = draw_facet_preferences(model, rng, concentration)
+        components.append((model, preferences, fraction))
+        secondary_total += fraction
+    main_model = corpus_model.topic_model(spec.category)
+    main_preferences = draw_facet_preferences(main_model, rng, concentration)
+    main_fraction = 1.0 - secondary_total - spec.noise_fraction
+    components.insert(0, (main_model, main_preferences, main_fraction))
+
+    lengths = _draw_lengths(rng, spec)
+    other_leaves = [
+        leaf.path
+        for leaf in corpus_model.hierarchy.leaves()
+        if leaf.path != tuple(spec.category)
+    ]
+    fractions = np.array([fraction for _m, _p, fraction in components])
+    if spec.noise_fraction and other_leaves:
+        fractions = np.append(fractions, spec.noise_fraction)
+    cumulative = np.cumsum(fractions / fractions.sum())
+    cumulative[-1] = 1.0
+    component_ids = np.searchsorted(cumulative, rng.random(spec.num_docs))
+
+    documents: list[Document] = []
+    for doc_id in range(spec.num_docs):
+        component = int(component_ids[doc_id])
+        if component < len(components):
+            model, preferences, _fraction = components[component]
+        else:
+            leaf_path = other_leaves[rng.integers(len(other_leaves))]
+            model = corpus_model.topic_model(leaf_path)
+            preferences = None  # noise docs: no database-level facet bias
+        documents.append(
+            generate_document(
+                model, rng, doc_id, int(lengths[doc_id]), preferences
+            )
+        )
+    return TextDatabase(spec.name, documents, category=tuple(spec.category))

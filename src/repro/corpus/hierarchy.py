@@ -1,0 +1,185 @@
+"""Hierarchical topic classification scheme.
+
+The paper's experiments use the Open Directory subset from [14]: 72 nodes in
+a 4-level hierarchy with 54 leaf categories (Section 5.1). This module
+defines the generic tree structure plus :func:`default_hierarchy`, an
+instance with exactly that shape and comparable topic names.
+
+Category paths are tuples of node names starting at ``"Root"``; e.g.
+``("Root", "Health", "Diseases", "AIDS")``. The root has depth 0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CategoryNode:
+    """A node of the classification hierarchy."""
+
+    name: str
+    parent: "CategoryNode | None" = None
+    children: list["CategoryNode"] = field(default_factory=list)
+
+    @property
+    def path(self) -> tuple[str, ...]:
+        """The node's path from the root, root-first."""
+        names: list[str] = []
+        node: CategoryNode | None = self
+        while node is not None:
+            names.append(node.name)
+            node = node.parent
+        return tuple(reversed(names))
+
+    @property
+    def depth(self) -> int:
+        """Distance from the root (root has depth 0)."""
+        return len(self.path) - 1
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+    def add_child(self, name: str) -> "CategoryNode":
+        """Create, attach and return a child node called ``name``."""
+        child = CategoryNode(name=name, parent=self)
+        self.children.append(child)
+        return child
+
+    def descendants(self) -> Iterator["CategoryNode"]:
+        """All strict descendants, pre-order."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def __repr__(self) -> str:
+        return f"CategoryNode({'/'.join(self.path)!r})"
+
+
+class Hierarchy:
+    """A classification hierarchy with path-based node lookup."""
+
+    def __init__(self, root: CategoryNode) -> None:
+        if root.parent is not None:
+            raise ValueError("root node must have no parent")
+        self.root = root
+        self._by_path: dict[tuple[str, ...], CategoryNode] = {}
+        for node in self.nodes():
+            if node.path in self._by_path:
+                raise ValueError(f"duplicate category path {node.path}")
+            self._by_path[node.path] = node
+
+    def nodes(self) -> Iterator[CategoryNode]:
+        """All nodes, pre-order, starting at the root."""
+        yield self.root
+        yield from self.root.descendants()
+
+    def leaves(self) -> list[CategoryNode]:
+        """All leaf categories."""
+        return [node for node in self.nodes() if node.is_leaf]
+
+    def node(self, path: tuple[str, ...]) -> CategoryNode:
+        """Look a node up by its full path. Raises KeyError when absent."""
+        return self._by_path[tuple(path)]
+
+    def __contains__(self, path: tuple[str, ...]) -> bool:
+        return tuple(path) in self._by_path
+
+    def __len__(self) -> int:
+        return len(self._by_path)
+
+    def path_to_root(self, path: tuple[str, ...]) -> list[CategoryNode]:
+        """Nodes from the root down to ``path`` inclusive (C1..Cm order).
+
+        This is the ancestor chain that Definition 4 shrinks a database
+        summary against.
+        """
+        node = self.node(path)
+        chain: list[CategoryNode] = []
+        current: CategoryNode | None = node
+        while current is not None:
+            chain.append(current)
+            current = current.parent
+        return list(reversed(chain))
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest node."""
+        return max(node.depth for node in self.nodes())
+
+
+#: Layout of the default hierarchy: 1 root + 8 top-level + 39 second-level +
+#: 24 third-level = 72 nodes, of which 54 are leaves, over 4 levels — the
+#: same shape as the ODP subset from [14] used in the paper.
+_DEFAULT_LAYOUT: dict[str, dict[str, tuple[str, ...]]] = {
+    "Arts": {
+        "Literature": ("Texts", "Poetry", "Drama"),
+        "Music": ("Classical", "Rock", "Jazz"),
+        "Movies": (),
+        "Photography": (),
+        "Television": (),
+    },
+    "Computers": {
+        "Programming": ("Java", "CPlusPlus", "Databases"),
+        "Internet": (),
+        "Hardware": (),
+        "Software": (),
+        "Security": (),
+    },
+    "Health": {
+        "Diseases": ("AIDS", "Cancer", "Heart", "Diabetes"),
+        "Fitness": (),
+        "Nutrition": (),
+        "Medicine": (),
+        "MentalHealth": (),
+    },
+    "Science": {
+        "SocialSciences": ("Economics", "History", "Psychology"),
+        "Biology": (),
+        "Chemistry": (),
+        "Physics": (),
+        "Mathematics": (),
+        "Astronomy": (),
+    },
+    "Sports": {
+        "Soccer": (),
+        "Basketball": (),
+        "Baseball": (),
+        "Tennis": (),
+        "Golf": (),
+        "Hockey": (),
+    },
+    "Business": {
+        "Investing": ("Stocks", "MutualFunds"),
+        "Marketing": (),
+        "Management": (),
+        "RealEstate": (),
+    },
+    "Recreation": {
+        "Outdoors": ("Camping", "Fishing"),
+        "Travel": (),
+        "Autos": (),
+        "Pets": (),
+    },
+    "Society": {
+        "Religion": ("Christianity", "Islam"),
+        "Politics": ("Elections", "Activism"),
+        "Law": (),
+        "Issues": (),
+    },
+}
+
+
+def default_hierarchy() -> Hierarchy:
+    """Build the default 72-node, 4-level, 54-leaf hierarchy."""
+    root = CategoryNode("Root")
+    for top_name, subtree in _DEFAULT_LAYOUT.items():
+        top = root.add_child(top_name)
+        for mid_name, leaf_names in subtree.items():
+            mid = top.add_child(mid_name)
+            for leaf_name in leaf_names:
+                mid.add_child(leaf_name)
+    return Hierarchy(root)

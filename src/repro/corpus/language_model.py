@@ -1,0 +1,421 @@
+"""Hierarchy-correlated topic language models.
+
+Each non-root category of the hierarchy owns a block of topic-specific
+vocabulary; a *topic language model* for a category mixes the general
+(root-level) vocabulary with the blocks of every category on the path from
+the root. Two consequences, both load-bearing for the paper:
+
+* **Zipfian tails.** Every block is Zipf/Mandelbrot distributed, so a small
+  document sample of any database misses many low-frequency words
+  (Section 1 / Example 1).
+* **Topical correlation.** Sibling categories share all ancestor blocks, and
+  databases under the same category share the full mixture, so "databases
+  under similar topics tend to have related content summaries" (Section 3.1)
+  holds by construction — the property shrinkage exploits.
+
+Two further properties of real text are modelled explicitly because the
+paper's phenomena depend on them:
+
+* **Block-weight burstiness.** Each document jitters its block mixture
+  weights with a Dirichlet draw, so individual documents over- or
+  under-emphasise their topic.
+* **Facet structure.** Each vocabulary block owns several *facets* —
+  reweightings of the block's word distribution standing in for subtopics
+  (a heart database has documents about surgery, medication, prevention,
+  ...). Every document commits to one facet per block, and every
+  *database* has its own facet preferences. Consequently (a) document
+  frequencies are much sparser than token-level i.i.d. sampling would
+  give, so a small document sample genuinely misses words; and (b)
+  sibling databases cover each other's missing facets, which is exactly
+  the "topically similar databases have related vocabularies" property
+  that gives the shrinkage categories their EM weight. Without facets, a
+  few hundred sampled documents are a nearly sufficient statistic of a
+  synthetic database and shrinkage has nothing to add — unlike for real
+  text.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.hierarchy import CategoryNode, Hierarchy
+from repro.corpus.zipf import ZipfSampler, mandelbrot_probabilities
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def _slug(name: str) -> str:
+    """Lowercase-alphanumeric slug used as a vocabulary-block prefix."""
+    return _SLUG_RE.sub("", name.lower())
+
+
+@dataclass(frozen=True)
+class CorpusModelConfig:
+    """Knobs of the synthetic corpus generator.
+
+    The defaults are tuned so that a 100-document sample of a
+    1,000–10,000 document database covers the frequent words but misses a
+    substantial share of each block's tail — the regime the paper studies.
+    """
+
+    general_vocab_size: int = 2500
+    node_vocab_sizes: dict[int, int] = field(
+        default_factory=lambda: {1: 500, 2: 400, 3: 350}
+    )
+    general_exponent: float = 1.15
+    node_exponent: float = 1.05
+    mandelbrot_shift: float = 1.0
+    general_weight: float = 0.5
+    #: Dirichlet concentration for per-document block-weight jitter.
+    #: Larger values mean documents stay close to the topic's base mixture;
+    #: ``None`` disables jitter entirely.
+    burstiness: float | None = 12.0
+    #: Number of facets (subtopic reweightings) per vocabulary block;
+    #: 0 disables facet structure entirely.
+    facets_per_block: int = 10
+    #: Log-normal sigma of the per-facet word reweighting. Larger values
+    #: make facets more distinct (and document frequencies sparser).
+    facet_log_sigma: float = 1.0
+    #: Dirichlet concentration of per-database facet preferences. Smaller
+    #: values make databases under the same topic more distinct.
+    facet_concentration: float = 0.5
+    #: Mean number of occurrences per distinct word use in a document
+    #: (within-document burstiness): a document that uses a word tends to
+    #: repeat it. 1.0 disables repetition. Repetition makes term-frequency
+    #: estimates from small samples noticeably noisier, as in real text.
+    within_doc_repetition: float = 2.2
+    #: Mixture share of the cross-topic "leak" distribution: the frequent
+    #: words of *every* topic leak into every document ("computer" and
+    #: "health" occur in sports pages too). Word distributions of real
+    #: topics are never disjoint; without leakage, each topic's head words
+    #: would be perfectly discriminative — making database selection
+    #: unrealistically easy for cf-based algorithms like CORI.
+    leakage: float = 0.12
+    #: Fraction of each block's head that participates in the leak
+    #: distribution (rarer words do not travel across topics).
+    leak_head_fraction: float = 0.25
+
+    def node_vocab_size(self, depth: int) -> int:
+        """Vocabulary-block size for a node at ``depth`` (>= 1)."""
+        if depth < 1:
+            raise ValueError("only non-root nodes own vocabulary blocks")
+        sizes = self.node_vocab_sizes
+        return sizes.get(depth, sizes[max(sizes)])
+
+
+class _VocabularyBlock:
+    """A named block of Zipf-distributed vocabulary, with optional facets.
+
+    Facets are deterministic functions of the block prefix and facet index
+    (seeded via CRC32), so the same corpus configuration always yields the
+    same word distributions, independent of interpreter hash seeds.
+    """
+
+    def __init__(
+        self,
+        prefix: str,
+        size: int,
+        exponent: float,
+        shift: float,
+        num_facets: int = 0,
+        facet_log_sigma: float = 1.0,
+    ) -> None:
+        self.prefix = prefix
+        self.words = np.array(
+            [f"{prefix}w{i:05d}" for i in range(1, size + 1)], dtype=object
+        )
+        self.probabilities = mandelbrot_probabilities(size, exponent, shift)
+        self.sampler = ZipfSampler(self.probabilities)
+        self.facet_samplers: list[ZipfSampler] = []
+        for facet_index in range(num_facets):
+            rng = np.random.default_rng(
+                [zlib.crc32(prefix.encode()), facet_index]
+            )
+            reweighted = self.probabilities * rng.lognormal(
+                mean=0.0, sigma=facet_log_sigma, size=size
+            )
+            self.facet_samplers.append(ZipfSampler(reweighted / reweighted.sum()))
+
+    @property
+    def num_facets(self) -> int:
+        return len(self.facet_samplers)
+
+    def facet_sampler(self, facet_index: int | None) -> ZipfSampler:
+        """The sampler for one facet (or the base distribution for None)."""
+        if facet_index is None or not self.facet_samplers:
+            return self.sampler
+        return self.facet_samplers[facet_index]
+
+    def __len__(self) -> int:
+        return self.words.size
+
+
+class _LeakBlock:
+    """The cross-topic leak distribution: every topic's head words.
+
+    Duck-typed like :class:`_VocabularyBlock` (words, probabilities,
+    facet_sampler) but facet-free: leaked words arrive as topical noise,
+    not as coherent subtopics.
+    """
+
+    prefix = "leak"
+
+    def __init__(self, blocks: list[_VocabularyBlock], head_fraction: float) -> None:
+        word_arrays = []
+        probability_arrays = []
+        for block in blocks:
+            head = max(int(len(block) * head_fraction), 1)
+            word_arrays.append(block.words[:head])
+            probability_arrays.append(block.probabilities[:head])
+        self.words = np.concatenate(word_arrays)
+        raw = np.concatenate(probability_arrays)
+        self.probabilities = raw / raw.sum()
+        self.sampler = ZipfSampler(self.probabilities)
+
+    num_facets = 0
+
+    def facet_sampler(self, facet_index: int | None) -> ZipfSampler:
+        return self.sampler
+
+    def __len__(self) -> int:
+        return self.words.size
+
+
+class TopicLanguageModel:
+    """Unigram language model for one category path.
+
+    The model is a mixture over the general block, one block per non-root
+    ancestor (including the category itself), and the corpus-wide leak
+    block. Deeper blocks carry more weight, so the category's own
+    vocabulary dominates its topical content.
+    """
+
+    def __init__(
+        self,
+        path: tuple[str, ...],
+        blocks: list[_VocabularyBlock],
+        weights: np.ndarray,
+        burstiness: float | None,
+        within_doc_repetition: float = 1.0,
+    ) -> None:
+        if len(blocks) != weights.size:
+            raise ValueError("one weight per block required")
+        if not np.isclose(weights.sum(), 1.0):
+            raise ValueError("block weights must sum to 1")
+        if within_doc_repetition < 1.0:
+            raise ValueError("within_doc_repetition must be >= 1")
+        self.path = path
+        self._blocks = blocks
+        self._weights = weights
+        self._cum_weights = np.cumsum(weights)
+        self._cum_weights[-1] = 1.0
+        self._burstiness = burstiness
+        self._repetition = within_doc_repetition
+
+    @property
+    def blocks(self) -> list[tuple[str, float]]:
+        """(block prefix, mixture weight) pairs, general block first."""
+        return [
+            (block.prefix, float(weight))
+            for block, weight in zip(self._blocks, self._weights)
+        ]
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of mixture blocks (general block + one per path node)."""
+        return len(self._blocks)
+
+    def facet_counts(self) -> list[int]:
+        """Facets available per block (0 when facet structure is off)."""
+        return [block.num_facets for block in self._blocks]
+
+    def sample_document_terms(
+        self,
+        rng: np.random.Generator,
+        length: int,
+        facet_preferences: list[np.ndarray] | None = None,
+    ) -> list[str]:
+        """Draw one document's term sequence of the given ``length``.
+
+        ``facet_preferences`` holds one probability vector per block (the
+        generating *database's* facet mix); the document commits to a
+        single facet per block, drawn from that vector. Without
+        preferences, facets are chosen uniformly; blocks without facets
+        use their base distribution.
+        """
+        if length <= 0:
+            return []
+        # Within-document repetition: draw fewer distinct word "uses" and
+        # repeat each a Poisson-distributed number of times.
+        if self._repetition > 1.0:
+            core_length = max(1, round(length / self._repetition))
+        else:
+            core_length = length
+        if self._burstiness is not None:
+            doc_weights = rng.dirichlet(self._weights * self._burstiness)
+            cum = np.cumsum(doc_weights)
+            cum[-1] = 1.0
+        else:
+            cum = self._cum_weights
+        block_ids = np.searchsorted(cum, rng.random(core_length), side="right")
+        terms = np.empty(core_length, dtype=object)
+        for block_index, block in enumerate(self._blocks):
+            positions = np.nonzero(block_ids == block_index)[0]
+            if positions.size == 0:
+                continue
+            facet_index: int | None = None
+            if block.num_facets:
+                if facet_preferences is not None:
+                    preferences = facet_preferences[block_index]
+                    facet_index = int(
+                        np.searchsorted(
+                            np.cumsum(preferences), rng.random(), side="right"
+                        )
+                    )
+                    facet_index = min(facet_index, block.num_facets - 1)
+                else:
+                    facet_index = int(rng.integers(block.num_facets))
+            word_ids = block.facet_sampler(facet_index).sample(rng, positions.size)
+            terms[positions] = block.words[word_ids]
+        if self._repetition > 1.0:
+            counts = 1 + rng.poisson(self._repetition - 1.0, size=core_length)
+            terms = np.repeat(terms, counts)[:length]
+        return terms.tolist()
+
+    def term_probabilities(self) -> dict[str, float]:
+        """The model's expected unigram distribution (exact, not sampled)."""
+        probabilities: dict[str, float] = {}
+        for block, weight in zip(self._blocks, self._weights):
+            block_probs = block.probabilities * weight
+            for word, probability in zip(block.words, block_probs):
+                probabilities[word] = probabilities.get(word, 0.0) + float(probability)
+        return probabilities
+
+    def discriminative_terms(self, k: int, depth: int | None = None) -> list[str]:
+        """Top-``k`` words of the block owned by the path node at ``depth``.
+
+        By default the deepest (most specific) block is used. These are the
+        words a trained classifier would learn as the category's signature,
+        and they seed the probe rules of :mod:`repro.classify`.
+        """
+        if depth is None:
+            depth = len(self.path) - 1
+        if depth < 1 or depth >= len(self.path):
+            raise ValueError("depth must address a non-root node on the path")
+        block = self._blocks[depth]  # blocks[0] is the general block
+        return list(block.words[:k])
+
+    def vocabulary(self) -> set[str]:
+        """All words the model can emit."""
+        words: set[str] = set()
+        for block in self._blocks:
+            words.update(block.words.tolist())
+        return words
+
+
+class CorpusModel:
+    """Factory of :class:`TopicLanguageModel` instances for a hierarchy.
+
+    Vocabulary blocks are built deterministically from the hierarchy and the
+    configuration; no randomness is involved, so models are shared safely
+    across databases and runs.
+    """
+
+    def __init__(
+        self, hierarchy: Hierarchy, config: CorpusModelConfig | None = None
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.config = config or CorpusModelConfig()
+        slugs = [_slug(node.name) for node in hierarchy.nodes()]
+        if len(set(slugs)) != len(slugs):
+            raise ValueError("hierarchy node names must have unique slugs")
+        self._general = _VocabularyBlock(
+            "gen",
+            self.config.general_vocab_size,
+            self.config.general_exponent,
+            self.config.mandelbrot_shift,
+            num_facets=self.config.facets_per_block,
+            facet_log_sigma=self.config.facet_log_sigma,
+        )
+        self._node_blocks: dict[tuple[str, ...], _VocabularyBlock] = {}
+        for node in hierarchy.nodes():
+            if node.parent is None:
+                continue
+            self._node_blocks[node.path] = _VocabularyBlock(
+                _slug(node.name),
+                self.config.node_vocab_size(node.depth),
+                self.config.node_exponent,
+                self.config.mandelbrot_shift,
+                num_facets=self.config.facets_per_block,
+                facet_log_sigma=self.config.facet_log_sigma,
+            )
+        if self.config.leakage > 0 and self._node_blocks:
+            self._leak = _LeakBlock(
+                list(self._node_blocks.values()),
+                self.config.leak_head_fraction,
+            )
+        else:
+            self._leak = None
+        self._models: dict[tuple[str, ...], TopicLanguageModel] = {}
+
+    def node_block_words(self, path: tuple[str, ...]) -> list[str]:
+        """The vocabulary block owned by the node at ``path`` (rank order)."""
+        return self._node_blocks[tuple(path)].words.tolist()
+
+    def topic_model(self, path: tuple[str, ...]) -> TopicLanguageModel:
+        """The (cached) language model for the category at ``path``."""
+        path = tuple(path)
+        if path not in self._models:
+            self._models[path] = self._build_model(path)
+        return self._models[path]
+
+    def _build_model(self, path: tuple[str, ...]) -> TopicLanguageModel:
+        chain = self.hierarchy.path_to_root(path)
+        blocks: list[_VocabularyBlock] = [self._general]
+        node_depths: list[int] = []
+        for node in chain[1:]:  # skip the root: its content is the general block
+            blocks.append(self._node_blocks[node.path])
+            node_depths.append(node.depth)
+        leakage = self.config.leakage if self._leak is not None else 0.0
+        weights = np.empty(len(blocks), dtype=np.float64)
+        weights[0] = self.config.general_weight
+        if node_depths:
+            raw = np.asarray(node_depths, dtype=np.float64)
+            weights[1:] = (1.0 - self.config.general_weight) * raw / raw.sum()
+        else:
+            # The root model is general vocabulary (plus leakage below).
+            weights[0] = 1.0
+        if leakage > 0.0:
+            weights = np.append(weights * (1.0 - leakage), leakage)
+            blocks = blocks + [self._leak]
+        return TopicLanguageModel(
+            path,
+            blocks,
+            weights,
+            self.config.burstiness,
+            self.config.within_doc_repetition,
+        )
+
+    def global_vocabulary(self) -> set[str]:
+        """Every word any topic model of this corpus can emit."""
+        words = set(self._general.words.tolist())
+        for block in self._node_blocks.values():
+            words.update(block.words.tolist())
+        return words
+
+    def general_words(self, k: int | None = None) -> list[str]:
+        """The most frequent general-vocabulary words (rank order)."""
+        words = self._general.words.tolist()
+        return words if k is None else words[:k]
+
+
+def node_for_path(hierarchy: Hierarchy, path: tuple[str, ...]) -> CategoryNode:
+    """Convenience lookup with a clear error for unknown paths."""
+    try:
+        return hierarchy.node(path)
+    except KeyError as exc:
+        raise KeyError(f"unknown category path {path!r}") from exc

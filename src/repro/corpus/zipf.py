@@ -1,0 +1,106 @@
+"""Zipf / Mandelbrot distributions.
+
+Zipf's law is the root cause of the paper's problem statement: any document
+sample of reasonable size misses the long tail of low-frequency words
+(Section 1). Appendix A additionally relies on Mandelbrot's generalization
+``f = beta * (r + c) ** alpha`` of the rank-frequency law.
+
+This module provides normalized rank probabilities, a fast vectorized
+sampler over a fixed vocabulary, and a least-squares Mandelbrot fit used by
+both the corpus generator (ground truth) and the frequency-estimation code
+of Appendix A (inference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_probabilities(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Zipf probabilities for ranks ``1..n``: ``p_r`` proportional to ``r**-exponent``."""
+    return mandelbrot_probabilities(n, exponent=exponent, shift=0.0)
+
+
+def mandelbrot_probabilities(
+    n: int, exponent: float = 1.0, shift: float = 0.0
+) -> np.ndarray:
+    """Mandelbrot probabilities ``p_r`` proportional to ``(r + shift)**-exponent``.
+
+    Parameters
+    ----------
+    n:
+        Vocabulary size (number of ranks).
+    exponent:
+        The decay exponent (Zipf's classic law has exponent 1).
+    shift:
+        Mandelbrot's additive rank shift ``c`` (0 recovers pure Zipf).
+    """
+    if n <= 0:
+        raise ValueError("vocabulary size must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    if shift <= -1:
+        raise ValueError("shift must be > -1 so all ranks have positive mass")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = (ranks + shift) ** (-exponent)
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Samples vocabulary indices from a fixed rank-probability vector.
+
+    The cumulative distribution is precomputed once; drawing ``m`` samples
+    costs one uniform draw plus a binary search each (``searchsorted``),
+    which keeps generating multi-million-token corpora fast.
+    """
+
+    def __init__(self, probabilities: np.ndarray) -> None:
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if probabilities.ndim != 1 or probabilities.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-D array")
+        if np.any(probabilities < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probabilities.sum()
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError("probabilities must sum to 1")
+        self._probabilities = probabilities / total
+        self._cumulative = np.cumsum(self._probabilities)
+        # Guard against floating-point drift at the top end.
+        self._cumulative[-1] = 1.0
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The (normalized) rank-probability vector."""
+        return self._probabilities.copy()
+
+    def __len__(self) -> int:
+        return self._probabilities.size
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` vocabulary indices (0-based ranks)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        uniforms = rng.random(size)
+        return np.searchsorted(self._cumulative, uniforms, side="right")
+
+
+def fit_mandelbrot(
+    ranks: np.ndarray, frequencies: np.ndarray
+) -> tuple[float, float]:
+    """Least-squares fit of the simplified Mandelbrot law ``f = beta * r**alpha``.
+
+    Appendix A fits ``log f = alpha * log r + log beta`` on the sample's
+    rank-frequency data. Returns ``(alpha, beta)``; for natural text
+    ``alpha`` is negative (frequency decays with rank).
+    """
+    ranks = np.asarray(ranks, dtype=np.float64)
+    frequencies = np.asarray(frequencies, dtype=np.float64)
+    if ranks.shape != frequencies.shape or ranks.ndim != 1:
+        raise ValueError("ranks and frequencies must be 1-D arrays of equal length")
+    mask = (ranks > 0) & (frequencies > 0)
+    if mask.sum() < 2:
+        raise ValueError("need at least two positive (rank, frequency) points")
+    log_r = np.log(ranks[mask])
+    log_f = np.log(frequencies[mask])
+    alpha, log_beta = np.polyfit(log_r, log_f, deg=1)
+    return float(alpha), float(np.exp(log_beta))

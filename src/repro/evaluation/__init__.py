@@ -1,0 +1,39 @@
+"""Evaluation: summary-quality metrics, selection accuracy, and the harness.
+
+* :mod:`repro.evaluation.summary_quality` — the Section 6.1 metrics
+  (weighted/unweighted recall and precision, Spearman rank correlation,
+  KL divergence).
+* :mod:`repro.evaluation.selection_quality` — the Rk metric of Section 6.2.
+* :mod:`repro.evaluation.harness` — builds testbeds, samples databases,
+  constructs every summary variant and caches the lot, so benchmarks and
+  examples share one set of artifacts.
+* :mod:`repro.evaluation.reporting` — paper-style table formatting.
+"""
+
+from repro.evaluation.selection_quality import mean_rk_curve, rk_curve
+from repro.evaluation.stats import PairedTestResult, paired_t_test
+from repro.evaluation.summary_quality import (
+    SummaryQuality,
+    evaluate_summary,
+    kl_divergence,
+    spearman_rank_correlation,
+    unweighted_precision,
+    unweighted_recall,
+    weighted_precision,
+    weighted_recall,
+)
+
+__all__ = [
+    "PairedTestResult",
+    "SummaryQuality",
+    "evaluate_summary",
+    "kl_divergence",
+    "mean_rk_curve",
+    "paired_t_test",
+    "rk_curve",
+    "spearman_rank_correlation",
+    "unweighted_precision",
+    "unweighted_recall",
+    "weighted_precision",
+    "weighted_recall",
+]

@@ -1,0 +1,449 @@
+"""Experiment harness: one-stop construction and caching of artifacts.
+
+The paper's evaluation is a matrix: {TREC4, TREC6, Web} x {QBS, FPS} x
+{frequency estimation on/off} x {plain, shrunk} summaries, plus selection
+experiments over {bGlOSS, CORI, LM} x {Plain, Hierarchical, Shrinkage,
+Universal}. Building a cell of this matrix is expensive (corpus synthesis,
+sampling, EM), so the harness caches every layer:
+
+* testbeds per (dataset, scale),
+* document samples and classifications per (dataset, scale, sampler),
+* summary sets per cell (frequency estimation applied on top of samples),
+* exact summaries per testbed.
+
+``scale`` profiles keep everything laptop-sized: "small" for unit tests,
+"bench" for the benchmark suite, "paper" for the original dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.classify.prober import ProbeClassifier
+from repro.classify.rules import ProbeRuleSet, build_probe_rules
+from repro.corpus.language_model import CorpusModelConfig
+from repro.corpus.queries import QueryWorkload, RelevanceJudgments, generate_workload
+from repro.corpus.testbeds import (
+    Testbed,
+    build_trec_style_testbed,
+    build_web_style_testbed,
+)
+from repro.evaluation.selection_quality import mean_rk_curve, rk_curve
+from repro.evaluation.summary_quality import SummaryQuality, evaluate_summary
+from repro.selection.metasearcher import Metasearcher, SelectionStrategy
+from repro.summaries.focused import FPSConfig, FPSSampler
+from repro.summaries.frequency import build_estimated_summary, build_raw_summary
+from repro.summaries.sampling import DocumentSample, QBSConfig, QBSSampler
+from repro.summaries.size import sample_resample_size
+from repro.summaries.summary import ContentSummary, SampledSummary, build_exact_summary
+
+DATASETS = ("trec4", "trec6", "web")
+SAMPLERS = ("qbs", "fps")
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """All size knobs for one scale of the experimental matrix."""
+
+    corpus_config: CorpusModelConfig
+    trec_databases: int
+    trec_size_range: tuple[int, int]
+    trec_num_leaves: int | None
+    web_databases_per_leaf: int
+    web_extra_databases: int
+    web_size_range: tuple[int, int]
+    web_num_leaves: int | None
+    qbs: QBSConfig
+    fps_probes_per_category: int
+    fps_docs_per_probe: int
+    fps_max_sample_docs: int
+    num_queries: int
+    doc_length_median: float = 110.0
+    seed_vocabulary_size: int = 600
+
+
+_SMALL_CORPUS = CorpusModelConfig(
+    general_vocab_size=600,
+    node_vocab_sizes={1: 150, 2: 120, 3: 100},
+)
+
+SCALES: dict[str, ScaleProfile] = {
+    "small": ScaleProfile(
+        corpus_config=_SMALL_CORPUS,
+        trec_databases=10,
+        trec_size_range=(300, 900),
+        trec_num_leaves=5,
+        web_databases_per_leaf=2,
+        web_extra_databases=2,
+        web_size_range=(80, 1200),
+        web_num_leaves=7,
+        qbs=QBSConfig(max_sample_docs=60, give_up_after=60, max_queries=600),
+        fps_probes_per_category=5,
+        fps_docs_per_probe=2,
+        fps_max_sample_docs=80,
+        num_queries=12,
+        doc_length_median=80.0,
+    ),
+    "bench": ScaleProfile(
+        corpus_config=CorpusModelConfig(),
+        trec_databases=36,
+        trec_size_range=(1200, 6000),
+        trec_num_leaves=9,
+        web_databases_per_leaf=2,
+        web_extra_databases=6,
+        web_size_range=(150, 12000),
+        web_num_leaves=27,
+        qbs=QBSConfig(max_sample_docs=80, give_up_after=150, max_queries=1500),
+        fps_probes_per_category=8,
+        fps_docs_per_probe=2,
+        fps_max_sample_docs=140,
+        num_queries=50,
+        doc_length_median=70.0,
+    ),
+    "paper": ScaleProfile(
+        corpus_config=CorpusModelConfig(),
+        trec_databases=100,
+        trec_size_range=(1000, 8000),
+        trec_num_leaves=None,
+        web_databases_per_leaf=5,
+        web_extra_databases=45,
+        web_size_range=(100, 376000),
+        web_num_leaves=None,
+        qbs=QBSConfig(),
+        fps_probes_per_category=10,
+        fps_docs_per_probe=4,
+        fps_max_sample_docs=400,
+        num_queries=50,
+    ),
+}
+
+
+@dataclass
+class ExperimentCell:
+    """One (dataset, sampler, frequency-estimation) cell of the matrix."""
+
+    dataset: str
+    sampler: str
+    frequency_estimation: bool
+    scale: str
+    testbed: Testbed
+    summaries: dict[str, SampledSummary]
+    classifications: dict[str, tuple[str, ...]]
+    exact_summaries: dict[str, ContentSummary]
+    metasearcher: Metasearcher = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.metasearcher is None:
+            self.metasearcher = Metasearcher(
+                self.testbed.hierarchy, self.summaries, self.classifications
+            )
+
+
+# -- caches ---------------------------------------------------------------------
+
+_TESTBEDS: dict[tuple, Testbed] = {}
+_EXACT: dict[tuple, dict[str, ContentSummary]] = {}
+_SAMPLES: dict[tuple, tuple[dict[str, DocumentSample], dict[str, tuple[str, ...]], dict[str, float]]] = {}
+_CELLS: dict[tuple, ExperimentCell] = {}
+_WORKLOADS: dict[tuple, QueryWorkload] = {}
+_JUDGMENTS: dict[tuple, RelevanceJudgments] = {}
+_RULES: dict[tuple, ProbeRuleSet] = {}
+
+
+def clear_caches() -> None:
+    """Drop every cached artifact (mainly for tests)."""
+    for cache in (
+        _TESTBEDS, _EXACT, _SAMPLES, _CELLS, _WORKLOADS, _JUDGMENTS, _RULES
+    ):
+        cache.clear()
+
+
+def get_testbed(dataset: str, scale: str = "bench") -> Testbed:
+    """The (cached) testbed for a dataset at the given scale."""
+    if dataset not in DATASETS:
+        raise ValueError(f"dataset must be one of {DATASETS}")
+    profile = SCALES[scale]
+    key = (dataset, scale)
+    if key not in _TESTBEDS:
+        if dataset == "web":
+            _TESTBEDS[key] = build_web_style_testbed(
+                name="web",
+                databases_per_leaf=profile.web_databases_per_leaf,
+                extra_databases=profile.web_extra_databases,
+                size_range=profile.web_size_range,
+                seed=7,
+                num_leaves=profile.web_num_leaves,
+                doc_length_median=profile.doc_length_median,
+                config=profile.corpus_config,
+            )
+        else:
+            seed = 41 if dataset == "trec4" else 61
+            _TESTBEDS[key] = build_trec_style_testbed(
+                name=dataset,
+                num_databases=profile.trec_databases,
+                size_range=profile.trec_size_range,
+                seed=seed,
+                num_leaves=profile.trec_num_leaves,
+                doc_length_median=profile.doc_length_median,
+                config=profile.corpus_config,
+            )
+    return _TESTBEDS[key]
+
+
+def get_exact_summaries(
+    dataset: str, scale: str = "bench"
+) -> dict[str, ContentSummary]:
+    """Ground-truth S(D) for every database of a testbed (cached)."""
+    key = (dataset, scale)
+    if key not in _EXACT:
+        testbed = get_testbed(dataset, scale)
+        _EXACT[key] = {
+            db.name: build_exact_summary(db) for db in testbed.databases
+        }
+    return _EXACT[key]
+
+
+def get_probe_rules(dataset: str, scale: str = "bench") -> ProbeRuleSet:
+    """Probe rules over the testbed's corpus model (cached)."""
+    key = (dataset, scale)
+    if key not in _RULES:
+        profile = SCALES[scale]
+        testbed = get_testbed(dataset, scale)
+        _RULES[key] = build_probe_rules(
+            testbed.corpus_model,
+            probes_per_category=profile.fps_probes_per_category,
+        )
+    return _RULES[key]
+
+
+def _collect_samples(
+    dataset: str, sampler: str, scale: str
+) -> tuple[
+    dict[str, DocumentSample],
+    dict[str, tuple[str, ...]],
+    dict[str, float],
+]:
+    """Sample every database once; classify; estimate sizes (all cached).
+
+    Classification source follows Section 5.2: Web + QBS uses the "given"
+    directory categories; TREC + QBS uses the probe classifier of [14];
+    FPS always uses the classification it derives while sampling.
+    """
+    key = (dataset, sampler, scale)
+    if key in _SAMPLES:
+        return _SAMPLES[key]
+
+    profile = SCALES[scale]
+    testbed = get_testbed(dataset, scale)
+    samples: dict[str, DocumentSample] = {}
+    classifications: dict[str, tuple[str, ...]] = {}
+    sizes: dict[str, float] = {}
+
+    rules = get_probe_rules(dataset, scale)
+    if sampler == "qbs":
+        qbs = QBSSampler(profile.qbs)
+        seed_vocabulary = testbed.corpus_model.general_words(
+            profile.seed_vocabulary_size
+        )
+        classifier = ProbeClassifier(rules)
+        for index, db in enumerate(testbed.databases):
+            rng = np.random.default_rng([1009, index])
+            sample = qbs.sample(db.engine, rng, seed_vocabulary)
+            samples[db.name] = sample
+            if dataset == "web":
+                classifications[db.name] = db.category
+            else:
+                classifications[db.name] = classifier.classify(db.engine).path
+    elif sampler == "fps":
+        fps = FPSSampler(
+            rules,
+            FPSConfig(
+                docs_per_probe=profile.fps_docs_per_probe,
+                max_sample_docs=profile.fps_max_sample_docs,
+            ),
+        )
+        for db in testbed.databases:
+            result = fps.sample(db.engine)
+            samples[db.name] = result.sample
+            classifications[db.name] = result.classification
+    else:
+        raise ValueError(f"sampler must be one of {SAMPLERS}")
+
+    for index, db in enumerate(testbed.databases):
+        rng = np.random.default_rng([2003, index])
+        sizes[db.name] = sample_resample_size(
+            samples[db.name], db.engine, rng
+        )
+
+    _SAMPLES[key] = (samples, classifications, sizes)
+    return _SAMPLES[key]
+
+
+def get_cell(
+    dataset: str,
+    sampler: str = "qbs",
+    frequency_estimation: bool = False,
+    scale: str = "bench",
+) -> ExperimentCell:
+    """Build (or fetch) one cell of the experimental matrix."""
+    key = (dataset, sampler, frequency_estimation, scale)
+    if key in _CELLS:
+        return _CELLS[key]
+
+    testbed = get_testbed(dataset, scale)
+    samples, classifications, sizes = _collect_samples(dataset, sampler, scale)
+    summaries: dict[str, SampledSummary] = {}
+    for name, sample in samples.items():
+        if frequency_estimation:
+            summaries[name] = build_estimated_summary(sample, sizes[name])
+        else:
+            summaries[name] = build_raw_summary(sample, sizes[name])
+
+    cell = ExperimentCell(
+        dataset=dataset,
+        sampler=sampler,
+        frequency_estimation=frequency_estimation,
+        scale=scale,
+        testbed=testbed,
+        summaries=summaries,
+        classifications=classifications,
+        exact_summaries=get_exact_summaries(dataset, scale),
+    )
+    _CELLS[key] = cell
+    return cell
+
+
+# -- workloads -------------------------------------------------------------------
+
+_WORKLOAD_KIND = {"trec4": "long", "trec6": "short", "web": "short"}
+
+
+def get_workload(dataset: str, scale: str = "bench") -> QueryWorkload:
+    """The dataset's query workload (long for TREC4, short for TREC6)."""
+    key = (dataset, scale)
+    if key not in _WORKLOADS:
+        profile = SCALES[scale]
+        testbed = get_testbed(dataset, scale)
+        _WORKLOADS[key] = generate_workload(
+            testbed,
+            kind=_WORKLOAD_KIND[dataset],
+            num_queries=profile.num_queries,
+            seed=555 if dataset != "trec6" else 777,
+        )
+    return _WORKLOADS[key]
+
+
+def get_judgments(dataset: str, scale: str = "bench") -> RelevanceJudgments:
+    """Relevance judgments for the dataset's workload (cached)."""
+    key = (dataset, scale)
+    if key not in _JUDGMENTS:
+        _JUDGMENTS[key] = RelevanceJudgments.build(
+            get_testbed(dataset, scale), get_workload(dataset, scale)
+        )
+    return _JUDGMENTS[key]
+
+
+# -- experiment runners ------------------------------------------------------------
+
+
+def summary_quality(cell: ExperimentCell, shrinkage: bool) -> SummaryQuality:
+    """Mean Section 6.1 metrics across the cell's databases."""
+    metrics: list[SummaryQuality] = []
+    for name, exact in cell.exact_summaries.items():
+        if shrinkage:
+            approx = cell.metasearcher.shrunk_summaries[name]
+        else:
+            approx = cell.summaries[name]
+        metrics.append(evaluate_summary(approx, exact))
+    count = len(metrics)
+    return SummaryQuality(
+        weighted_recall=sum(m.weighted_recall for m in metrics) / count,
+        unweighted_recall=sum(m.unweighted_recall for m in metrics) / count,
+        weighted_precision=sum(m.weighted_precision for m in metrics) / count,
+        unweighted_precision=sum(m.unweighted_precision for m in metrics) / count,
+        spearman=sum(m.spearman for m in metrics) / count,
+        kl=sum(m.kl for m in metrics) / count,
+    )
+
+
+def rk_curves_per_query(
+    cell: ExperimentCell,
+    algorithm: str,
+    strategy: SelectionStrategy | str,
+    k_max: int = 20,
+    queries: Sequence | None = None,
+) -> list[np.ndarray]:
+    """Per-query Rk curves (k = 1..k_max) over the cell's workload."""
+    workload = queries if queries is not None else get_workload(cell.dataset, cell.scale)
+    judgments = get_judgments(cell.dataset, cell.scale)
+    curves = []
+    for query in workload:
+        outcome = cell.metasearcher.select(
+            list(query.terms), algorithm=algorithm, strategy=strategy, k=k_max
+        )
+        curves.append(
+            rk_curve(outcome.names, judgments.per_database(query.qid), k_max)
+        )
+    return curves
+
+
+def rk_experiment(
+    cell: ExperimentCell,
+    algorithm: str,
+    strategy: SelectionStrategy | str,
+    k_max: int = 20,
+    queries: Sequence | None = None,
+) -> np.ndarray:
+    """Mean Rk curve (k = 1..k_max) over the cell's query workload."""
+    return mean_rk_curve(
+        rk_curves_per_query(cell, algorithm, strategy, k_max, queries)
+    )
+
+
+def rk_significance(
+    cell: ExperimentCell,
+    algorithm: str,
+    strategy_a: SelectionStrategy | str,
+    strategy_b: SelectionStrategy | str,
+    k_max: int = 20,
+):
+    """Paired t-test between two strategies' per-query mean Rk values.
+
+    This is the paper's significance methodology for Section 6.2 ("a
+    paired t-test shows that QBS-Shrinkage improves ... p < 0.05"): each
+    query contributes its Rk averaged over k as one paired observation.
+    """
+    from repro.evaluation.stats import paired_t_test
+
+    with np.errstate(invalid="ignore"):
+        a = [
+            float(np.nanmean(curve))
+            for curve in rk_curves_per_query(cell, algorithm, strategy_a, k_max)
+        ]
+        b = [
+            float(np.nanmean(curve))
+            for curve in rk_curves_per_query(cell, algorithm, strategy_b, k_max)
+        ]
+    return paired_t_test(a, b)
+
+
+def shrinkage_application_rate(
+    cell: ExperimentCell, algorithm: str
+) -> float:
+    """Fraction of (query, database) pairs where shrinkage was applied (Table 10)."""
+    workload = get_workload(cell.dataset, cell.scale)
+    applications = 0
+    pairs = 0
+    for query in workload:
+        outcome = cell.metasearcher.select(
+            list(query.terms),
+            algorithm=algorithm,
+            strategy=SelectionStrategy.SHRINKAGE,
+            k=len(cell.summaries),
+        )
+        applications += outcome.shrinkage_applications
+        pairs += len(cell.summaries)
+    return applications / pairs if pairs else 0.0

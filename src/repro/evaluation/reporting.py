@@ -1,0 +1,86 @@
+"""Paper-style table and figure formatting.
+
+The benchmark harness prints its results in the same layout the paper
+uses, so the reproduction can be compared against the published numbers
+line by line (Tables 4–10, Figures 4–5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+
+def format_quality_table(
+    title: str,
+    rows: Sequence[tuple[str, str, bool, float, float]],
+) -> str:
+    """Tables 4–9 layout: Data Set | Sampling | Freq. Est. | Shrinkage Yes/No.
+
+    ``rows`` holds (dataset, sampling method, frequency estimation,
+    value with shrinkage, value without shrinkage) tuples.
+    """
+    lines = [title]
+    header = (
+        f"{'Data Set':<8} {'Sampling':<9} {'Freq.Est.':<10} "
+        f"{'Shrinkage=Yes':>13} {'Shrinkage=No':>13}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for dataset, sampling, freq_est, with_shrinkage, without in rows:
+        lines.append(
+            f"{dataset:<8} {sampling.upper():<9} "
+            f"{'Yes' if freq_est else 'No':<10} "
+            f"{with_shrinkage:>13.3f} {without:>13.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_lambda_table(
+    title: str, weights_by_database: Mapping[str, Mapping[str, float]]
+) -> str:
+    """Table 2 layout: the lambda mixture weights of example databases."""
+    lines = [title]
+    for database, weights in weights_by_database.items():
+        lines.append(f"Database: {database}")
+        lines.append(f"  {'Category':<28} {'lambda':>8}")
+        for component, value in weights.items():
+            lines.append(f"  {component:<28} {value:>8.3f}")
+    return "\n".join(lines)
+
+
+def format_rk_series(
+    title: str, series: Mapping[str, np.ndarray]
+) -> str:
+    """Figures 4–5 layout: one Rk row per strategy, columns k = 1..k_max."""
+    lines = [title]
+    k_max = max(len(curve) for curve in series.values())
+    header = "k:            " + " ".join(f"{k:>5d}" for k in range(1, k_max + 1))
+    lines.append(header)
+    for label, curve in series.items():
+        values = " ".join(
+            f"{value:>5.3f}" if np.isfinite(value) else "  nan"
+            for value in curve
+        )
+        lines.append(f"{label:<14}" + values)
+    return "\n".join(lines)
+
+
+def format_application_table(
+    title: str, rows: Sequence[tuple[str, str, str, float]]
+) -> str:
+    """Table 10 layout: shrinkage application percentage per configuration."""
+    lines = [title]
+    header = (
+        f"{'Data Set':<8} {'Sampling':<9} {'Selection':<10} "
+        f"{'Shrinkage Application':>22}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for dataset, sampling, algorithm, rate in rows:
+        lines.append(
+            f"{dataset:<8} {sampling.upper():<9} {algorithm:<10} "
+            f"{rate * 100:>21.2f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Database selection accuracy: the Rk metric (Section 6.2).
+
+Given a database ranking D1..Dm for a query q and per-database relevant
+document counts r(q, D):
+
+    A(q, D, k) = sum_{i=1..k} r(q, D_i)
+    Rk         = A(q, D, k) / A(q, D_H, k)
+
+where D_H is the hypothetical perfect rank (databases sorted by r). A
+perfect choice of k databases yields Rk = 1; k databases with no relevant
+content yield Rk = 0. Selection algorithms may return fewer than k
+databases (the default-score rule); the missing positions contribute
+nothing to A.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+
+def rk_curve(
+    selected: Sequence[str],
+    relevant_counts: Mapping[str, int],
+    k_max: int,
+) -> np.ndarray:
+    """Rk for k = 1..k_max for one query.
+
+    ``selected`` is the algorithm's database choice, best first (possibly
+    shorter than ``k_max``); ``relevant_counts`` maps database names to
+    r(q, D) (absent names count as zero). Queries with no relevant
+    documents anywhere yield an all-NaN curve so callers can exclude them
+    from averages, as IR evaluations do.
+    """
+    if k_max <= 0:
+        raise ValueError("k_max must be positive")
+    perfect = sorted(relevant_counts.values(), reverse=True)
+    perfect_cumulative = np.cumsum(perfect[:k_max]).astype(float)
+    if perfect_cumulative.size < k_max:
+        padding = np.full(k_max - perfect_cumulative.size, perfect_cumulative[-1] if perfect_cumulative.size else 0.0)
+        perfect_cumulative = np.concatenate([perfect_cumulative, padding])
+
+    achieved = np.zeros(k_max)
+    running = 0.0
+    for i in range(k_max):
+        if i < len(selected):
+            running += relevant_counts.get(selected[i], 0)
+        achieved[i] = running
+
+    curve = np.full(k_max, np.nan)
+    nonzero = perfect_cumulative > 0
+    curve[nonzero] = achieved[nonzero] / perfect_cumulative[nonzero]
+    return curve
+
+
+def mean_rk_curve(curves: Sequence[np.ndarray]) -> np.ndarray:
+    """Average per-query Rk curves, ignoring NaN entries (zero-relevance queries)."""
+    if not curves:
+        raise ValueError("at least one curve required")
+    stacked = np.vstack(curves)
+    with np.errstate(invalid="ignore"):
+        return np.nanmean(stacked, axis=0)

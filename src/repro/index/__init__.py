@@ -1,0 +1,14 @@
+"""Search-engine substrate: documents, inverted index, ranked retrieval.
+
+Plays the role of Jakarta Lucene in the paper's setup (Section 5.1). The
+samplers in :mod:`repro.summaries` interact with databases exclusively
+through the :class:`~repro.index.engine.SearchEngine` query interface, which
+is the paper's "uncooperative database" boundary: match counts and top-k
+document retrieval only, no direct access to statistics.
+"""
+
+from repro.index.document import Document
+from repro.index.engine import SearchEngine, TextDatabase
+from repro.index.inverted import InvertedIndex
+
+__all__ = ["Document", "InvertedIndex", "SearchEngine", "TextDatabase"]

@@ -1,0 +1,66 @@
+"""Document records.
+
+A :class:`Document` stores the normalized term sequence directly. Raw text is
+optional: the synthetic corpora of :mod:`repro.corpus` generate canonical
+terms, while text ingested from files goes through an
+:class:`~repro.text.analyzer.Analyzer` first.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable document: an id, its terms, and optional provenance.
+
+    Parameters
+    ----------
+    doc_id:
+        Identifier unique within one database.
+    terms:
+        The document's normalized term sequence (order preserved).
+    topic:
+        Ground-truth topic path of the generating language model, if the
+        document is synthetic. Used only by evaluation code (relevance
+        judgments); never visible to samplers or selection algorithms.
+    """
+
+    doc_id: int
+    terms: tuple[str, ...]
+    topic: str | None = None
+    _term_counts: Counter = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_term_counts", Counter(self.terms))
+
+    @classmethod
+    def from_text(cls, doc_id: int, text: str, analyzer, topic: str | None = None):
+        """Build a document by analyzing raw ``text`` with ``analyzer``."""
+        return cls(doc_id=doc_id, terms=tuple(analyzer.analyze(text)), topic=topic)
+
+    @property
+    def length(self) -> int:
+        """Number of term occurrences in the document."""
+        return len(self.terms)
+
+    @property
+    def unique_terms(self) -> set[str]:
+        """The document's vocabulary."""
+        return set(self._term_counts)
+
+    def term_count(self, term: str) -> int:
+        """Number of occurrences of ``term`` in the document."""
+        return self._term_counts.get(term, 0)
+
+    def contains(self, term: str) -> bool:
+        """True when the document contains ``term`` at least once."""
+        return term in self._term_counts
+
+    def term_counts(self) -> Counter:
+        """A copy of the document's term-frequency counter."""
+        return Counter(self._term_counts)

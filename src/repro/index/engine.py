@@ -1,0 +1,145 @@
+"""Searchable text databases.
+
+:class:`SearchEngine` provides ranked (TF-IDF) and boolean retrieval over an
+:class:`~repro.index.inverted.InvertedIndex`. :class:`TextDatabase` bundles a
+named document collection with its engine and is the unit that the paper's
+samplers, classifiers and selection algorithms operate on.
+
+The engine's public query surface is intentionally the "uncooperative
+database" interface of the paper: callers get match counts and top-k
+documents, exactly what a remote web search form exposes. All code that
+builds *approximate* summaries uses only this surface; code computing *exact*
+summaries (evaluation ground truth) accesses the index directly and is
+clearly marked as doing so.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+
+
+class SearchEngine:
+    """TF-IDF search engine over a fixed document collection."""
+
+    def __init__(self, documents: Sequence[Document]) -> None:
+        self._documents = {doc.doc_id: doc for doc in documents}
+        if len(self._documents) != len(documents):
+            raise ValueError("documents must have unique doc_ids")
+        self._index = InvertedIndex(documents)
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The underlying inverted index (ground-truth statistics)."""
+        return self._index
+
+    @property
+    def num_docs(self) -> int:
+        """Number of documents in the collection."""
+        return self._index.num_docs
+
+    def document(self, doc_id: int) -> Document:
+        """Fetch a document by id."""
+        return self._documents[doc_id]
+
+    def documents(self) -> list[Document]:
+        """All documents, in doc_id order."""
+        return [self._documents[doc_id] for doc_id in sorted(self._documents)]
+
+    # -- query interface (what an uncooperative database exposes) -----------
+
+    def match_count(self, terms: Iterable[str]) -> int:
+        """Number of documents matching *all* query ``terms``.
+
+        This is the "number of matches" that web search interfaces report
+        and that the frequency-estimation (Appendix A) and sample–resample
+        size-estimation techniques exploit.
+        """
+        return self._index.match_count(terms)
+
+    def search(
+        self,
+        terms: Sequence[str],
+        k: int,
+        exclude: set[int] | None = None,
+        require_all: bool = False,
+    ) -> list[Document]:
+        """Return the top-``k`` documents for the query ``terms``.
+
+        Scoring is TF-IDF with OR semantics (``require_all=False``, the
+        Lucene default) or restricted to conjunctive matches
+        (``require_all=True``). Documents whose ids appear in ``exclude``
+        are skipped — this implements the samplers' "previously unseen
+        documents" retrieval (Section 5.2). Ties break on doc_id so results
+        are deterministic.
+        """
+        exclude = exclude or set()
+        query_terms = list(dict.fromkeys(terms))
+        if not query_terms or k <= 0:
+            return []
+
+        scores: dict[int, float] = {}
+        for term in query_terms:
+            postings = self._index.postings(term)
+            if not postings:
+                continue
+            idf = math.log(1.0 + self.num_docs / len(postings))
+            for doc_id, tf in postings.items():
+                if doc_id in exclude:
+                    continue
+                scores[doc_id] = scores.get(doc_id, 0.0) + idf * (1.0 + math.log(tf))
+
+        if require_all:
+            matching = self._index.matching_doc_ids(query_terms)
+            scores = {d: s for d, s in scores.items() if d in matching}
+
+        ranked = heapq.nsmallest(
+            k,
+            scores.items(),
+            key=lambda item: (
+                -item[1] / math.sqrt(self._index.doc_length(item[0]) or 1),
+                item[0],
+            ),
+        )
+        return [self._documents[doc_id] for doc_id, _score in ranked]
+
+
+class TextDatabase:
+    """A named, searchable text database.
+
+    The ``category`` attribute records the database's *true* category path
+    when known (e.g. the Google Directory classification used for the Web
+    set in Section 5.2); classification produced by query probing is kept
+    separate, in the structures of :mod:`repro.classify`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        documents: Sequence[Document],
+        category: tuple[str, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self._engine = SearchEngine(documents)
+
+    @property
+    def engine(self) -> SearchEngine:
+        """The database's search engine."""
+        return self._engine
+
+    @property
+    def size(self) -> int:
+        """The actual number of documents, |D| (hidden from samplers)."""
+        return self._engine.num_docs
+
+    def documents(self) -> list[Document]:
+        """All documents (ground-truth access, used by evaluation only)."""
+        return self._engine.documents()
+
+    def __repr__(self) -> str:
+        return f"TextDatabase(name={self.name!r}, size={self.size})"

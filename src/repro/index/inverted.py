@@ -1,0 +1,103 @@
+"""In-memory inverted index.
+
+Postings map each term to the documents containing it together with the
+within-document term frequency. The index exposes exactly the statistics a
+full-text engine maintains: document frequency, collection term frequency,
+document lengths, and the collection vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.index.document import Document
+
+
+class InvertedIndex:
+    """Inverted index over a set of :class:`Document` objects."""
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._postings: dict[str, dict[int, int]] = {}
+        self._doc_lengths: dict[int, int] = {}
+        self._total_terms = 0
+        for document in documents:
+            self.add(document)
+
+    def add(self, document: Document) -> None:
+        """Index ``document``. Raises ValueError on a duplicate doc_id."""
+        if document.doc_id in self._doc_lengths:
+            raise ValueError(f"duplicate doc_id {document.doc_id}")
+        self._doc_lengths[document.doc_id] = document.length
+        self._total_terms += document.length
+        for term, count in document.term_counts().items():
+            self._postings.setdefault(term, {})[document.doc_id] = count
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def num_docs(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_lengths)
+
+    @property
+    def total_terms(self) -> int:
+        """Total number of term occurrences across all documents."""
+        return self._total_terms
+
+    @property
+    def vocabulary(self) -> set[str]:
+        """All distinct terms in the collection."""
+        return set(self._postings)
+
+    def doc_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        postings = self._postings.get(term)
+        return len(postings) if postings else 0
+
+    def collection_frequency(self, term: str) -> int:
+        """Total occurrences of ``term`` across all documents."""
+        postings = self._postings.get(term)
+        return sum(postings.values()) if postings else 0
+
+    def doc_length(self, doc_id: int) -> int:
+        """Length (in term occurrences) of document ``doc_id``."""
+        return self._doc_lengths[doc_id]
+
+    def postings(self, term: str) -> dict[int, int]:
+        """The {doc_id: tf} postings of ``term`` (empty dict if absent)."""
+        return dict(self._postings.get(term, {}))
+
+    def doc_ids(self, term: str) -> set[int]:
+        """The ids of documents containing ``term``."""
+        return set(self._postings.get(term, ()))
+
+    # -- boolean matching ----------------------------------------------------
+
+    def matching_doc_ids(self, terms: Iterable[str]) -> set[int]:
+        """Documents containing *all* of ``terms`` (boolean AND).
+
+        An empty query matches no documents — this mirrors search interfaces
+        on the web, and underpins the paper's "default score" rule
+        (Section 6.2): databases are only selected when the query actually
+        matches something in the summary.
+        """
+        term_list = list(dict.fromkeys(terms))
+        if not term_list:
+            return set()
+        posting_sets = []
+        for term in term_list:
+            postings = self._postings.get(term)
+            if not postings:
+                return set()
+            posting_sets.append(postings)
+        posting_sets.sort(key=len)
+        result = set(posting_sets[0])
+        for postings in posting_sets[1:]:
+            result &= postings.keys()
+            if not result:
+                break
+        return result
+
+    def match_count(self, terms: Iterable[str]) -> int:
+        """Number of documents matching all ``terms`` (boolean AND)."""
+        return len(self.matching_doc_ids(terms))

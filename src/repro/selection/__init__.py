@@ -1,0 +1,34 @@
+"""Database selection algorithms and the metasearcher front end.
+
+The three "base" algorithms of Section 5.3 — bGlOSS [13], CORI [10] and
+LM [28] — plus the hierarchical selection strategy of [17] and the
+shrinkage-aware metasearcher that ties summaries, classification and
+scoring together.
+"""
+
+from repro.selection.base import (
+    DatabaseScorer,
+    RankedDatabase,
+    rank_databases,
+    select_databases,
+)
+from repro.selection.bgloss import BGlossScorer
+from repro.selection.cori import CoriScorer
+from repro.selection.hierarchical import HierarchicalSelector
+from repro.selection.lm import LanguageModelScorer
+from repro.selection.metasearcher import Metasearcher, SelectionStrategy
+from repro.selection.redde import ReddeSelector
+
+__all__ = [
+    "BGlossScorer",
+    "CoriScorer",
+    "DatabaseScorer",
+    "HierarchicalSelector",
+    "LanguageModelScorer",
+    "Metasearcher",
+    "RankedDatabase",
+    "ReddeSelector",
+    "SelectionStrategy",
+    "rank_databases",
+    "select_databases",
+]

@@ -1,0 +1,49 @@
+"""bGlOSS database selection — Gravano et al. [13].
+
+Databases are ranked by the expected number of query matches under a
+word-independence assumption:
+
+    s(q, D) = |D| * prod_{w in q} p(w|D)
+
+bGlOSS has no built-in smoothing: a single query word missing from the
+summary zeroes the whole score. This is exactly why the paper finds that
+*universal* shrinkage helps bGlOSS even where it hurts CORI and LM
+(Section 6.2, "Adaptive vs. Universal Application of Shrinkage").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.selection.base import DatabaseScorer
+from repro.summaries.summary import ContentSummary
+
+
+class BGlossScorer(DatabaseScorer):
+    """The bGlOSS scorer (document-frequency regime)."""
+
+    name = "bGlOSS"
+    word_decomposition = "product"
+
+    def score(
+        self, query_terms: Sequence[str], summary: ContentSummary
+    ) -> float:
+        score = self.scale(summary)
+        for word in query_terms:
+            score *= self.word_score(summary.p(word), summary, word)
+        return score
+
+    def word_score(
+        self, probability: float, summary: ContentSummary, word: str
+    ) -> float:
+        return probability
+
+    def word_score_vector(
+        self, probabilities: np.ndarray, summary: ContentSummary, word: str
+    ) -> np.ndarray:
+        return np.asarray(probabilities, dtype=np.float64)
+
+    def scale(self, summary: ContentSummary) -> float:
+        return summary.size

@@ -1,0 +1,142 @@
+"""CORI database selection — French et al. [10] / Callan et al. [4].
+
+    s(q, D) = sum_{w in q} (0.4 + 0.6 * T * I) / |q|
+
+    T = (p(w|D) * |D|) / (p(w|D) * |D| + 50 + 150 * cw(D) / mcw)
+    I = log((m + 0.5) / cf(w)) / log(m + 1.0)
+
+where ``cf(w)`` is the number of candidate databases containing ``w``,
+``m`` the number of candidate databases, ``cw(D)`` the database's word
+count, and ``mcw`` the mean ``cw`` across candidates.
+
+Paper-specific details implemented here (Section 5.3):
+
+* With shrinkage, every word has non-zero probability in every summary, so
+  the naive ``cf(w)`` would saturate at ``m``. A word counts as *present*
+  in a shrunk summary only when ``round(|D| * pR(w|D)) >= 1``.
+* Content summaries carry document frequencies, not collection lengths, so
+  ``cw(D)`` is approximated by the total estimated document-frequency mass
+  ``sum_w round(|D| * p(w|D))`` — a consistent proxy across databases
+  (exact collection lengths are not available to a metasearcher either).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.shrinkage import ShrunkSummary
+from repro.selection.base import DatabaseScorer
+from repro.summaries.summary import ContentSummary
+
+
+def _present_words(summary: ContentSummary) -> set[str]:
+    """Words counted as present for cf purposes (the round rule for R(D))."""
+    if isinstance(summary, ShrunkSummary):
+        return summary.effective_words()
+    return summary.words()
+
+
+class CoriScorer(DatabaseScorer):
+    """The CORI scorer (document-frequency regime)."""
+
+    name = "CORI"
+    word_decomposition = "sum"
+
+    def __init__(self, df_base: float = 50.0, df_factor: float = 150.0) -> None:
+        self.df_base = df_base
+        self.df_factor = df_factor
+        self._cf: dict[str, int] = {}
+        self._num_databases = 0
+        self._mean_cw = 1.0
+        self._cw: dict[int, float] = {}
+
+    def prepare(self, summaries: Mapping[str, ContentSummary]) -> None:
+        """Compute cf(w), m and mcw over the candidate summaries."""
+        self._cf = {}
+        self._num_databases = len(summaries)
+        self._cw = {}
+        total_cw = 0.0
+        for summary in summaries.values():
+            cw = self._collection_words(summary)
+            self._cw[id(summary)] = cw
+            total_cw += cw
+            for word in _present_words(summary):
+                self._cf[word] = self._cf.get(word, 0) + 1
+        self._mean_cw = (
+            total_cw / self._num_databases if self._num_databases else 1.0
+        )
+        if self._mean_cw <= 0:
+            self._mean_cw = 1.0
+
+    @staticmethod
+    def _collection_words(summary: ContentSummary) -> float:
+        """cw(D) proxy: total estimated document-frequency mass."""
+        return summary.df_mass()
+
+    def score(
+        self, query_terms: Sequence[str], summary: ContentSummary
+    ) -> float:
+        if not query_terms:
+            return 0.0
+        total = 0.0
+        for word in query_terms:
+            total += self.word_score(summary.p(word), summary, word)
+        return total / len(query_terms)
+
+    def word_score(
+        self, probability: float, summary: ContentSummary, word: str
+    ) -> float:
+        if self._num_databases == 0:
+            raise RuntimeError("CoriScorer.prepare must run before scoring")
+        document_frequency = probability * summary.size
+        cw = self._cw.get(id(summary))
+        if cw is None:
+            cw = self._collection_words(summary)
+        t_value = document_frequency / (
+            document_frequency + self.df_base + self.df_factor * cw / self._mean_cw
+        )
+        cf = max(self._cf.get(word, 0), 1)
+        i_value = math.log((self._num_databases + 0.5) / cf) / math.log(
+            self._num_databases + 1.0
+        )
+        return 0.4 + 0.6 * t_value * i_value
+
+    def word_score_vector(
+        self, probabilities: np.ndarray, summary: ContentSummary, word: str
+    ) -> np.ndarray:
+        if self._num_databases == 0:
+            raise RuntimeError("CoriScorer.prepare must run before scoring")
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        document_frequency = probabilities * summary.size
+        cw = self._cw.get(id(summary))
+        if cw is None:
+            cw = self._collection_words(summary)
+        t_values = document_frequency / (
+            document_frequency + self.df_base + self.df_factor * cw / self._mean_cw
+        )
+        cf = max(self._cf.get(word, 0), 1)
+        i_value = math.log((self._num_databases + 0.5) / cf) / math.log(
+            self._num_databases + 1.0
+        )
+        return 0.4 + 0.6 * t_values * i_value
+
+    def scale(self, summary: ContentSummary) -> float:
+        return 1.0
+
+    def combine(
+        self, word_scores: Sequence[float], summary: ContentSummary
+    ) -> float:
+        if not word_scores:
+            return 0.0
+        return sum(word_scores) / len(word_scores)
+
+    def floor_score(
+        self, query_terms: Sequence[str], summary: ContentSummary
+    ) -> float:
+        """With T = 0 every word contributes exactly 0.4 / |q|."""
+        if not query_terms:
+            return 0.0
+        return 0.4

@@ -1,0 +1,89 @@
+"""Language-model database selection — Si et al. [28].
+
+    s(q, D) = prod_{w in q} ( lambda * p(w|D) + (1 - lambda) * p(w|G) )
+
+with ``lambda = 0.5`` as suggested in [28], ``G`` a "global" category
+(here: the Root category summary), and ``p(w|D)`` in the *term-frequency*
+regime (``tf(w, D) / sum_i tf(w_i, D)``) — Section 5.3. LM is equivalent
+to the KL-based selection of [31].
+
+The paper notes that its shrinkage technique generalizes exactly this
+single-level smoothing to multi-level smoothing over the hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.selection.base import DatabaseScorer
+from repro.summaries.summary import ContentSummary
+
+
+class LanguageModelScorer(DatabaseScorer):
+    """The LM scorer (term-frequency regime)."""
+
+    name = "LM"
+    word_decomposition = "product"
+
+    def __init__(
+        self,
+        global_probabilities: Mapping[str, float] | None = None,
+        smoothing_lambda: float = 0.5,
+    ) -> None:
+        if not 0.0 <= smoothing_lambda <= 1.0:
+            raise ValueError("smoothing_lambda must lie in [0, 1]")
+        self.smoothing_lambda = smoothing_lambda
+        self._global = dict(global_probabilities or {})
+
+    def set_global_probabilities(
+        self, global_probabilities: Mapping[str, float]
+    ) -> None:
+        """Install p(w|G), typically the Root category's tf summary."""
+        self._global = dict(global_probabilities)
+
+    def global_probability(self, word: str) -> float:
+        """p(w|G) for ``word`` (0 when the word is unknown globally)."""
+        return self._global.get(word, 0.0)
+
+    def score(
+        self, query_terms: Sequence[str], summary: ContentSummary
+    ) -> float:
+        score = 1.0
+        for word in query_terms:
+            score *= self.word_score(summary.tf_p(word), summary, word)
+        return score
+
+    def word_score(
+        self, probability: float, summary: ContentSummary, word: str
+    ) -> float:
+        return (
+            self.smoothing_lambda * probability
+            + (1.0 - self.smoothing_lambda) * self.global_probability(word)
+        )
+
+    def word_score_vector(
+        self, probabilities: np.ndarray, summary: ContentSummary, word: str
+    ) -> np.ndarray:
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        return (
+            self.smoothing_lambda * probabilities
+            + (1.0 - self.smoothing_lambda) * self.global_probability(word)
+        )
+
+    def hypothetical_probability_scale(self, summary: ContentSummary) -> float:
+        """Observed tf/df probability ratio of the summary.
+
+        A hypothetical document frequency d implies a term-frequency
+        probability of roughly (d/|D|) * (sum_w p_tf / sum_w p_df); the
+        sums over the summary's own words estimate that corpus ratio.
+        """
+        df_mass = sum(p for _w, p in summary.df_items())
+        tf_mass = sum(p for _w, p in summary.tf_items())
+        if df_mass <= 0.0:
+            return 1.0
+        return tf_mass / df_mass
+
+    def scale(self, summary: ContentSummary) -> float:
+        return 1.0

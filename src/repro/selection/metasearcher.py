@@ -1,0 +1,201 @@
+"""The metasearcher front end: summaries in, database rankings out.
+
+Ties the pieces of the pipeline together for one testbed "cell" (one
+sampling method, one frequency-estimation setting):
+
+* category summaries (Definition 3) via :class:`CategorySummaryBuilder`;
+* shrunk summaries R(D) (Definition 4), computed lazily and cached;
+* the three base scorers, with LM wired to the Root category's
+  term-frequency summary as its "global" model;
+* the four selection strategies compared in Section 6.2:
+
+  - ``PLAIN``        — base algorithm over the unshrunk summaries;
+  - ``SHRINKAGE``    — the paper's adaptive algorithm (Figure 3);
+  - ``UNIVERSAL``    — always use R(D) (the ablation of Section 6.2);
+  - ``HIERARCHICAL`` — the category-descent strategy of [17].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from collections.abc import Mapping, Sequence
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveDecision, ScoreDistributionModel
+from repro.core.category import CategorySummaryBuilder
+from repro.core.shrinkage import ShrinkageConfig, ShrunkSummary, shrink_all_summaries
+from repro.corpus.hierarchy import Hierarchy
+from repro.selection.base import DatabaseScorer, rank_databases
+from repro.selection.bgloss import BGlossScorer
+from repro.selection.cori import CoriScorer
+from repro.selection.hierarchical import HierarchicalSelector
+from repro.selection.lm import LanguageModelScorer
+from repro.summaries.summary import ContentSummary, SampledSummary
+
+
+class SelectionStrategy(str, Enum):
+    """The selection strategies compared in the paper's Section 6.2."""
+
+    PLAIN = "plain"
+    SHRINKAGE = "shrinkage"
+    UNIVERSAL = "universal"
+    HIERARCHICAL = "hierarchical"
+
+
+@dataclass
+class SelectionOutcome:
+    """Result of one database-selection run."""
+
+    #: Selected databases, best first (may be fewer than k — Section 6.2's
+    #: default-score rule).
+    names: list[str]
+    #: Scores by database name (empty for the hierarchical strategy, whose
+    #: ordering is positional).
+    scores: dict[str, float] = field(default_factory=dict)
+    #: Per-database adaptive decisions (SHRINKAGE strategy only).
+    decisions: dict[str, AdaptiveDecision] | None = None
+
+    @property
+    def shrinkage_applications(self) -> int:
+        """How many databases were scored with their shrunk summary."""
+        if self.decisions is None:
+            return 0
+        return sum(1 for d in self.decisions.values() if d.use_shrinkage)
+
+
+_ALGORITHMS = ("bgloss", "cori", "lm")
+
+
+class Metasearcher:
+    """Database selection over one set of sampled summaries."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        sampled_summaries: Mapping[str, SampledSummary],
+        classifications: Mapping[str, tuple[str, ...]],
+        shrinkage_config: ShrinkageConfig | None = None,
+        adaptive_config: AdaptiveConfig | None = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.sampled_summaries = dict(sampled_summaries)
+        self.classifications = dict(classifications)
+        self.shrinkage_config = shrinkage_config or ShrinkageConfig()
+        self.adaptive_config = adaptive_config or AdaptiveConfig()
+        self.builder = CategorySummaryBuilder(
+            hierarchy, self.sampled_summaries, self.classifications
+        )
+        self._shrunk: dict[str, ShrunkSummary] | None = None
+        self._moment_caches: dict[str, dict] = {}
+        self._prepared_scorers: dict[tuple[str, str], DatabaseScorer] = {}
+
+    @property
+    def shrunk_summaries(self) -> dict[str, ShrunkSummary]:
+        """R(D) for every database (computed once, then cached)."""
+        if self._shrunk is None:
+            self._shrunk = shrink_all_summaries(
+                self.builder, self.sampled_summaries, self.shrinkage_config
+            )
+        return self._shrunk
+
+    def make_scorer(self, algorithm: str) -> DatabaseScorer:
+        """A fresh scorer instance for ``algorithm`` (bgloss/cori/lm)."""
+        algorithm = algorithm.lower()
+        if algorithm == "bgloss":
+            return BGlossScorer()
+        if algorithm == "cori":
+            return CoriScorer()
+        if algorithm == "lm":
+            root_summary = self.builder.category_summary(
+                self.hierarchy.root.path
+            )
+            return LanguageModelScorer(root_summary.probabilities("tf"))
+        raise ValueError(f"unknown algorithm {algorithm!r}; pick from {_ALGORITHMS}")
+
+    # -- selection --------------------------------------------------------------
+
+    def select(
+        self,
+        query_terms: Sequence[str],
+        algorithm: str = "cori",
+        strategy: SelectionStrategy | str = SelectionStrategy.SHRINKAGE,
+        k: int = 10,
+    ) -> SelectionOutcome:
+        """Run one query through the chosen algorithm and strategy."""
+        strategy = SelectionStrategy(strategy)
+
+        if strategy is SelectionStrategy.HIERARCHICAL:
+            selector = HierarchicalSelector(
+                self.make_scorer(algorithm), self.builder, self.sampled_summaries
+            )
+            return SelectionOutcome(names=selector.select(query_terms, k))
+
+        if strategy is SelectionStrategy.PLAIN:
+            summaries: Mapping[str, ContentSummary] = self.sampled_summaries
+            scorer = self._prepared_scorer(algorithm, "plain", summaries)
+            ranking = rank_databases(scorer, query_terms, summaries, prepare=False)
+            decisions = None
+        elif strategy is SelectionStrategy.UNIVERSAL:
+            summaries = self.shrunk_summaries
+            scorer = self._prepared_scorer(algorithm, "universal", summaries)
+            ranking = rank_databases(scorer, query_terms, summaries, prepare=False)
+            decisions = None
+        else:  # SHRINKAGE: the adaptive algorithm of Figure 3
+            decision_scorer = self._prepared_scorer(
+                algorithm, "plain", self.sampled_summaries
+            )
+            decisions = self._adaptive_decisions(decision_scorer, query_terms)
+            summaries = {
+                name: (
+                    self.shrunk_summaries[name]
+                    if decisions[name].use_shrinkage
+                    else sampled
+                )
+                for name, sampled in self.sampled_summaries.items()
+            }
+            # The mixed summary set changes per query, so corpus-level
+            # statistics (CORI's cf/mcw) must be recomputed here.
+            ranking = rank_databases(
+                self.make_scorer(algorithm), query_terms, summaries
+            )
+
+        names = [entry.name for entry in ranking if entry.selected][:k]
+        scores = {entry.name: entry.score for entry in ranking}
+        return SelectionOutcome(names=names, scores=scores, decisions=decisions)
+
+    def _prepared_scorer(
+        self,
+        algorithm: str,
+        key: str,
+        summaries: Mapping[str, ContentSummary],
+    ) -> DatabaseScorer:
+        """A scorer prepared once per fixed summary set, then reused."""
+        cache_key = (algorithm.lower(), key)
+        scorer = self._prepared_scorers.get(cache_key)
+        if scorer is None:
+            scorer = self.make_scorer(algorithm)
+            scorer.prepare(summaries)
+            self._prepared_scorers[cache_key] = scorer
+        return scorer
+
+    def _adaptive_decisions(
+        self, scorer: DatabaseScorer, query_terms: Sequence[str]
+    ) -> dict[str, AdaptiveDecision]:
+        """Content-summary-selection step of Figure 3 for every database.
+
+        ``scorer`` must already be prepared on the unshrunk summaries: the
+        uncertainty model scores hypothetical frequencies with the corpus
+        statistics of the summaries actually observed.
+        """
+        decisions: dict[str, AdaptiveDecision] = {}
+        for name, sampled in self.sampled_summaries.items():
+            cache = self._moment_caches.setdefault(name, {})
+            model = ScoreDistributionModel(
+                sampled, self.adaptive_config, moment_cache=cache
+            )
+            mean, std = model.score_moments(scorer, query_terms)
+            floor = scorer.floor_score(query_terms, sampled)
+            decisions[name] = AdaptiveDecision(
+                use_shrinkage=std > mean - floor, mean=mean, std=std, floor=floor
+            )
+        return decisions

@@ -1,0 +1,108 @@
+"""ReDDE database selection — Si & Callan [27].
+
+The paper's footnote 9 leaves evaluating shrinkage with ReDDE as future
+work; this module supplies the algorithm so the comparison can be run.
+
+ReDDE sidesteps content summaries entirely: it pools every database's
+*document sample* into one centralized index. For a query, it ranks the
+pooled sample documents and walks down the ranking; each sampled document
+stands in for ``|D| / |S_D|`` documents of its source database. Documents
+are assumed relevant until the represented mass reaches a fixed fraction
+of the total collection; the per-database share of that mass estimates
+each database's relevant-document count, which is the ranking criterion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.index.document import Document
+from repro.index.engine import SearchEngine
+from repro.summaries.sampling import DocumentSample
+
+
+class ReddeSelector:
+    """Relevant-document distribution estimation over pooled samples."""
+
+    def __init__(
+        self,
+        samples: Mapping[str, DocumentSample],
+        estimated_sizes: Mapping[str, float],
+        ratio: float = 0.003,
+    ) -> None:
+        """Pool the samples into a centralized index.
+
+        Parameters
+        ----------
+        samples:
+            Per-database document samples (the same ones the summaries
+            were built from — ReDDE needs no extra interaction with the
+            databases).
+        estimated_sizes:
+            |D| estimates (e.g. from sample–resample).
+        ratio:
+            Fraction of the total estimated collection assumed relevant
+            when walking down the centralized ranking ([27] uses 0.2–0.5%
+            of the collection).
+        """
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must lie in (0, 1]")
+        missing = set(samples) - set(estimated_sizes)
+        if missing:
+            raise ValueError(f"databases without size estimates: {missing}")
+        self.ratio = ratio
+        self._weights: dict[int, float] = {}
+        self._source: dict[int, str] = {}
+        self._total_size = 0.0
+
+        pooled: list[Document] = []
+        next_id = 0
+        for name in sorted(samples):
+            sample = samples[name]
+            size = max(float(estimated_sizes[name]), float(sample.size))
+            self._total_size += size
+            if sample.size == 0:
+                continue
+            weight = size / sample.size
+            for doc in sample.documents:
+                pooled.append(
+                    Document(doc_id=next_id, terms=doc.terms, topic=doc.topic)
+                )
+                self._weights[next_id] = weight
+                self._source[next_id] = name
+                next_id += 1
+        self._engine = SearchEngine(pooled)
+
+    @property
+    def pooled_documents(self) -> int:
+        """Number of documents in the centralized sample index."""
+        return self._engine.num_docs
+
+    def estimate_relevant(
+        self, query_terms: Sequence[str]
+    ) -> dict[str, float]:
+        """Estimated relevant-document count per database for a query."""
+        if self._engine.num_docs == 0:
+            return {}
+        ranked = self._engine.search(
+            list(query_terms), k=self._engine.num_docs
+        )
+        budget = self.ratio * self._total_size
+        estimates: dict[str, float] = {}
+        accumulated = 0.0
+        for doc in ranked:
+            weight = self._weights[doc.doc_id]
+            name = self._source[doc.doc_id]
+            estimates[name] = estimates.get(name, 0.0) + weight
+            accumulated += weight
+            if accumulated >= budget:
+                break
+        return estimates
+
+    def select(self, query_terms: Sequence[str], k: int) -> list[str]:
+        """The top-``k`` databases by estimated relevant documents."""
+        if k <= 0:
+            return []
+        estimates = self.estimate_relevant(query_terms)
+        ranked = sorted(estimates.items(), key=lambda item: (-item[1], item[0]))
+        return [name for name, _estimate in ranked[:k]]

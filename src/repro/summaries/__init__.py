@@ -1,0 +1,54 @@
+"""Content-summary machinery.
+
+Implements Definitions 1 and 2 of the paper: exact content summaries
+(ground truth, computed from every document) and approximate content
+summaries built from document samples extracted by querying. The two
+sampling strategies of Section 5.2 — Query-Based Sampling (QBS, [2]) and
+Focused Probing (FPS, [17]) — live here, together with the Appendix A
+frequency-estimation technique and the sample–resample database-size
+estimator of [27].
+"""
+
+from repro.summaries.frequency import (
+    FrequencyEstimator,
+    build_estimated_summary,
+    build_raw_summary,
+    estimate_sample_mandelbrot,
+)
+from repro.summaries.sampling import DocumentSample, QBSConfig, QBSSampler
+from repro.summaries.focused import FPSConfig, FPSSampler, FocusedProbingResult
+from repro.summaries.io import (
+    load_summaries,
+    save_summaries,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.summaries.size import sample_resample_size
+from repro.summaries.summary import (
+    ContentSummary,
+    SampledSummary,
+    build_exact_summary,
+    build_sampled_summary,
+)
+
+__all__ = [
+    "ContentSummary",
+    "DocumentSample",
+    "FPSConfig",
+    "FPSSampler",
+    "FocusedProbingResult",
+    "FrequencyEstimator",
+    "QBSConfig",
+    "QBSSampler",
+    "SampledSummary",
+    "build_estimated_summary",
+    "build_exact_summary",
+    "build_raw_summary",
+    "build_sampled_summary",
+    "estimate_sample_mandelbrot",
+    "load_summaries",
+    "sample_resample_size",
+    "save_summaries",
+    "summary_from_dict",
+    "summary_to_dict",
+]

@@ -1,0 +1,126 @@
+"""Focused Probing (FPS) sampling — Ipeirotis & Gravano [17], Section 5.2.
+
+Instead of pseudo-random words, FPS derives its queries from a classifier
+over the topic hierarchy (here: the probe rules of :mod:`repro.classify`).
+Each probe retrieves the top-4 previously unseen documents while the
+database's match counts are recorded; when the probes of a category
+generate many matches, probing continues into its subcategories. The
+output is both a document sample *and* the database's classification —
+FPS databases therefore never need a separate classification step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classify.rules import ProbeRuleSet
+from repro.index.engine import SearchEngine
+from repro.summaries.sampling import DocumentSample
+
+
+@dataclass(frozen=True)
+class FPSConfig:
+    """FPS parameters (Section 5.2 / [17])."""
+
+    docs_per_probe: int = 4
+    coverage_threshold: int = 10
+    specificity_threshold: float = 0.4
+    max_sample_docs: int = 400
+
+
+@dataclass
+class FocusedProbingResult:
+    """Sample plus the classification derived during sampling."""
+
+    sample: DocumentSample
+    classification: tuple[str, ...]
+    coverage: dict[tuple[str, ...], int] = field(default_factory=dict)
+    specificity: dict[tuple[str, ...], float] = field(default_factory=dict)
+
+
+class FPSSampler:
+    """Focused-probing sampler."""
+
+    def __init__(self, rules: ProbeRuleSet, config: FPSConfig | None = None) -> None:
+        self.rules = rules
+        self.config = config or FPSConfig()
+
+    def sample(self, engine: SearchEngine) -> FocusedProbingResult:
+        """Probe ``engine`` top-down, collecting documents and match counts."""
+        config = self.config
+        sample = DocumentSample()
+        seen_ids: set[int] = set()
+        result = FocusedProbingResult(
+            sample=sample, classification=(self.rules.hierarchy.root.name,)
+        )
+
+        def probe_category(path: tuple[str, ...]) -> int:
+            """Issue one category's probes; return its total match count."""
+            total = 0
+            for probe in self.rules.probes_for(path):
+                matches = engine.match_count(probe)
+                sample.num_queries += 1
+                if len(probe) == 1:
+                    sample.match_counts[probe[0]] = matches
+                total += matches
+                if sample.size >= config.max_sample_docs:
+                    continue
+                retrieved = engine.search(
+                    list(probe), config.docs_per_probe, exclude=seen_ids
+                )
+                for doc in retrieved:
+                    if sample.size >= config.max_sample_docs:
+                        break
+                    seen_ids.add(doc.doc_id)
+                    sample.documents.append(doc)
+            return total
+
+        def visit(node) -> None:
+            """Probe all children of ``node``; recurse into qualifying ones."""
+            if not node.children:
+                return
+            coverages: dict[tuple[str, ...], int] = {}
+            for child in node.children:
+                coverages[child.path] = probe_category(child.path)
+                result.coverage[child.path] = coverages[child.path]
+            sibling_total = sum(coverages.values())
+            if sibling_total == 0:
+                return
+            for path, coverage in coverages.items():
+                result.specificity[path] = coverage / sibling_total
+            for child in node.children:
+                if (
+                    coverages[child.path] >= config.coverage_threshold
+                    and result.specificity[child.path]
+                    >= config.specificity_threshold
+                ):
+                    visit(child)
+
+        visit(self.rules.hierarchy.root)
+        result.classification = self._derive_classification(result)
+        return result
+
+    def _derive_classification(
+        self, result: FocusedProbingResult
+    ) -> tuple[str, ...]:
+        """Single-path classification from the recorded coverage (footnote 8)."""
+        node = self.rules.hierarchy.root
+        path = node.path
+        while node.children:
+            explored = [
+                child for child in node.children if child.path in result.coverage
+            ]
+            if not explored:
+                break
+            qualifying = [
+                child
+                for child in explored
+                if result.coverage[child.path] >= self.config.coverage_threshold
+                and result.specificity.get(child.path, 0.0)
+                >= self.config.specificity_threshold
+            ]
+            if not qualifying:
+                break
+            node = max(qualifying, key=lambda child: result.coverage[child.path])
+            path = node.path
+        return path

@@ -1,0 +1,203 @@
+"""Word-frequency estimation — Appendix A of the paper.
+
+Raw sampled summaries estimate ``p(w|D)`` as the fraction of *sample*
+documents containing ``w``, which systematically overestimates frequent
+words and knows nothing about absolute frequencies. Appendix A fixes this
+with Mandelbrot's law ``f = beta * r**alpha``:
+
+1. At several checkpoints during sampling, fit ``(alpha, beta)`` to the
+   sample's own rank/document-frequency data.
+2. Observe that ``alpha`` and ``log(beta)`` grow roughly linearly in
+   ``log |S|``; regress ``alpha = A1 log|S| + A2`` and
+   ``log beta = B1 log|S| + B2`` (Equations 4a/4b).
+3. Estimate ``|D|`` via sample–resample, substitute it for ``|S|``, and
+   read off each sample word's database-scale frequency from Equation 5:
+   ``log f = (A1 log|D| + A2) log r + B1 log|D| + B2``,
+   with ``r`` the word's rank *in the sample*.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.corpus.zipf import fit_mandelbrot
+from repro.index.document import Document
+from repro.summaries.sampling import DocumentSample
+from repro.summaries.summary import SampledSummary, summarize_documents
+
+
+def _ranked_df(documents: list[Document]) -> list[tuple[str, int]]:
+    """(word, sample df) pairs, ranked by df descending, ties alphabetical."""
+    _, df, _ = summarize_documents(documents)
+    return sorted(df.items(), key=lambda item: (-item[1], item[0]))
+
+
+def estimate_sample_mandelbrot(
+    documents: list[Document],
+) -> tuple[float, float]:
+    """Fit ``f = beta * r**alpha`` to a document sample's rank/df data."""
+    ranked = _ranked_df(documents)
+    if len(ranked) < 2:
+        raise ValueError("need at least two distinct words to fit")
+    ranks = np.arange(1, len(ranked) + 1, dtype=np.float64)
+    freqs = np.array([count for _, count in ranked], dtype=np.float64)
+    return fit_mandelbrot(ranks, freqs)
+
+
+class FrequencyEstimator:
+    """Appendix A frequency estimator for one database's sample."""
+
+    def __init__(self, checkpoints: list[tuple[int, float, float]]) -> None:
+        """``checkpoints`` holds (|S|, alpha, beta) triples from the fit."""
+        if not checkpoints:
+            raise ValueError("at least one checkpoint required")
+        self.checkpoints = sorted(checkpoints)
+        self._coefficients = self._regress()
+
+    @classmethod
+    def from_sample(
+        cls, sample: DocumentSample, num_checkpoints: int = 6
+    ) -> "FrequencyEstimator":
+        """Fit checkpoints on growing prefixes of the retrieval order.
+
+        The prefixes replay "different points during the document sampling
+        process" (Appendix A) without issuing any additional queries.
+        """
+        if sample.size < 4:
+            raise ValueError("sample too small for frequency estimation")
+        sizes = sorted(
+            {
+                max(2, round(sample.size * (i + 1) / num_checkpoints))
+                for i in range(num_checkpoints)
+            }
+        )
+        checkpoints = []
+        for size in sizes:
+            try:
+                alpha, beta = estimate_sample_mandelbrot(sample.documents[:size])
+            except ValueError:
+                continue
+            checkpoints.append((size, alpha, beta))
+        if not checkpoints:
+            raise ValueError("no usable checkpoints in sample")
+        return cls(checkpoints)
+
+    def _regress(self) -> tuple[float, float, float, float]:
+        """Fit Equations 4a/4b: alpha and log(beta) linear in log|S|."""
+        if len(self.checkpoints) == 1:
+            # Degenerate sample: treat the single fit as size-independent.
+            _, alpha, beta = self.checkpoints[0]
+            return 0.0, alpha, 0.0, math.log(beta)
+        log_sizes = np.array(
+            [math.log(size) for size, _, _ in self.checkpoints]
+        )
+        alphas = np.array([alpha for _, alpha, _ in self.checkpoints])
+        log_betas = np.array(
+            [math.log(beta) for _, _, beta in self.checkpoints]
+        )
+        a1, a2 = np.polyfit(log_sizes, alphas, deg=1)
+        b1, b2 = np.polyfit(log_sizes, log_betas, deg=1)
+        return float(a1), float(a2), float(b1), float(b2)
+
+    @property
+    def coefficients(self) -> tuple[float, float, float, float]:
+        """(A1, A2, B1, B2) of Equations 4a/4b."""
+        return self._coefficients
+
+    def database_parameters(self, database_size: float) -> tuple[float, float]:
+        """Extrapolated (alpha, beta) at |S| = |D| (Equations 4a/4b)."""
+        if database_size < 1:
+            raise ValueError("database_size must be >= 1")
+        a1, a2, b1, b2 = self._coefficients
+        log_d = math.log(database_size)
+        alpha = a1 * log_d + a2
+        beta = math.exp(b1 * log_d + b2)
+        return alpha, beta
+
+    def estimate_document_frequencies(
+        self, documents: list[Document], database_size: float
+    ) -> dict[str, float]:
+        """Equation 5: database-scale df estimates for every sample word."""
+        alpha, beta = self.database_parameters(database_size)
+        estimates: dict[str, float] = {}
+        for rank, (word, _count) in enumerate(_ranked_df(documents), start=1):
+            frequency = beta * rank**alpha
+            estimates[word] = float(min(max(frequency, 0.0), database_size))
+        return estimates
+
+
+def build_estimated_summary(
+    sample: DocumentSample,
+    database_size: float,
+    num_checkpoints: int = 6,
+) -> SampledSummary:
+    """Sampled summary with Appendix A document-frequency estimation.
+
+    Document-frequency probabilities come from Equation 5; term-frequency
+    probabilities stay at their raw sample values (Section 6.2 observes
+    frequency estimation leaves the LM/bGlOSS probabilities "virtually
+    unaffected" — it reshapes document frequencies, which CORI consumes).
+    Falls back to the raw summary when the sample is too small to fit.
+    """
+    sample_size, df, tf = summarize_documents(sample.documents)
+    if sample_size == 0:
+        return SampledSummary(database_size, {}, {}, 0, {}, None)
+    total_terms = sum(tf.values())
+    tf_probs = {w: c / total_terms for w, c in tf.items()}
+
+    try:
+        estimator = FrequencyEstimator.from_sample(sample, num_checkpoints)
+        estimated_df = estimator.estimate_document_frequencies(
+            sample.documents, max(database_size, 1.0)
+        )
+        alpha, _beta = estimator.database_parameters(max(database_size, 1.0))
+        df_probs = {
+            w: min(f / max(database_size, 1.0), 1.0)
+            for w, f in estimated_df.items()
+        }
+    except ValueError:
+        df_probs = {w: c / sample_size for w, c in df.items()}
+        try:
+            alpha, _beta = estimate_sample_mandelbrot(sample.documents)
+        except ValueError:
+            alpha = None
+
+    return SampledSummary(
+        size=database_size,
+        df_probs=df_probs,
+        tf_probs=tf_probs,
+        sample_size=sample_size,
+        sample_df=df,
+        alpha=alpha,
+        sample_tf=tf,
+    )
+
+
+def build_raw_summary(
+    sample: DocumentSample, database_size: float
+) -> SampledSummary:
+    """Sampled summary without frequency estimation (raw sample fractions).
+
+    The Mandelbrot ``alpha`` of the full sample is still attached: the
+    adaptive algorithm of Section 4 needs it for the power-law prior even
+    when summaries themselves are unadjusted.
+    """
+    sample_size, df, tf = summarize_documents(sample.documents)
+    if sample_size == 0:
+        return SampledSummary(database_size, {}, {}, 0, {}, None)
+    total_terms = sum(tf.values())
+    try:
+        alpha, _beta = estimate_sample_mandelbrot(sample.documents)
+    except ValueError:
+        alpha = None
+    return SampledSummary(
+        size=database_size,
+        df_probs={w: c / sample_size for w, c in df.items()},
+        tf_probs={w: c / total_terms for w, c in tf.items()},
+        sample_size=sample_size,
+        sample_df=df,
+        alpha=alpha,
+        sample_tf=tf,
+    )

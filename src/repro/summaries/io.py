@@ -1,0 +1,112 @@
+"""Persistence for content summaries.
+
+A metasearcher builds summaries once (sampling is expensive — it queries
+remote databases) and reuses them across sessions; this module provides a
+stable JSON representation for all three summary kinds:
+
+* plain :class:`~repro.summaries.summary.ContentSummary`
+* :class:`~repro.summaries.summary.SampledSummary` (keeps the sample
+  statistics the adaptive algorithm needs)
+* :class:`~repro.core.shrinkage.ShrunkSummary` (keeps the mixture weights
+  and the base summary)
+
+The format is versioned; loading rejects unknown versions and kinds
+explicitly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro.core.shrinkage import ShrunkSummary
+from repro.summaries.summary import ContentSummary, SampledSummary
+
+FORMAT_VERSION = 1
+
+
+def summary_to_dict(summary: ContentSummary) -> dict:
+    """A JSON-serializable representation of any summary kind."""
+    payload: dict = {
+        "version": FORMAT_VERSION,
+        "size": summary.size,
+        "df_probs": summary.probabilities("df"),
+        "tf_probs": summary.probabilities("tf"),
+    }
+    if isinstance(summary, ShrunkSummary):
+        payload["kind"] = "shrunk"
+        payload["lambdas"] = list(summary.lambdas)
+        payload["tf_lambdas"] = list(summary.tf_lambdas)
+        payload["component_names"] = list(summary.component_names)
+        payload["uniform_probability"] = summary.uniform_probability
+        payload["base"] = summary_to_dict(summary.base)
+    elif isinstance(summary, SampledSummary):
+        payload["kind"] = "sampled"
+        payload["sample_size"] = summary.sample_size
+        payload["sample_df"] = dict(summary.sample_df)
+        payload["sample_tf"] = dict(summary.sample_tf)
+        payload["alpha"] = summary.alpha
+    else:
+        payload["kind"] = "plain"
+    return payload
+
+
+def summary_from_dict(payload: Mapping) -> ContentSummary:
+    """Rebuild a summary from :func:`summary_to_dict` output."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported summary format version {version!r}")
+    kind = payload.get("kind")
+    if kind == "plain":
+        return ContentSummary(
+            payload["size"], payload["df_probs"], payload["tf_probs"]
+        )
+    if kind == "sampled":
+        return SampledSummary(
+            size=payload["size"],
+            df_probs=payload["df_probs"],
+            tf_probs=payload["tf_probs"],
+            sample_size=payload["sample_size"],
+            sample_df=payload["sample_df"],
+            alpha=payload.get("alpha"),
+            sample_tf=payload.get("sample_tf"),
+        )
+    if kind == "shrunk":
+        return ShrunkSummary(
+            size=payload["size"],
+            df_probs=payload["df_probs"],
+            tf_probs=payload["tf_probs"],
+            lambdas=payload["lambdas"],
+            tf_lambdas=payload["tf_lambdas"],
+            component_names=payload["component_names"],
+            uniform_probability=payload["uniform_probability"],
+            base=summary_from_dict(payload["base"]),
+        )
+    raise ValueError(f"unknown summary kind {kind!r}")
+
+
+def save_summaries(
+    path: str | Path, summaries: Mapping[str, ContentSummary]
+) -> None:
+    """Write a named set of summaries as one JSON document."""
+    document = {
+        "version": FORMAT_VERSION,
+        "summaries": {
+            name: summary_to_dict(summary)
+            for name, summary in summaries.items()
+        },
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_summaries(path: str | Path) -> dict[str, ContentSummary]:
+    """Load a summary set written by :func:`save_summaries`."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported summary-set format version {version!r}")
+    return {
+        name: summary_from_dict(payload)
+        for name, payload in document.get("summaries", {}).items()
+    }

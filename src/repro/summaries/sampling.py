@@ -1,0 +1,155 @@
+"""Query-Based Sampling (QBS) — Callan & Connell [2], as used in Section 5.2.
+
+The sampler sends random single-word queries to a database until at least
+one document is retrieved, then continues with words drawn from the
+retrieved documents. Each query retrieves at most ``docs_per_query``
+previously unseen documents. Sampling stops when the sample reaches
+``max_sample_docs`` documents or when ``give_up_after`` consecutive queries
+retrieve nothing new.
+
+The sampler interacts with the database only through the
+:class:`~repro.index.engine.SearchEngine` query surface (match counts and
+top-k retrieval) — the paper's "uncooperative database" boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.index.document import Document
+from repro.index.engine import SearchEngine
+
+
+@dataclass
+class DocumentSample:
+    """The outcome of a sampling run against one database.
+
+    Attributes
+    ----------
+    documents:
+        Retrieved documents, in retrieval order (prefixes of this list are
+        what the Appendix A checkpoints re-examine).
+    match_counts:
+        For every *single-word* query issued, the database's reported
+        number of matches — the signal that frequency estimation
+        (Appendix A) and sample–resample size estimation [27] exploit.
+    num_queries:
+        Total number of queries issued.
+    """
+
+    documents: list[Document] = field(default_factory=list)
+    match_counts: dict[str, int] = field(default_factory=dict)
+    num_queries: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of sampled documents, |S|."""
+        return len(self.documents)
+
+    def seen_doc_ids(self) -> set[int]:
+        """Ids of all sampled documents."""
+        return {doc.doc_id for doc in self.documents}
+
+    def vocabulary(self) -> set[str]:
+        """All words occurring in the sample."""
+        words: set[str] = set()
+        for doc in self.documents:
+            words.update(doc.unique_terms)
+        return words
+
+
+@dataclass(frozen=True)
+class QBSConfig:
+    """QBS parameters; defaults follow Section 5.2 of the paper."""
+
+    max_sample_docs: int = 300
+    docs_per_query: int = 4
+    give_up_after: int = 500
+    max_queries: int = 5000
+
+
+class QBSSampler:
+    """Query-based sampler."""
+
+    def __init__(self, config: QBSConfig | None = None) -> None:
+        self.config = config or QBSConfig()
+
+    def sample(
+        self,
+        engine: SearchEngine,
+        rng: np.random.Generator,
+        seed_vocabulary: list[str],
+    ) -> DocumentSample:
+        """Extract a document sample from ``engine``.
+
+        ``seed_vocabulary`` plays the role of the dictionary from which the
+        initial random single-word queries are drawn (until the first
+        document comes back); after that, query words come from the sample
+        itself.
+        """
+        if not seed_vocabulary:
+            raise ValueError("seed_vocabulary must not be empty")
+        config = self.config
+        sample = DocumentSample()
+        seen_ids: set[int] = set()
+        issued: set[str] = set()
+        candidate_words: list[str] = []  # words from retrieved docs, not yet issued
+        candidate_set: set[str] = set()
+        consecutive_failures = 0
+        seed_order = list(seed_vocabulary)
+        rng.shuffle(seed_order)
+        seed_cursor = 0
+
+        while (
+            sample.size < config.max_sample_docs
+            and consecutive_failures < config.give_up_after
+            and sample.num_queries < config.max_queries
+        ):
+            word = None
+            if sample.documents and candidate_words:
+                # Draw a random not-yet-issued word from the sample.
+                while candidate_words:
+                    pick = int(rng.integers(len(candidate_words)))
+                    word = candidate_words[pick]
+                    last = candidate_words.pop()
+                    if pick < len(candidate_words):
+                        candidate_words[pick] = last
+                    candidate_set.discard(word)
+                    if word not in issued:
+                        break
+                    word = None
+            if word is None:
+                # Fall back to the seed dictionary (always used before the
+                # first document arrives).
+                while seed_cursor < len(seed_order):
+                    candidate = seed_order[seed_cursor]
+                    seed_cursor += 1
+                    if candidate not in issued:
+                        word = candidate
+                        break
+                if word is None:
+                    break  # nothing left to ask
+
+            issued.add(word)
+            sample.num_queries += 1
+            sample.match_counts[word] = engine.match_count([word])
+            retrieved = engine.search([word], config.docs_per_query, exclude=seen_ids)
+            if not retrieved:
+                consecutive_failures += 1
+                continue
+            consecutive_failures = 0
+            for doc in retrieved:
+                if sample.size >= config.max_sample_docs:
+                    break
+                seen_ids.add(doc.doc_id)
+                sample.documents.append(doc)
+                # Iterate terms in first-occurrence order (Counter keys),
+                # not as a set: set order is hash-randomized per process
+                # and would make sampling non-reproducible across runs.
+                for term in doc.term_counts():
+                    if term not in issued and term not in candidate_set:
+                        candidate_set.add(term)
+                        candidate_words.append(term)
+        return sample

@@ -1,0 +1,64 @@
+"""Database-size estimation via sample–resample (Si & Callan [27]).
+
+A metasearcher cannot read |D| off an uncooperative database, but it can
+exploit the match counts that search interfaces report: for a word ``w``
+with sample document frequency ``df_S(w)``, the sample estimates
+``p(w|D) ~ df_S(w) / |S|``; querying the database for ``w`` yields the true
+``df_D(w) = p(w|D) * |D|``. Hence ``|D| ~ df_D(w) * |S| / df_S(w)``,
+averaged over a handful of resample words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.engine import SearchEngine
+from repro.summaries.sampling import DocumentSample
+
+
+def sample_resample_size(
+    sample: DocumentSample,
+    engine: SearchEngine,
+    rng: np.random.Generator,
+    num_terms: int = 5,
+    min_sample_df: int = 3,
+) -> float:
+    """Estimate |D| from ``sample`` by resampling ``num_terms`` words.
+
+    Words with very low sample document frequency are avoided
+    (``min_sample_df``): their ``df_S(w) / |S|`` ratio is too noisy. The
+    per-word estimates are combined with the median, which is robust to a
+    single unlucky word. Falls back to the sample size when the sample is
+    empty or no suitable resample word exists.
+    """
+    if sample.size == 0:
+        return 0.0
+
+    df_counts: dict[str, int] = {}
+    for doc in sample.documents:
+        for word in doc.unique_terms:
+            df_counts[word] = df_counts.get(word, 0) + 1
+
+    candidates = sorted(
+        word
+        for word, count in df_counts.items()
+        if min_sample_df <= count < sample.size
+    )
+    if not candidates:
+        candidates = sorted(df_counts)
+    if not candidates:
+        return float(sample.size)
+
+    picks = rng.choice(
+        len(candidates), size=min(num_terms, len(candidates)), replace=False
+    )
+    estimates = []
+    for pick in picks:
+        word = candidates[int(pick)]
+        database_df = engine.match_count([word])
+        sample_df = df_counts[word]
+        if sample_df > 0:
+            estimates.append(database_df * sample.size / sample_df)
+    if not estimates:
+        return float(sample.size)
+    return float(max(np.median(estimates), sample.size))

@@ -1,0 +1,277 @@
+"""Content summaries (Definitions 1 and 2).
+
+A content summary carries, for a database ``D``:
+
+* ``size`` — (an estimate of) the number of documents ``|D|``;
+* document-frequency probabilities ``p(w|D)`` = fraction of documents
+  containing ``w`` (Definition 1, used by bGlOSS and CORI);
+* term-frequency probabilities ``p_tf(w|D)`` = ``tf(w,D) / sum_i tf(w_i,D)``
+  (the alternative definition of Section 5.3 used by LM and the KL metric).
+
+Both regimes are kept on every summary so each selection algorithm can use
+the one its formula expects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.index.document import Document
+from repro.index.engine import TextDatabase
+
+
+class ContentSummary:
+    """Content summary of a text database or a category.
+
+    Instances are value objects: construct once, read many times. The
+    ``tf_probs`` regime is optional at construction; when absent it falls
+    back to the normalized ``df_probs`` (a reasonable surrogate when only
+    document frequencies are known).
+    """
+
+    def __init__(
+        self,
+        size: float,
+        df_probs: Mapping[str, float],
+        tf_probs: Mapping[str, float] | None = None,
+    ) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.size = float(size)
+        self._df_probs = dict(df_probs)
+        for word, probability in self._df_probs.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"p({word!r}) = {probability} outside [0, 1]"
+                )
+        if tf_probs is not None:
+            self._tf_probs = dict(tf_probs)
+        else:
+            total = sum(self._df_probs.values())
+            if total > 0:
+                self._tf_probs = {
+                    w: p / total for w, p in self._df_probs.items()
+                }
+            else:
+                self._tf_probs = {}
+        self._effective_cache: set[str] | None = None
+        self._df_mass_cache: float | None = None
+
+    # -- probabilities -------------------------------------------------------
+
+    def p(self, word: str) -> float:
+        """Document-frequency probability p(w|D) (Definition 1)."""
+        return self._df_probs.get(word, 0.0)
+
+    def tf_p(self, word: str) -> float:
+        """Term-frequency probability (the LM regime of Section 5.3)."""
+        return self._tf_probs.get(word, 0.0)
+
+    def document_frequency(self, word: str) -> float:
+        """Estimated number of documents containing ``word``: |D| * p(w|D)."""
+        return self.size * self.p(word)
+
+    # -- vocabulary ----------------------------------------------------------
+
+    def words(self) -> set[str]:
+        """All words with non-zero probability in the summary."""
+        return set(self._df_probs)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._df_probs
+
+    def __len__(self) -> int:
+        return len(self._df_probs)
+
+    def effective_words(self) -> set[str]:
+        """Words that pass the paper's word-drop rule.
+
+        Sections 5.3 and 6.1 treat a word as present in a (shrunk) summary
+        only when ``round(|D| * p(w|D)) >= 1`` — i.e. the word is estimated
+        to appear in at least one document. Cached: summaries are immutable
+        and this set is consulted per query by CORI and the quality metrics.
+        """
+        if self._effective_cache is None:
+            self._effective_cache = {
+                word
+                for word, probability in self._df_probs.items()
+                if round(self.size * probability) >= 1
+            }
+        return self._effective_cache
+
+    def df_mass(self) -> float:
+        """Total estimated document-frequency mass, sum_w round(|D| p(w|D)).
+
+        Serves as the cw(D) collection-size proxy for CORI (see
+        :mod:`repro.selection.cori`). Cached for the same reason as
+        :meth:`effective_words`.
+        """
+        if self._df_mass_cache is None:
+            total = 0.0
+            for probability in self._df_probs.values():
+                estimated_df = round(self.size * probability)
+                if estimated_df >= 1:
+                    total += estimated_df
+            self._df_mass_cache = max(total, 1.0)
+        return self._df_mass_cache
+
+    def df_items(self) -> Iterable[tuple[str, float]]:
+        """(word, p(w|D)) pairs."""
+        return self._df_probs.items()
+
+    def tf_items(self) -> Iterable[tuple[str, float]]:
+        """(word, p_tf(w|D)) pairs."""
+        return self._tf_probs.items()
+
+    def probabilities(self, regime: str = "df") -> dict[str, float]:
+        """The full probability map for ``regime`` ('df' or 'tf')."""
+        if regime == "df":
+            return dict(self._df_probs)
+        if regime == "tf":
+            return dict(self._tf_probs)
+        raise ValueError("regime must be 'df' or 'tf'")
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={self.size:.0f}, "
+            f"words={len(self._df_probs)})"
+        )
+
+
+class SampledSummary(ContentSummary):
+    """Approximate content summary built from a document sample (Def. 2).
+
+    Carries the raw sample statistics the adaptive selection algorithm of
+    Section 4 needs: the sample size ``|S|``, per-word sample document
+    frequencies ``s_k``, and the Mandelbrot exponent ``alpha`` of the
+    database-scale rank-frequency fit (Appendix B derives the power-law
+    prior exponent ``gamma = 1/alpha - 1`` from it).
+    """
+
+    def __init__(
+        self,
+        size: float,
+        df_probs: Mapping[str, float],
+        tf_probs: Mapping[str, float] | None,
+        sample_size: int,
+        sample_df: Mapping[str, int],
+        alpha: float | None = None,
+        sample_tf: Mapping[str, int] | None = None,
+    ) -> None:
+        super().__init__(size, df_probs, tf_probs)
+        if sample_size < 0:
+            raise ValueError("sample_size must be non-negative")
+        self.sample_size = int(sample_size)
+        self.sample_df = dict(sample_df)
+        self.sample_tf = dict(sample_tf or {})
+        self.alpha = alpha
+
+    def sample_frequency(self, word: str) -> int:
+        """s_k: number of sample documents containing ``word``."""
+        return self.sample_df.get(word, 0)
+
+    def leave_one_out_probabilities(
+        self, regime: str = "df", discount: float = 1.0
+    ) -> dict[str, float]:
+        """Per-word probabilities with ``discount`` observations removed.
+
+        Used by the shrinkage EM (see :mod:`repro.core.shrinkage`): scoring
+        the sample's own words against the summary estimated from those
+        same words degenerates to an all-database mixture, so — following
+        McCallum et al. [22] — each word's own evidence is discounted when
+        measuring how well the database component explains it. With a full
+        discount (1.0), singleton words drop to probability zero and must
+        be explained by the category components, which is what earns the
+        categories their weight; fractional discounts soften the effect.
+        """
+        if not 0.0 <= discount <= 1.0:
+            raise ValueError("discount must lie in [0, 1]")
+        # The discount scales the summary's *actual* probabilities by the
+        # share of sample evidence that survives removal — p * (s-d)/s —
+        # so it stays consistent whether the probabilities are raw sample
+        # fractions or Appendix A frequency estimates. (For raw summaries
+        # this is exactly (s-d)/|S|.)
+        if regime == "df":
+            if self.sample_size <= 0:
+                return {}
+            return {
+                word: self.p(word) * max(count - discount, 0.0) / count
+                for word, count in self.sample_df.items()
+                if count > 0
+            }
+        if regime == "tf":
+            if not self.sample_tf:
+                # No raw counts recorded: discount proportionally instead.
+                return {
+                    word: max(p - discount / max(self.size, 1.0), 0.0)
+                    for word, p in self.tf_items()
+                }
+            return {
+                word: self.tf_p(word) * max(count - discount, 0.0) / count
+                for word, count in self.sample_tf.items()
+                if count > 0
+            }
+        raise ValueError("regime must be 'df' or 'tf'")
+
+
+def build_exact_summary(database: TextDatabase) -> ContentSummary:
+    """The "perfect" content summary S(D), from every document (Section 6.1).
+
+    This inspects the database's index directly — it is evaluation ground
+    truth, not something a metasearcher could compute for an uncooperative
+    database.
+    """
+    index = database.engine.index
+    num_docs = index.num_docs
+    if num_docs == 0:
+        return ContentSummary(0, {}, {})
+    total_terms = index.total_terms
+    df_probs = {}
+    tf_probs = {}
+    for word in index.vocabulary:
+        df_probs[word] = index.doc_frequency(word) / num_docs
+        tf_probs[word] = index.collection_frequency(word) / total_terms
+    return ContentSummary(num_docs, df_probs, tf_probs)
+
+
+def summarize_documents(
+    documents: Iterable[Document],
+) -> tuple[int, dict[str, int], dict[str, int]]:
+    """Count documents, per-word document frequencies and term frequencies."""
+    num_docs = 0
+    df: dict[str, int] = {}
+    tf: dict[str, int] = {}
+    for document in documents:
+        num_docs += 1
+        for word, count in document.term_counts().items():
+            df[word] = df.get(word, 0) + 1
+            tf[word] = tf.get(word, 0) + count
+    return num_docs, df, tf
+
+
+def build_sampled_summary(
+    documents: Iterable[Document],
+    estimated_size: float,
+    alpha: float | None = None,
+) -> SampledSummary:
+    """Approximate summary from a document sample, without Appendix A.
+
+    ``p(w|D)`` is the fraction of *sample* documents containing ``w``
+    (the raw QBS/FPS estimate); ``estimated_size`` is the database-size
+    estimate (typically from sample–resample).
+    """
+    sample_size, df, tf = summarize_documents(documents)
+    if sample_size == 0:
+        return SampledSummary(estimated_size, {}, {}, 0, {}, alpha)
+    total_terms = sum(tf.values())
+    df_probs = {w: c / sample_size for w, c in df.items()}
+    tf_probs = {w: c / total_terms for w, c in tf.items()}
+    return SampledSummary(
+        size=estimated_size,
+        df_probs=df_probs,
+        tf_probs=tf_probs,
+        sample_size=sample_size,
+        sample_df=df,
+        alpha=alpha,
+        sample_tf=tf,
+    )

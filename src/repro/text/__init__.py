@@ -1,0 +1,20 @@
+"""Text-processing substrate: tokenization, stopwords, stemming, analyzers.
+
+This subpackage plays the role that Jakarta Lucene's analysis chain plays in
+the paper's experimental setup (Section 5.1): it turns raw document text into
+the normalized word stream that both the search engine and the content-summary
+machinery consume.
+"""
+
+from repro.text.analyzer import Analyzer
+from repro.text.porter import PorterStemmer
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenize import tokenize
+
+__all__ = [
+    "Analyzer",
+    "PorterStemmer",
+    "STOPWORDS",
+    "is_stopword",
+    "tokenize",
+]

@@ -1,0 +1,22 @@
+"""Word tokenization.
+
+A deliberately simple, deterministic tokenizer: words are maximal runs of
+ASCII letters and digits (with embedded apostrophes allowed and stripped).
+This mirrors the behaviour of Lucene's classic tokenizer closely enough for
+content-summary construction, where only word identity matters.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:'[A-Za-z0-9]+)*")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase word tokens.
+
+    >>> tokenize("Blood-pressure readings: 120/80, doctor's advice.")
+    ['blood', 'pressure', 'readings', '120', '80', "doctor's", 'advice']
+    """
+    return [match.group(0).lower() for match in _WORD_RE.finditer(text)]

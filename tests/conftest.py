@@ -1,0 +1,96 @@
+"""Shared fixtures.
+
+Two tiers of test data:
+
+* *tiny* — a 7-node hierarchy with a miniature vocabulary; fast enough for
+  per-test construction. Used by unit tests.
+* *small* — the harness's "small" scale profile (10 databases, 5 topics),
+  built once per session. Used by integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.hierarchy import CategoryNode, Hierarchy
+from repro.corpus.language_model import CorpusModel, CorpusModelConfig
+from repro.corpus.testbeds import build_trec_style_testbed
+from repro.evaluation import harness
+from repro.summaries.frequency import build_raw_summary
+from repro.summaries.sampling import QBSConfig, QBSSampler
+from repro.summaries.size import sample_resample_size
+
+
+def make_tiny_hierarchy() -> Hierarchy:
+    """Root -> {Alpha -> {Aleph, Alef}, Beta -> {Bet}}."""
+    root = CategoryNode("Root")
+    alpha = root.add_child("Alpha")
+    alpha.add_child("Aleph")
+    alpha.add_child("Alef")
+    beta = root.add_child("Beta")
+    beta.add_child("Bet")
+    return Hierarchy(root)
+
+
+TINY_CONFIG = CorpusModelConfig(
+    general_vocab_size=120,
+    node_vocab_sizes={1: 50, 2: 40},
+    facets_per_block=4,
+    burstiness=8.0,
+)
+
+
+@pytest.fixture
+def tiny_hierarchy() -> Hierarchy:
+    return make_tiny_hierarchy()
+
+
+@pytest.fixture
+def tiny_corpus(tiny_hierarchy) -> CorpusModel:
+    return CorpusModel(tiny_hierarchy, TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_testbed():
+    """A 6-database testbed over the tiny hierarchy (session cached)."""
+    return build_trec_style_testbed(
+        name="tiny",
+        num_databases=6,
+        size_range=(150, 400),
+        num_leaves=3,
+        doc_length_median=60,
+        seed=11,
+        hierarchy=make_tiny_hierarchy(),
+        config=TINY_CONFIG,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_summaries(tiny_testbed):
+    """Sampled summaries + true classifications for the tiny testbed."""
+    sampler = QBSSampler(QBSConfig(max_sample_docs=40, give_up_after=40))
+    seed_vocabulary = tiny_testbed.corpus_model.general_words(80)
+    summaries = {}
+    classifications = {}
+    for index, db in enumerate(tiny_testbed.databases):
+        rng = np.random.default_rng([99, index])
+        sample = sampler.sample(db.engine, rng, seed_vocabulary)
+        size = sample_resample_size(
+            sample, db.engine, np.random.default_rng([100, index])
+        )
+        summaries[db.name] = build_raw_summary(sample, size)
+        classifications[db.name] = db.category
+    return summaries, classifications
+
+
+@pytest.fixture(scope="session")
+def small_cell():
+    """A harness cell at 'small' scale (session cached)."""
+    return harness.get_cell("trec4", "qbs", False, scale="small")
+
+
+@pytest.fixture(scope="session")
+def small_cell_fps():
+    """An FPS harness cell at 'small' scale (session cached)."""
+    return harness.get_cell("trec4", "fps", False, scale="small")

@@ -1,0 +1,63 @@
+"""Tests for repro.text.analyzer and repro.text.stopwords."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.analyzer import DEFAULT_ANALYZER, IDENTITY_ANALYZER, Analyzer
+from repro.text.stopwords import STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_common_words_are_stopwords(self):
+        for word in ("the", "and", "of", "is", "не"[:0] or "was"):
+            assert is_stopword(word)
+
+    def test_content_words_are_not_stopwords(self):
+        for word in ("hemophilia", "database", "selection", "blood"):
+            assert not is_stopword(word)
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(word == word.lower() for word in STOPWORDS)
+
+    def test_contractions_included(self):
+        assert is_stopword("don't")
+        assert is_stopword("isn't")
+
+
+class TestAnalyzer:
+    def test_default_removes_stopwords_and_stems(self):
+        terms = DEFAULT_ANALYZER.analyze("The patients were receiving treatments")
+        assert "the" not in terms
+        assert "patient" in terms
+        assert "receiv" in terms
+        assert "treatment" in terms
+
+    def test_no_stemming_variant(self):
+        analyzer = Analyzer(remove_stopwords=True, stem=False)
+        assert analyzer.analyze("running dogs") == ["running", "dogs"]
+
+    def test_no_stopword_removal_variant(self):
+        analyzer = Analyzer(remove_stopwords=False, stem=False)
+        assert analyzer.analyze("the dog") == ["the", "dog"]
+
+    def test_identity_analyzer_passthrough(self):
+        assert IDENTITY_ANALYZER.analyze("the Dog runs") == ["the", "dog", "runs"]
+
+    def test_min_length_filter(self):
+        analyzer = Analyzer(remove_stopwords=False, stem=False, min_length=3)
+        assert analyzer.analyze("an ox ate hay all day") == ["ate", "hay", "all", "day"]
+
+    def test_query_and_document_analysis_agree(self):
+        # The paper's stemming rationale: [computers] must match "computing".
+        doc_terms = DEFAULT_ANALYZER.analyze("advances in computing")
+        query_terms = DEFAULT_ANALYZER.analyze_query("computers")
+        assert set(query_terms) & set(doc_terms)
+
+    @given(st.text(max_size=200))
+    def test_analyze_never_returns_stopwords(self, text):
+        for term in Analyzer(remove_stopwords=True, stem=False).analyze(text):
+            assert term not in STOPWORDS
+
+    @given(st.text(max_size=200))
+    def test_default_analyzer_is_deterministic(self, text):
+        assert DEFAULT_ANALYZER.analyze(text) == DEFAULT_ANALYZER.analyze(text)

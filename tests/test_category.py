@@ -1,0 +1,134 @@
+"""Tests for repro.core.category (Definition 3 + exclusion rule)."""
+
+import pytest
+
+from repro.core.category import CategorySummaryBuilder
+from repro.summaries.summary import ContentSummary
+
+
+@pytest.fixture
+def builder(tiny_hierarchy):
+    summaries = {
+        "d1": ContentSummary(100, {"shared": 0.5, "one": 0.2}),
+        "d2": ContentSummary(300, {"shared": 0.1, "two": 0.4}),
+        "d3": ContentSummary(100, {"three": 0.3}),
+    }
+    classifications = {
+        "d1": ("Root", "Alpha", "Aleph"),
+        "d2": ("Root", "Alpha", "Aleph"),
+        "d3": ("Root", "Beta", "Bet"),
+    }
+    return CategorySummaryBuilder(tiny_hierarchy, summaries, classifications)
+
+
+class TestValidation:
+    def test_unknown_path_rejected(self, tiny_hierarchy):
+        with pytest.raises(ValueError):
+            CategorySummaryBuilder(
+                tiny_hierarchy,
+                {"d": ContentSummary(1, {})},
+                {"d": ("Root", "Nope")},
+            )
+
+    def test_classification_without_summary_rejected(self, tiny_hierarchy):
+        with pytest.raises(ValueError):
+            CategorySummaryBuilder(tiny_hierarchy, {}, {"d": ("Root",)})
+
+
+class TestDatabasesUnder:
+    def test_leaf(self, builder):
+        assert set(builder.databases_under(("Root", "Alpha", "Aleph"))) == {
+            "d1",
+            "d2",
+        }
+
+    def test_internal(self, builder):
+        assert set(builder.databases_under(("Root", "Alpha"))) == {"d1", "d2"}
+
+    def test_root(self, builder):
+        assert set(builder.databases_under(("Root",))) == {"d1", "d2", "d3"}
+
+    def test_empty_category(self, builder):
+        assert builder.databases_under(("Root", "Alpha", "Alef")) == []
+
+
+class TestCategorySummary:
+    def test_equation_one_weighting(self, builder):
+        summary = builder.category_summary(("Root", "Alpha", "Aleph"))
+        # p(shared|C) = (0.5*100 + 0.1*300) / (100+300) = 0.2
+        assert summary.p("shared") == pytest.approx(0.2)
+        # p(one|C) = (0.2*100) / 400
+        assert summary.p("one") == pytest.approx(0.05)
+        assert summary.size == pytest.approx(400)
+
+    def test_root_includes_everything(self, builder):
+        summary = builder.category_summary(("Root",))
+        assert {"shared", "one", "two", "three"} <= summary.words()
+        assert summary.size == pytest.approx(500)
+
+    def test_empty_category_summary(self, builder):
+        summary = builder.category_summary(("Root", "Alpha", "Alef"))
+        assert summary.size == 0
+        assert summary.words() == set()
+
+    def test_cached(self, builder):
+        a = builder.category_summary(("Root",))
+        assert builder.category_summary(("Root",)) is a
+
+
+class TestExclusivePathSummaries:
+    def test_order_root_first(self, builder):
+        result = builder.exclusive_path_summaries("d1")
+        paths = [path for path, _summary in result]
+        assert paths == [
+            ("Root",),
+            ("Root", "Alpha"),
+            ("Root", "Alpha", "Aleph"),
+        ]
+
+    def test_ancestor_excludes_child_category(self, builder):
+        result = dict(builder.exclusive_path_summaries("d1"))
+        # Root minus Alpha leaves only d3.
+        root_exclusive = result[("Root",)]
+        assert root_exclusive.size == pytest.approx(100)
+        assert root_exclusive.p("three") == pytest.approx(0.3)
+        assert root_exclusive.p("shared") == pytest.approx(0.0)
+
+    def test_alpha_excludes_aleph(self, builder):
+        result = dict(builder.exclusive_path_summaries("d1"))
+        # All Alpha databases are under Aleph, so the exclusive Alpha
+        # summary is empty.
+        assert result[("Root", "Alpha")].size == 0
+
+    def test_leaf_excludes_database_itself(self, builder):
+        result = dict(builder.exclusive_path_summaries("d1"))
+        leaf = result[("Root", "Alpha", "Aleph")]
+        # Only d2 remains.
+        assert leaf.size == pytest.approx(300)
+        assert leaf.p("two") == pytest.approx(0.4)
+        assert leaf.p("one") == pytest.approx(0.0)
+
+    def test_sole_database_leaf_is_empty(self, builder):
+        result = dict(builder.exclusive_path_summaries("d3"))
+        assert result[("Root", "Beta", "Bet")].size == 0
+
+
+class TestGlobalVocabulary:
+    def test_union_of_all_summaries(self, builder):
+        assert builder.global_vocabulary() == {"shared", "one", "two", "three"}
+
+    def test_uniform_probability(self, builder):
+        assert builder.uniform_probability() == pytest.approx(0.25)
+
+    def test_uniform_probability_empty(self, tiny_hierarchy):
+        builder = CategorySummaryBuilder(tiny_hierarchy, {}, {})
+        assert builder.uniform_probability() == 0.0
+
+
+class TestClassificationLookup:
+    def test_classification(self, builder):
+        assert builder.classification("d1") == ("Root", "Alpha", "Aleph")
+
+    def test_unknown_database(self, builder):
+        with pytest.raises(KeyError):
+            builder.classification("nope")

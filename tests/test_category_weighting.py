@@ -1,0 +1,71 @@
+"""Tests for the footnote-5 alternative category aggregation."""
+
+import pytest
+
+from repro.core.category import CategorySummaryBuilder
+from repro.summaries.summary import ContentSummary
+
+
+@pytest.fixture
+def inputs(tiny_hierarchy):
+    summaries = {
+        "big": ContentSummary(900, {"shared": 0.1, "bigword": 0.2}),
+        "small": ContentSummary(100, {"shared": 0.9, "smallword": 0.4}),
+    }
+    classifications = {
+        "big": ("Root", "Alpha", "Aleph"),
+        "small": ("Root", "Alpha", "Aleph"),
+    }
+    return tiny_hierarchy, summaries, classifications
+
+
+class TestUniformWeighting:
+    def test_equation_one_vs_uniform(self, inputs):
+        hierarchy, summaries, classifications = inputs
+        size_weighted = CategorySummaryBuilder(
+            hierarchy, summaries, classifications, weighting="size"
+        )
+        uniform = CategorySummaryBuilder(
+            hierarchy, summaries, classifications, weighting="uniform"
+        )
+        path = ("Root", "Alpha", "Aleph")
+        # Equation 1: (0.1*900 + 0.9*100) / 1000 = 0.18
+        assert size_weighted.category_summary(path).p("shared") == pytest.approx(0.18)
+        # Footnote 5: (0.1 + 0.9) / 2 = 0.5
+        assert uniform.category_summary(path).p("shared") == pytest.approx(0.5)
+
+    def test_category_size_is_total_size_in_both(self, inputs):
+        hierarchy, summaries, classifications = inputs
+        for weighting in ("size", "uniform"):
+            builder = CategorySummaryBuilder(
+                hierarchy, summaries, classifications, weighting=weighting
+            )
+            assert builder.category_summary(
+                ("Root", "Alpha", "Aleph")
+            ).size == pytest.approx(1000)
+
+    def test_uniform_probabilities_stay_bounded(self, inputs):
+        hierarchy, summaries, classifications = inputs
+        builder = CategorySummaryBuilder(
+            hierarchy, summaries, classifications, weighting="uniform"
+        )
+        for _word, p in builder.category_summary(("Root",)).df_items():
+            assert 0.0 <= p <= 1.0
+
+    def test_invalid_weighting_rejected(self, inputs):
+        hierarchy, summaries, classifications = inputs
+        with pytest.raises(ValueError):
+            CategorySummaryBuilder(
+                hierarchy, summaries, classifications, weighting="median"
+            )
+
+    def test_exclusive_summaries_consistent(self, inputs):
+        hierarchy, summaries, classifications = inputs
+        builder = CategorySummaryBuilder(
+            hierarchy, summaries, classifications, weighting="uniform"
+        )
+        result = dict(builder.exclusive_path_summaries("big"))
+        leaf = result[("Root", "Alpha", "Aleph")]
+        # Only "small" remains; uniform weighting keeps its raw values.
+        assert leaf.p("shared") == pytest.approx(0.9)
+        assert leaf.p("bigword") == pytest.approx(0.0)

@@ -1,0 +1,99 @@
+"""Tests for repro.classify (probe rules and the probe classifier)."""
+
+import pytest
+
+from repro.classify.prober import ProbeClassifier
+from repro.classify.rules import build_probe_rules
+
+
+@pytest.fixture
+def rules(tiny_corpus):
+    return build_probe_rules(tiny_corpus, probes_per_category=5, skip_top_ranks=1)
+
+
+class TestBuildProbeRules:
+    def test_every_non_root_category_has_probes(self, rules, tiny_hierarchy):
+        expected = {
+            node.path for node in tiny_hierarchy.nodes() if node.parent is not None
+        }
+        assert set(rules.categories()) == expected
+
+    def test_probe_count(self, rules):
+        for path in rules.categories():
+            assert len(rules.probes_for(path)) == 5
+
+    def test_probes_are_single_word_tuples(self, rules):
+        for path in rules.categories():
+            for probe in rules.probes_for(path):
+                assert isinstance(probe, tuple)
+                assert len(probe) == 1
+
+    def test_probes_come_from_category_block(self, rules, tiny_corpus):
+        probes = rules.probes_for(("Root", "Alpha", "Aleph"))
+        block = set(tiny_corpus.node_block_words(("Root", "Alpha", "Aleph")))
+        assert all(probe[0] in block for probe in probes)
+
+    def test_skip_top_ranks(self, rules, tiny_corpus):
+        block = tiny_corpus.node_block_words(("Root", "Alpha", "Aleph"))
+        probes = [p[0] for p in rules.probes_for(("Root", "Alpha", "Aleph"))]
+        assert block[0] not in probes  # rank-1 word skipped
+
+    def test_probe_words_union(self, rules):
+        words = rules.probe_words()
+        assert all(isinstance(w, str) for w in words)
+        assert len(words) > 5
+
+    def test_unknown_category_has_no_probes(self, rules):
+        assert rules.probes_for(("Root", "Nope")) == []
+
+    def test_positive_probe_count_required(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            build_probe_rules(tiny_corpus, probes_per_category=0)
+
+
+class TestProbeClassifier:
+    def test_classifies_on_topic_database(self, rules, tiny_testbed):
+        classifier = ProbeClassifier(rules, coverage_threshold=5)
+        correct = 0
+        for db in tiny_testbed.databases:
+            result = classifier.classify(db.engine)
+            if result.path == db.category:
+                correct += 1
+        # The classifier should get the majority right (the paper reports
+        # "generally accurate" results with rare, consistent mistakes).
+        assert correct >= len(tiny_testbed.databases) // 2 + 1
+
+    def test_result_records_coverage_and_specificity(self, rules, tiny_testbed):
+        classifier = ProbeClassifier(rules)
+        result = classifier.classify(tiny_testbed.databases[0].engine)
+        assert result.probes_issued > 0
+        assert result.coverage
+        for path, spec in result.specificity.items():
+            assert 0.0 <= spec <= 1.0
+
+    def test_single_word_matches_recorded(self, rules, tiny_testbed):
+        classifier = ProbeClassifier(rules)
+        result = classifier.classify(tiny_testbed.databases[0].engine)
+        engine = tiny_testbed.databases[0].engine
+        for word, count in result.match_counts.items():
+            assert count == engine.match_count([word])
+
+    def test_high_thresholds_stop_at_root(self, rules, tiny_testbed):
+        classifier = ProbeClassifier(
+            rules, coverage_threshold=10**9, specificity_threshold=1.0
+        )
+        result = classifier.classify(tiny_testbed.databases[0].engine)
+        assert result.path == ("Root",)
+
+    def test_threshold_validation(self, rules):
+        with pytest.raises(ValueError):
+            ProbeClassifier(rules, coverage_threshold=-1)
+        with pytest.raises(ValueError):
+            ProbeClassifier(rules, specificity_threshold=1.5)
+
+    def test_empty_database_classified_at_root(self, rules):
+        from repro.index.engine import SearchEngine
+
+        classifier = ProbeClassifier(rules)
+        result = classifier.classify(SearchEngine([]))
+        assert result.path == ("Root",)

@@ -1,0 +1,66 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_summary_quality_defaults(self):
+        args = build_parser().parse_args(["summary-quality"])
+        assert args.dataset == "trec4"
+        assert args.sampler == "qbs"
+        assert args.scale == "small"
+        assert not args.freq_est
+
+    def test_selection_arguments(self):
+        args = build_parser().parse_args(
+            ["selection", "--dataset", "trec6", "--algorithm", "lm", "--k", "5"]
+        )
+        assert args.algorithm == "lm"
+        assert args.k == 5
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["selection", "--dataset", "trec99"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "datasets" in out
+        assert "trec4" in out
+
+    def test_summary_quality_runs(self, capsys):
+        assert main(["summary-quality", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted recall" in out
+        assert "shrunk" in out
+
+    def test_lambdas_runs(self, capsys):
+        assert main(["lambdas", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Uniform" in out
+
+    def test_lambdas_unknown_database(self, capsys):
+        assert main(["lambdas", "--scale", "small", "--database", "nope"]) == 2
+
+    def test_selection_runs(self, capsys):
+        code = main(
+            [
+                "selection",
+                "--dataset", "trec6",
+                "--algorithm", "bgloss",
+                "--scale", "small",
+                "--k", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Shrinkage" in out
+        assert "paired t-test" in out

@@ -1,0 +1,64 @@
+"""Tests for repro.index.document."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.document import Document
+from repro.text.analyzer import IDENTITY_ANALYZER
+
+
+def make_doc(terms, doc_id=0):
+    return Document(doc_id=doc_id, terms=tuple(terms))
+
+
+class TestDocument:
+    def test_length_counts_occurrences(self):
+        doc = make_doc(["a", "b", "a"])
+        assert doc.length == 3
+
+    def test_unique_terms(self):
+        doc = make_doc(["a", "b", "a"])
+        assert doc.unique_terms == {"a", "b"}
+
+    def test_term_count(self):
+        doc = make_doc(["a", "b", "a"])
+        assert doc.term_count("a") == 2
+        assert doc.term_count("b") == 1
+        assert doc.term_count("z") == 0
+
+    def test_contains(self):
+        doc = make_doc(["x"])
+        assert doc.contains("x")
+        assert not doc.contains("y")
+
+    def test_term_counts_returns_copy(self):
+        doc = make_doc(["a"])
+        counts = doc.term_counts()
+        counts["a"] = 99
+        assert doc.term_count("a") == 1
+
+    def test_from_text_uses_analyzer(self):
+        doc = Document.from_text(5, "Hello World hello", IDENTITY_ANALYZER)
+        assert doc.doc_id == 5
+        assert doc.term_count("hello") == 2
+        assert doc.term_count("world") == 1
+
+    def test_topic_recorded(self):
+        doc = Document(doc_id=1, terms=("a",), topic="Root/Health")
+        assert doc.topic == "Root/Health"
+
+    def test_empty_document(self):
+        doc = make_doc([])
+        assert doc.length == 0
+        assert doc.unique_terms == set()
+
+    @given(st.lists(st.sampled_from("abcde"), max_size=30))
+    def test_counts_sum_to_length(self, terms):
+        doc = make_doc(terms)
+        assert sum(doc.term_counts().values()) == doc.length
+
+    @given(st.lists(st.sampled_from("abcde"), max_size=30))
+    def test_unique_terms_matches_counts(self, terms):
+        doc = make_doc(terms)
+        assert doc.unique_terms == set(doc.term_counts())

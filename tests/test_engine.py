@@ -1,0 +1,110 @@
+"""Tests for repro.index.engine (SearchEngine, TextDatabase)."""
+
+import pytest
+
+from repro.index.document import Document
+from repro.index.engine import SearchEngine, TextDatabase
+
+
+def make_engine(texts):
+    return SearchEngine(
+        [Document(doc_id=i, terms=tuple(t.split())) for i, t in enumerate(texts)]
+    )
+
+
+@pytest.fixture
+def engine():
+    return make_engine(
+        [
+            "hypertension blood pressure",          # 0
+            "hypertension hypertension treatment",  # 1
+            "sorting algorithm complexity",         # 2
+            "blood donation drive",                 # 3
+        ]
+    )
+
+
+class TestConstruction:
+    def test_duplicate_ids_rejected(self):
+        docs = [Document(doc_id=0, terms=("a",)), Document(doc_id=0, terms=("b",))]
+        with pytest.raises(ValueError):
+            SearchEngine(docs)
+
+    def test_document_lookup(self, engine):
+        assert engine.document(2).contains("algorithm")
+
+    def test_documents_sorted_by_id(self, engine):
+        ids = [doc.doc_id for doc in engine.documents()]
+        assert ids == sorted(ids)
+
+
+class TestMatchCounts:
+    def test_single_word(self, engine):
+        assert engine.match_count(["hypertension"]) == 2
+
+    def test_conjunctive(self, engine):
+        assert engine.match_count(["hypertension", "blood"]) == 1
+
+    def test_zero(self, engine):
+        assert engine.match_count(["nonexistent"]) == 0
+
+
+class TestSearch:
+    def test_returns_matching_docs(self, engine):
+        results = engine.search(["hypertension"], k=10)
+        assert {doc.doc_id for doc in results} == {0, 1}
+
+    def test_k_limits_results(self, engine):
+        assert len(engine.search(["hypertension"], k=1)) == 1
+
+    def test_exclude_previously_seen(self, engine):
+        first = engine.search(["hypertension"], k=1)
+        rest = engine.search(
+            ["hypertension"], k=10, exclude={doc.doc_id for doc in first}
+        )
+        assert {doc.doc_id for doc in first} | {doc.doc_id for doc in rest} == {0, 1}
+        assert not {doc.doc_id for doc in first} & {doc.doc_id for doc in rest}
+
+    def test_or_semantics_by_default(self, engine):
+        results = engine.search(["hypertension", "donation"], k=10)
+        assert {doc.doc_id for doc in results} == {0, 1, 3}
+
+    def test_require_all_restricts_to_conjunction(self, engine):
+        results = engine.search(["hypertension", "blood"], k=10, require_all=True)
+        assert {doc.doc_id for doc in results} == {0}
+
+    def test_higher_tf_ranks_earlier(self, engine):
+        results = engine.search(["hypertension"], k=2)
+        # doc 1 has tf=2 and length 3; doc 0 has tf=1 and length 3.
+        assert results[0].doc_id == 1
+
+    def test_empty_query(self, engine):
+        assert engine.search([], k=5) == []
+
+    def test_nonpositive_k(self, engine):
+        assert engine.search(["blood"], k=0) == []
+
+    def test_deterministic_ordering(self, engine):
+        a = [d.doc_id for d in engine.search(["blood"], k=10)]
+        b = [d.doc_id for d in engine.search(["blood"], k=10)]
+        assert a == b
+
+
+class TestTextDatabase:
+    def test_size(self):
+        db = TextDatabase("d", [Document(doc_id=0, terms=("a",))])
+        assert db.size == 1
+
+    def test_category_recorded(self):
+        db = TextDatabase(
+            "d", [Document(doc_id=0, terms=("a",))], category=("Root", "Health")
+        )
+        assert db.category == ("Root", "Health")
+
+    def test_repr_contains_name(self):
+        db = TextDatabase("pubmed", [Document(doc_id=0, terms=("a",))])
+        assert "pubmed" in repr(db)
+
+    def test_engine_queryable(self):
+        db = TextDatabase("d", [Document(doc_id=0, terms=("hemophilia",))])
+        assert db.engine.match_count(["hemophilia"]) == 1

@@ -1,0 +1,88 @@
+"""Tests for repro.summaries.focused (FPS)."""
+
+import pytest
+
+from repro.classify.rules import build_probe_rules
+from repro.summaries.focused import FPSConfig, FPSSampler
+
+
+@pytest.fixture(scope="module")
+def fps_results(tiny_testbed):
+    rules = build_probe_rules(
+        tiny_testbed.corpus_model, probes_per_category=5, skip_top_ranks=1
+    )
+    sampler = FPSSampler(
+        rules, FPSConfig(docs_per_probe=3, coverage_threshold=5, max_sample_docs=60)
+    )
+    return {db.name: sampler.sample(db.engine) for db in tiny_testbed.databases}
+
+
+class TestFPSSampler:
+    def test_sample_not_empty(self, fps_results):
+        for result in fps_results.values():
+            assert result.sample.size > 0
+
+    def test_respects_max_sample_docs(self, fps_results):
+        for result in fps_results.values():
+            assert result.sample.size <= 60
+
+    def test_documents_unique(self, fps_results):
+        for result in fps_results.values():
+            ids = [d.doc_id for d in result.sample.documents]
+            assert len(ids) == len(set(ids))
+
+    def test_match_counts_recorded(self, fps_results, tiny_testbed):
+        for db in tiny_testbed.databases:
+            result = fps_results[db.name]
+            assert result.sample.match_counts
+            for word, count in result.sample.match_counts.items():
+                assert count == db.engine.match_count([word])
+
+    def test_classification_mostly_correct(self, fps_results, tiny_testbed):
+        correct = sum(
+            1
+            for db in tiny_testbed.databases
+            if fps_results[db.name].classification == db.category
+        )
+        assert correct >= len(tiny_testbed.databases) // 2 + 1
+
+    def test_classification_is_valid_path(self, fps_results, tiny_testbed):
+        for result in fps_results.values():
+            assert result.classification in tiny_testbed.hierarchy
+
+    def test_coverage_only_for_explored_categories(self, fps_results):
+        for result in fps_results.values():
+            # Top-level categories are always probed.
+            top_level = [p for p in result.coverage if len(p) == 2]
+            assert top_level
+
+    def test_focused_descends_only_matching_branches(
+        self, fps_results, tiny_testbed
+    ):
+        # A database about Aleph should not probe Beta's subcategories
+        # unless Beta's coverage passed the thresholds.
+        for db in tiny_testbed.databases:
+            result = fps_results[db.name]
+            for path in result.coverage:
+                if len(path) == 3:  # subcategory probed
+                    parent = path[:2]
+                    assert result.coverage[parent] >= 5 or (
+                        result.specificity.get(parent, 0.0) >= 0.4
+                    )
+
+    def test_specificities_per_level_sum_to_one(self, fps_results, tiny_testbed):
+        hierarchy = tiny_testbed.hierarchy
+        for result in fps_results.values():
+            top_paths = [child.path for child in hierarchy.root.children]
+            if all(p in result.specificity for p in top_paths):
+                total = sum(result.specificity[p] for p in top_paths)
+                assert total == pytest.approx(1.0)
+
+    def test_empty_database(self, tiny_testbed):
+        from repro.index.engine import SearchEngine
+
+        rules = build_probe_rules(tiny_testbed.corpus_model, probes_per_category=3)
+        sampler = FPSSampler(rules)
+        result = sampler.sample(SearchEngine([]))
+        assert result.sample.size == 0
+        assert result.classification == ("Root",)

@@ -1,0 +1,157 @@
+"""Tests for repro.summaries.frequency (Appendix A)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.index.document import Document
+from repro.summaries.frequency import (
+    FrequencyEstimator,
+    build_estimated_summary,
+    build_raw_summary,
+    estimate_sample_mandelbrot,
+)
+from repro.summaries.sampling import DocumentSample
+
+
+def zipf_docs(num_docs=60, vocab=80, seed=0, doc_len=20):
+    """Documents whose words follow a Zipf law, as a retrieval-order list."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, vocab + 1)
+    probs = (1.0 / ranks) / (1.0 / ranks).sum()
+    documents = []
+    for doc_id in range(num_docs):
+        words = rng.choice(vocab, size=doc_len, p=probs)
+        documents.append(
+            Document(doc_id=doc_id, terms=tuple(f"w{int(w)}" for w in words))
+        )
+    return documents
+
+
+def make_sample(num_docs=60, **kwargs):
+    return DocumentSample(documents=zipf_docs(num_docs, **kwargs))
+
+
+class TestEstimateSampleMandelbrot:
+    def test_alpha_negative_for_zipf_data(self):
+        alpha, beta = estimate_sample_mandelbrot(zipf_docs())
+        assert alpha < 0
+        assert beta > 0
+
+    def test_requires_two_words(self):
+        documents = [Document(doc_id=0, terms=("only",))]
+        with pytest.raises(ValueError):
+            estimate_sample_mandelbrot(documents)
+
+
+class TestFrequencyEstimator:
+    def test_from_sample_builds_checkpoints(self):
+        estimator = FrequencyEstimator.from_sample(make_sample(), num_checkpoints=5)
+        assert 1 <= len(estimator.checkpoints) <= 5
+        sizes = [size for size, _a, _b in estimator.checkpoints]
+        assert sizes == sorted(sizes)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            FrequencyEstimator.from_sample(make_sample(2))
+
+    def test_requires_checkpoints(self):
+        with pytest.raises(ValueError):
+            FrequencyEstimator([])
+
+    def test_single_checkpoint_degenerates_gracefully(self):
+        estimator = FrequencyEstimator([(50, -1.0, 30.0)])
+        alpha, beta = estimator.database_parameters(1000)
+        assert alpha == pytest.approx(-1.0)
+        assert beta == pytest.approx(30.0)
+
+    def test_database_parameters_validate_size(self):
+        estimator = FrequencyEstimator([(50, -1.0, 30.0)])
+        with pytest.raises(ValueError):
+            estimator.database_parameters(0)
+
+    def test_estimates_monotone_in_rank(self):
+        sample = make_sample()
+        estimator = FrequencyEstimator.from_sample(sample)
+        estimates = estimator.estimate_document_frequencies(
+            sample.documents, database_size=5000
+        )
+        ordered = sorted(estimates.values(), reverse=True)
+        assert ordered == pytest.approx(sorted(estimates.values(), reverse=True))
+
+    def test_estimates_bounded_by_database_size(self):
+        sample = make_sample()
+        estimator = FrequencyEstimator.from_sample(sample)
+        estimates = estimator.estimate_document_frequencies(
+            sample.documents, database_size=500
+        )
+        assert all(0 <= f <= 500 for f in estimates.values())
+
+    def test_top_word_estimate_scales_with_database(self):
+        sample = make_sample()
+        estimator = FrequencyEstimator.from_sample(sample)
+        small = estimator.estimate_document_frequencies(sample.documents, 500)
+        large = estimator.estimate_document_frequencies(sample.documents, 50_000)
+        top_word = max(small, key=small.get)
+        assert large[top_word] > small[top_word]
+
+
+class TestBuildSummaries:
+    def test_raw_summary_fields(self):
+        sample = make_sample()
+        summary = build_raw_summary(sample, database_size=800)
+        assert summary.size == 800
+        assert summary.sample_size == 60
+        assert summary.alpha is not None and summary.alpha < 0
+
+    def test_raw_probabilities_are_sample_fractions(self):
+        sample = make_sample()
+        summary = build_raw_summary(sample, database_size=800)
+        df = {}
+        for doc in sample.documents:
+            for word in doc.unique_terms:
+                df[word] = df.get(word, 0) + 1
+        for word, count in df.items():
+            assert summary.p(word) == pytest.approx(count / 60)
+
+    def test_estimated_summary_reshapes_df_only(self):
+        sample = make_sample()
+        raw = build_raw_summary(sample, database_size=5000)
+        estimated = build_estimated_summary(sample, database_size=5000)
+        # tf regime untouched (Section 6.2: LM/bGlOSS "virtually unaffected")
+        for word in list(raw.words())[:20]:
+            assert estimated.tf_p(word) == pytest.approx(raw.tf_p(word))
+        # df regime differs (that's the point of Appendix A)
+        changed = sum(
+            1
+            for word in raw.words()
+            if not math.isclose(estimated.p(word), raw.p(word), rel_tol=1e-6)
+        )
+        assert changed > 0
+
+    def test_estimated_probabilities_valid_and_rank_preserving(self):
+        sample = make_sample()
+        estimated = build_estimated_summary(sample, database_size=50_000)
+        values = [estimated.p(word) for word in estimated.words()]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        # Equation 5 is monotone in the sample rank, so the estimated
+        # ordering must agree with the sample-df ordering.
+        by_sample_df = sorted(
+            estimated.words(),
+            key=lambda w: (-estimated.sample_frequency(w), w),
+        )
+        estimates = [estimated.p(w) for w in by_sample_df]
+        assert all(a >= b - 1e-12 for a, b in zip(estimates, estimates[1:]))
+
+    def test_empty_sample_safe(self):
+        empty = DocumentSample()
+        assert build_raw_summary(empty, 10).sample_size == 0
+        assert build_estimated_summary(empty, 10).sample_size == 0
+
+    def test_small_sample_falls_back_to_raw(self):
+        sample = DocumentSample(
+            documents=[Document(doc_id=0, terms=("a", "b"))]
+        )
+        summary = build_estimated_summary(sample, database_size=100)
+        assert summary.p("a") == pytest.approx(1.0)

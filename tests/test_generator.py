@@ -1,0 +1,170 @@
+"""Tests for repro.corpus.generator."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import (
+    DatabaseSpec,
+    draw_facet_preferences,
+    generate_database,
+    generate_document,
+    topic_label,
+)
+
+
+class TestDatabaseSpec:
+    def test_valid(self):
+        DatabaseSpec(name="x", category=("Root",), num_docs=10)
+
+    def test_rejects_zero_docs(self):
+        with pytest.raises(ValueError):
+            DatabaseSpec(name="x", category=("Root",), num_docs=0)
+
+    def test_rejects_noise_one(self):
+        with pytest.raises(ValueError):
+            DatabaseSpec(name="x", category=("Root",), num_docs=5, noise_fraction=1.0)
+
+    def test_rejects_short_docs(self):
+        with pytest.raises(ValueError):
+            DatabaseSpec(
+                name="x", category=("Root",), num_docs=5, doc_length_median=0.5
+            )
+
+    def test_rejects_negative_secondary(self):
+        with pytest.raises(ValueError):
+            DatabaseSpec(
+                name="x",
+                category=("Root",),
+                num_docs=5,
+                secondary_categories=((("Root", "Alpha"), -0.1),),
+            )
+
+    def test_rejects_oversubscribed_mixture(self):
+        with pytest.raises(ValueError):
+            DatabaseSpec(
+                name="x",
+                category=("Root",),
+                num_docs=5,
+                noise_fraction=0.5,
+                secondary_categories=((("Root", "Alpha"), 0.6),),
+            )
+
+
+class TestTopicLabel:
+    def test_joins_with_slash(self):
+        assert topic_label(("Root", "Health", "Heart")) == "Root/Health/Heart"
+
+
+class TestGenerateDocument:
+    def test_records_topic(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        doc = generate_document(model, np.random.default_rng(0), 3, 50)
+        assert doc.doc_id == 3
+        assert doc.topic == "Root/Alpha/Aleph"
+        assert 0 < doc.length <= 50
+
+
+class TestDrawFacetPreferences:
+    def test_one_vector_per_block(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        prefs = draw_facet_preferences(model, np.random.default_rng(0), 0.5)
+        assert len(prefs) == model.num_blocks
+        for count, vector in zip(model.facet_counts(), prefs):
+            if count:
+                assert vector.size == count
+                assert vector.sum() == pytest.approx(1.0)
+            else:
+                assert vector.size == 0
+
+    def test_none_when_no_facets(self, tiny_hierarchy):
+        from repro.corpus.language_model import CorpusModel, CorpusModelConfig
+
+        corpus = CorpusModel(
+            tiny_hierarchy,
+            CorpusModelConfig(
+                general_vocab_size=50,
+                node_vocab_sizes={1: 20, 2: 20},
+                facets_per_block=0,
+            ),
+        )
+        model = corpus.topic_model(("Root", "Alpha"))
+        assert draw_facet_preferences(model, np.random.default_rng(0), 0.5) is None
+
+
+class TestGenerateDatabase:
+    def test_size_and_name(self, tiny_corpus):
+        spec = DatabaseSpec(
+            name="db", category=("Root", "Alpha", "Aleph"), num_docs=40,
+            doc_length_median=40,
+        )
+        db = generate_database(tiny_corpus, spec, seed=1)
+        assert db.size == 40
+        assert db.name == "db"
+        assert db.category == ("Root", "Alpha", "Aleph")
+
+    def test_deterministic_for_seed(self, tiny_corpus):
+        spec = DatabaseSpec(
+            name="db", category=("Root", "Beta", "Bet"), num_docs=20,
+            doc_length_median=30,
+        )
+        a = generate_database(tiny_corpus, spec, seed=5)
+        b = generate_database(tiny_corpus, spec, seed=5)
+        assert [d.terms for d in a.documents()] == [d.terms for d in b.documents()]
+
+    def test_different_seeds_differ(self, tiny_corpus):
+        spec = DatabaseSpec(
+            name="db", category=("Root", "Beta", "Bet"), num_docs=20,
+            doc_length_median=30,
+        )
+        a = generate_database(tiny_corpus, spec, seed=5)
+        b = generate_database(tiny_corpus, spec, seed=6)
+        assert [d.terms for d in a.documents()] != [d.terms for d in b.documents()]
+
+    def test_dominant_topic_majority(self, tiny_corpus):
+        spec = DatabaseSpec(
+            name="db",
+            category=("Root", "Alpha", "Aleph"),
+            num_docs=200,
+            noise_fraction=0.1,
+            doc_length_median=30,
+        )
+        db = generate_database(tiny_corpus, spec, seed=2)
+        on_topic = sum(
+            1 for d in db.documents() if d.topic == "Root/Alpha/Aleph"
+        )
+        assert on_topic > 150
+
+    def test_noise_docs_from_other_leaves(self, tiny_corpus):
+        spec = DatabaseSpec(
+            name="db",
+            category=("Root", "Alpha", "Aleph"),
+            num_docs=300,
+            noise_fraction=0.2,
+            doc_length_median=30,
+        )
+        db = generate_database(tiny_corpus, spec, seed=3)
+        topics = {d.topic for d in db.documents()}
+        assert len(topics) > 1
+        assert "Root/Alpha/Aleph" in topics
+
+    def test_secondary_categories_present(self, tiny_corpus):
+        spec = DatabaseSpec(
+            name="db",
+            category=("Root", "Alpha", "Aleph"),
+            num_docs=300,
+            noise_fraction=0.0,
+            doc_length_median=30,
+            secondary_categories=((("Root", "Beta", "Bet"), 0.3),),
+        )
+        db = generate_database(tiny_corpus, spec, seed=4)
+        secondary = sum(1 for d in db.documents() if d.topic == "Root/Beta/Bet")
+        assert 50 < secondary < 150  # ~30% of 300
+
+    def test_doc_ids_unique_and_dense(self, tiny_corpus):
+        spec = DatabaseSpec(
+            name="db", category=("Root", "Beta", "Bet"), num_docs=25,
+            doc_length_median=20,
+        )
+        db = generate_database(tiny_corpus, spec, seed=7)
+        ids = sorted(d.doc_id for d in db.documents())
+        assert ids == list(range(25))

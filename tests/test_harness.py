@@ -1,0 +1,114 @@
+"""Integration tests for repro.evaluation.harness (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import harness
+from repro.selection.metasearcher import SelectionStrategy
+
+
+class TestTestbedsAndCells:
+    def test_get_testbed_cached(self):
+        a = harness.get_testbed("trec4", "small")
+        b = harness.get_testbed("trec4", "small")
+        assert a is b
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            harness.get_testbed("trec99", "small")
+
+    def test_cell_construction(self, small_cell):
+        assert small_cell.dataset == "trec4"
+        assert set(small_cell.summaries) == {
+            db.name for db in small_cell.testbed.databases
+        }
+        assert set(small_cell.classifications) == set(small_cell.summaries)
+
+    def test_cell_cached(self, small_cell):
+        again = harness.get_cell("trec4", "qbs", False, scale="small")
+        assert again is small_cell
+
+    def test_exact_summaries_have_true_sizes(self, small_cell):
+        for db in small_cell.testbed.databases:
+            assert small_cell.exact_summaries[db.name].size == db.size
+
+    def test_classifications_are_valid_paths(self, small_cell):
+        hierarchy = small_cell.testbed.hierarchy
+        for path in small_cell.classifications.values():
+            assert path in hierarchy
+
+    def test_fps_cell(self, small_cell_fps):
+        assert small_cell_fps.sampler == "fps"
+        for summary in small_cell_fps.summaries.values():
+            assert summary.sample_size > 0
+
+    def test_frequency_estimation_changes_df(self):
+        raw = harness.get_cell("trec4", "qbs", False, scale="small")
+        est = harness.get_cell("trec4", "qbs", True, scale="small")
+        name = next(iter(raw.summaries))
+        raw_summary, est_summary = raw.summaries[name], est.summaries[name]
+        assert raw_summary.words() == est_summary.words()
+        diffs = sum(
+            1
+            for w in raw_summary.words()
+            if abs(raw_summary.p(w) - est_summary.p(w)) > 1e-9
+        )
+        assert diffs > 0
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValueError):
+            harness._collect_samples("trec4", "lucene", "small")
+
+
+class TestWorkloadsAndJudgments:
+    def test_workload_kinds(self):
+        assert harness.get_workload("trec4", "small").kind == "long"
+        assert harness.get_workload("trec6", "small").kind == "short"
+
+    def test_judgments_nonempty(self):
+        workload = harness.get_workload("trec4", "small")
+        judgments = harness.get_judgments("trec4", "small")
+        nonzero = sum(
+            1 for q in workload if judgments.total_relevant(q.qid) > 0
+        )
+        assert nonzero >= len(workload) // 2
+
+
+class TestExperiments:
+    def test_summary_quality_shrinkage_improves_recall(self, small_cell):
+        plain = harness.summary_quality(small_cell, shrinkage=False)
+        shrunk = harness.summary_quality(small_cell, shrinkage=True)
+        assert shrunk.weighted_recall >= plain.weighted_recall
+        assert shrunk.unweighted_recall > plain.unweighted_recall
+
+    def test_summary_quality_shrinkage_costs_little_precision(self, small_cell):
+        shrunk = harness.summary_quality(small_cell, shrinkage=True)
+        assert shrunk.weighted_precision > 0.9
+
+    def test_plain_summaries_have_perfect_precision(self, small_cell):
+        plain = harness.summary_quality(small_cell, shrinkage=False)
+        assert plain.weighted_precision == pytest.approx(1.0)
+        assert plain.unweighted_precision == pytest.approx(1.0)
+
+    def test_rk_experiment_shapes(self, small_cell):
+        curve = harness.rk_experiment(small_cell, "lm", "plain", k_max=6)
+        assert curve.shape == (6,)
+        finite = curve[np.isfinite(curve)]
+        assert np.all((finite >= 0) & (finite <= 1.0 + 1e-9))
+
+    def test_rk_shrinkage_at_least_plain_for_bgloss(self, small_cell):
+        plain = harness.rk_experiment(small_cell, "bgloss", "plain", k_max=6)
+        shrunk = harness.rk_experiment(small_cell, "bgloss", "shrinkage", k_max=6)
+        assert np.nanmean(shrunk) >= np.nanmean(plain)
+
+    def test_application_rate_bounds(self, small_cell):
+        rate = harness.shrinkage_application_rate(small_cell, "bgloss")
+        assert 0.0 <= rate <= 1.0
+
+    def test_strategies_give_valid_selection(self, small_cell):
+        query = list(harness.get_workload("trec4", "small").queries[0].terms)
+        for strategy in SelectionStrategy:
+            outcome = small_cell.metasearcher.select(
+                query, "cori", strategy, k=4
+            )
+            assert len(outcome.names) <= 4

@@ -1,0 +1,100 @@
+"""Tests for repro.selection.hierarchical ([17]'s strategy)."""
+
+import pytest
+
+from repro.core.category import CategorySummaryBuilder
+from repro.selection.bgloss import BGlossScorer
+from repro.selection.hierarchical import HierarchicalSelector
+from repro.summaries.summary import ContentSummary
+
+
+@pytest.fixture
+def setup(tiny_hierarchy):
+    summaries = {
+        "aleph1": ContentSummary(100, {"alephword": 0.5, "alphaword": 0.3}),
+        "aleph2": ContentSummary(100, {"alephword": 0.4, "alphaword": 0.2}),
+        "bet1": ContentSummary(100, {"betword": 0.6, "betaword": 0.4}),
+        "bet2": ContentSummary(100, {"betword": 0.1}),
+    }
+    classifications = {
+        "aleph1": ("Root", "Alpha", "Aleph"),
+        "aleph2": ("Root", "Alpha", "Aleph"),
+        "bet1": ("Root", "Beta", "Bet"),
+        "bet2": ("Root", "Beta", "Bet"),
+    }
+    builder = CategorySummaryBuilder(tiny_hierarchy, summaries, classifications)
+    return HierarchicalSelector(BGlossScorer(), builder, summaries), summaries
+
+
+class TestHierarchicalSelector:
+    def test_descends_to_matching_category(self, setup):
+        selector, _ = setup
+        assert selector.select(["alephword"], k=2) == ["aleph1", "aleph2"]
+
+    def test_ranks_within_category(self, setup):
+        selector, _ = setup
+        # bet1 has the higher p(betword).
+        assert selector.select(["betword"], k=2) == ["bet1", "bet2"]
+
+    def test_k_zero(self, setup):
+        selector, _ = setup
+        assert selector.select(["alephword"], k=0) == []
+
+    def test_k_larger_than_category(self, setup):
+        selector, _ = setup
+        selected = selector.select(["alephword"], k=10)
+        # Only Aleph databases contain the word; Beta's category score is
+        # at the floor, so its subtree is skipped.
+        assert selected == ["aleph1", "aleph2"]
+
+    def test_no_matching_word_selects_nothing(self, setup):
+        selector, _ = setup
+        assert selector.select(["nowhere"], k=4) == []
+
+    def test_exhausts_best_category_first(self, setup):
+        selector, _ = setup
+        # Both branches match, but Beta matches more strongly; its two
+        # databases must both precede any Alpha database (the irreversible
+        # descent the paper criticizes in Section 6.2).
+        selected = selector.select(["betword", "alephword"], k=4)
+        assert selected == []  # conjunctive bGlOSS: no db has both words
+
+    def test_cross_category_query_bias(self, tiny_hierarchy):
+        # A query matching Beta slightly and Alpha strongly: the
+        # hierarchical strategy commits to one category's databases first.
+        summaries = {
+            "aleph1": ContentSummary(100, {"shared": 0.9}),
+            "aleph2": ContentSummary(100, {"shared": 0.8}),
+            "bet1": ContentSummary(100, {"shared": 0.15}),
+        }
+        classifications = {
+            "aleph1": ("Root", "Alpha", "Aleph"),
+            "aleph2": ("Root", "Alpha", "Aleph"),
+            "bet1": ("Root", "Beta", "Bet"),
+        }
+        builder = CategorySummaryBuilder(
+            tiny_hierarchy, summaries, classifications
+        )
+        selector = HierarchicalSelector(BGlossScorer(), builder, summaries)
+        selected = selector.select(["shared"], k=3)
+        assert selected[:2] == ["aleph1", "aleph2"]
+        assert selected[2] == "bet1"
+
+    def test_databases_at_internal_nodes(self, tiny_hierarchy):
+        summaries = {
+            "at-alpha": ContentSummary(100, {"w": 0.5}),
+            "at-aleph": ContentSummary(100, {"w": 0.9}),
+        }
+        classifications = {
+            "at-alpha": ("Root", "Alpha"),
+            "at-aleph": ("Root", "Alpha", "Aleph"),
+        }
+        builder = CategorySummaryBuilder(
+            tiny_hierarchy, summaries, classifications
+        )
+        selector = HierarchicalSelector(BGlossScorer(), builder, summaries)
+        selected = selector.select(["w"], k=2)
+        # The leaf database is reached by descent; the internal-node
+        # database competes afterwards.
+        assert set(selected) == {"at-aleph", "at-alpha"}
+        assert selected[0] == "at-aleph"

@@ -1,0 +1,90 @@
+"""Tests for repro.corpus.hierarchy."""
+
+import pytest
+
+from repro.corpus.hierarchy import CategoryNode, Hierarchy, default_hierarchy
+
+
+class TestCategoryNode:
+    def test_path_of_root(self):
+        assert CategoryNode("Root").path == ("Root",)
+
+    def test_path_of_nested_node(self, tiny_hierarchy):
+        node = tiny_hierarchy.node(("Root", "Alpha", "Aleph"))
+        assert node.path == ("Root", "Alpha", "Aleph")
+
+    def test_depth(self, tiny_hierarchy):
+        assert tiny_hierarchy.root.depth == 0
+        assert tiny_hierarchy.node(("Root", "Alpha")).depth == 1
+        assert tiny_hierarchy.node(("Root", "Alpha", "Aleph")).depth == 2
+
+    def test_is_leaf(self, tiny_hierarchy):
+        assert not tiny_hierarchy.node(("Root", "Alpha")).is_leaf
+        assert tiny_hierarchy.node(("Root", "Alpha", "Aleph")).is_leaf
+
+    def test_descendants_preorder(self, tiny_hierarchy):
+        names = [n.name for n in tiny_hierarchy.root.descendants()]
+        assert names == ["Alpha", "Aleph", "Alef", "Beta", "Bet"]
+
+
+class TestHierarchy:
+    def test_rejects_non_root(self):
+        root = CategoryNode("Root")
+        child = root.add_child("X")
+        with pytest.raises(ValueError):
+            Hierarchy(child)
+
+    def test_rejects_duplicate_paths(self):
+        root = CategoryNode("Root")
+        root.add_child("X")
+        root.add_child("X")
+        with pytest.raises(ValueError):
+            Hierarchy(root)
+
+    def test_len(self, tiny_hierarchy):
+        assert len(tiny_hierarchy) == 6
+
+    def test_contains(self, tiny_hierarchy):
+        assert ("Root", "Beta", "Bet") in tiny_hierarchy
+        assert ("Root", "Gamma") not in tiny_hierarchy
+
+    def test_node_lookup_raises_for_unknown(self, tiny_hierarchy):
+        with pytest.raises(KeyError):
+            tiny_hierarchy.node(("Root", "Nope"))
+
+    def test_leaves(self, tiny_hierarchy):
+        leaf_names = {n.name for n in tiny_hierarchy.leaves()}
+        assert leaf_names == {"Aleph", "Alef", "Bet"}
+
+    def test_path_to_root_order(self, tiny_hierarchy):
+        chain = tiny_hierarchy.path_to_root(("Root", "Alpha", "Aleph"))
+        assert [n.name for n in chain] == ["Root", "Alpha", "Aleph"]
+
+    def test_max_depth(self, tiny_hierarchy):
+        assert tiny_hierarchy.max_depth == 2
+
+
+class TestDefaultHierarchy:
+    """The default scheme must match the paper's ODP subset shape."""
+
+    def test_72_nodes(self):
+        assert len(default_hierarchy()) == 72
+
+    def test_54_leaves(self):
+        assert len(default_hierarchy().leaves()) == 54
+
+    def test_4_levels(self):
+        # Root at depth 0 plus three more levels = a "4-level hierarchy".
+        assert default_hierarchy().max_depth == 3
+
+    def test_8_top_level_categories(self):
+        assert len(default_hierarchy().root.children) == 8
+
+    def test_paper_example_path_exists(self):
+        # The paper classifies the TREC database all-83 under
+        # Root -> Health -> Diseases -> AIDS.
+        assert ("Root", "Health", "Diseases", "AIDS") in default_hierarchy()
+
+    def test_unique_node_names(self):
+        names = [n.name for n in default_hierarchy().nodes()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,116 @@
+"""End-to-end integration: the full paper pipeline on a tiny corpus.
+
+Builds databases, samples them through the query interface only,
+classifies by probing, estimates sizes and frequencies, shrinks the
+summaries, and runs adaptive database selection — asserting the paper's
+headline qualitative claims at every stage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classify.prober import ProbeClassifier
+from repro.classify.rules import build_probe_rules
+from repro.core.category import CategorySummaryBuilder
+from repro.core.shrinkage import shrink_all_summaries
+from repro.corpus.queries import RelevanceJudgments, generate_workload
+from repro.evaluation.selection_quality import mean_rk_curve, rk_curve
+from repro.evaluation.summary_quality import evaluate_summary
+from repro.selection.metasearcher import Metasearcher
+from repro.summaries.frequency import build_raw_summary
+from repro.summaries.sampling import QBSConfig, QBSSampler
+from repro.summaries.size import sample_resample_size
+from repro.summaries.summary import build_exact_summary
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_testbed):
+    """Run the complete metasearcher bootstrap once."""
+    rules = build_probe_rules(
+        tiny_testbed.corpus_model, probes_per_category=5, skip_top_ranks=1
+    )
+    classifier = ProbeClassifier(rules, coverage_threshold=5)
+    sampler = QBSSampler(QBSConfig(max_sample_docs=40, give_up_after=40))
+    seed_vocabulary = tiny_testbed.corpus_model.general_words(80)
+
+    summaries, classifications = {}, {}
+    for index, db in enumerate(tiny_testbed.databases):
+        sample = sampler.sample(
+            db.engine, np.random.default_rng([41, index]), seed_vocabulary
+        )
+        size = sample_resample_size(
+            sample, db.engine, np.random.default_rng([42, index])
+        )
+        summaries[db.name] = build_raw_summary(sample, size)
+        classifications[db.name] = classifier.classify(db.engine).path
+
+    metasearcher = Metasearcher(
+        tiny_testbed.hierarchy, summaries, classifications
+    )
+    exact = {db.name: build_exact_summary(db) for db in tiny_testbed.databases}
+    return metasearcher, summaries, classifications, exact
+
+
+class TestPipeline:
+    def test_sizes_estimated_within_factor_three(self, pipeline, tiny_testbed):
+        _ms, summaries, _cls, _exact = pipeline
+        for db in tiny_testbed.databases:
+            estimate = summaries[db.name].size
+            assert db.size / 3 <= estimate <= db.size * 3
+
+    def test_sampled_summaries_incomplete(self, pipeline):
+        _ms, summaries, _cls, exact = pipeline
+        # Sparse-data problem: every sample misses words (Section 2.2).
+        for name, summary in summaries.items():
+            assert len(summary.words()) < len(exact[name].words())
+
+    def test_shrinkage_improves_mean_recall(self, pipeline):
+        ms, summaries, _cls, exact = pipeline
+        gains = []
+        for name in summaries:
+            plain = evaluate_summary(summaries[name], exact[name])
+            shrunk = evaluate_summary(ms.shrunk_summaries[name], exact[name])
+            gains.append(shrunk.unweighted_recall - plain.unweighted_recall)
+        assert np.mean(gains) > 0
+
+    def test_shrunk_summaries_cover_every_global_word(self, pipeline):
+        ms, summaries, _cls, _exact = pipeline
+        # "Every word appears with non-zero probability in every shrunk
+        # content summary" (Section 5.3).
+        union = set()
+        for summary in summaries.values():
+            union |= summary.words()
+        for shrunk in ms.shrunk_summaries.values():
+            for word in list(union)[:50]:
+                assert shrunk.p(word) > 0.0
+
+    def test_database_selection_end_to_end(self, pipeline, tiny_testbed):
+        ms, _summaries, _cls, _exact = pipeline
+        workload = generate_workload(
+            tiny_testbed, kind="short", num_queries=8, seed=77
+        )
+        judgments = RelevanceJudgments.build(tiny_testbed, workload)
+        curves = {"plain": [], "shrinkage": []}
+        for query in workload:
+            for strategy in curves:
+                outcome = ms.select(
+                    list(query.terms), "bgloss", strategy, k=4
+                )
+                curves[strategy].append(
+                    rk_curve(outcome.names, judgments.per_database(query.qid), 4)
+                )
+        plain = mean_rk_curve(curves["plain"])
+        shrunk = mean_rk_curve(curves["shrinkage"])
+        assert np.nansum(shrunk) >= np.nansum(plain)
+
+    def test_lambda_weights_paper_shape(self, pipeline):
+        ms, _summaries, _cls, _exact = pipeline
+        # Table 2 shape: the database and its most specific category carry
+        # a large share of the weight on average. (On this tiny corpus the
+        # small global vocabulary gives the Uniform/Root components more
+        # mass than on a realistic corpus, hence the softer threshold.)
+        top_two = []
+        for shrunk in ms.shrunk_summaries.values():
+            weights = list(shrunk.lambdas)
+            top_two.append(weights[-1] + weights[-2])
+        assert np.mean(top_two) > 0.4

@@ -1,0 +1,154 @@
+"""Tests for repro.index.inverted."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+
+
+def docs_from_texts(texts):
+    return [
+        Document(doc_id=i, terms=tuple(text.split())) for i, text in enumerate(texts)
+    ]
+
+
+@pytest.fixture
+def index():
+    return InvertedIndex(
+        docs_from_texts(
+            [
+                "blood hypertension heart",
+                "algorithm sorting blood",
+                "heart surgery heart",
+            ]
+        )
+    )
+
+
+class TestStatistics:
+    def test_num_docs(self, index):
+        assert index.num_docs == 3
+
+    def test_total_terms(self, index):
+        assert index.total_terms == 9
+
+    def test_vocabulary(self, index):
+        assert index.vocabulary == {
+            "blood", "hypertension", "heart", "algorithm", "sorting", "surgery",
+        }
+
+    def test_doc_frequency(self, index):
+        assert index.doc_frequency("blood") == 2
+        assert index.doc_frequency("heart") == 2
+        assert index.doc_frequency("surgery") == 1
+        assert index.doc_frequency("missing") == 0
+
+    def test_collection_frequency(self, index):
+        assert index.collection_frequency("heart") == 3
+        assert index.collection_frequency("blood") == 2
+        assert index.collection_frequency("missing") == 0
+
+    def test_doc_length(self, index):
+        assert index.doc_length(0) == 3
+
+    def test_postings(self, index):
+        assert index.postings("heart") == {0: 1, 2: 2}
+        assert index.postings("missing") == {}
+
+    def test_doc_ids(self, index):
+        assert index.doc_ids("blood") == {0, 1}
+
+
+class TestBooleanMatching:
+    def test_single_word(self, index):
+        assert index.matching_doc_ids(["blood"]) == {0, 1}
+
+    def test_conjunction(self, index):
+        assert index.matching_doc_ids(["blood", "heart"]) == {0}
+
+    def test_no_match(self, index):
+        assert index.matching_doc_ids(["blood", "surgery"]) == set()
+
+    def test_unknown_word(self, index):
+        assert index.matching_doc_ids(["nope"]) == set()
+
+    def test_empty_query_matches_nothing(self, index):
+        assert index.matching_doc_ids([]) == set()
+
+    def test_duplicate_terms_deduplicated(self, index):
+        assert index.matching_doc_ids(["blood", "blood"]) == {0, 1}
+
+    def test_match_count(self, index):
+        assert index.match_count(["heart"]) == 2
+
+
+class TestMutation:
+    def test_duplicate_doc_id_rejected(self):
+        index = InvertedIndex([Document(doc_id=1, terms=("a",))])
+        with pytest.raises(ValueError):
+            index.add(Document(doc_id=1, terms=("b",)))
+
+    def test_incremental_add(self):
+        index = InvertedIndex()
+        assert index.num_docs == 0
+        index.add(Document(doc_id=7, terms=("x", "y")))
+        assert index.num_docs == 1
+        assert index.doc_frequency("x") == 1
+
+
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcdef"), min_size=0, max_size=10),
+        min_size=0,
+        max_size=12,
+    )
+)
+def test_df_equals_docs_containing_word(doc_term_lists):
+    documents = [
+        Document(doc_id=i, terms=tuple(terms))
+        for i, terms in enumerate(doc_term_lists)
+    ]
+    index = InvertedIndex(documents)
+    for word in "abcdef":
+        expected = sum(1 for doc in documents if doc.contains(word))
+        assert index.doc_frequency(word) == expected
+
+
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcdef"), min_size=0, max_size=10),
+        min_size=0,
+        max_size=12,
+    )
+)
+def test_total_terms_is_sum_of_lengths(doc_term_lists):
+    documents = [
+        Document(doc_id=i, terms=tuple(terms))
+        for i, terms in enumerate(doc_term_lists)
+    ]
+    index = InvertedIndex(documents)
+    assert index.total_terms == sum(doc.length for doc in documents)
+
+
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=6),
+        min_size=1,
+        max_size=10,
+    ),
+    st.lists(st.sampled_from("abcd"), min_size=1, max_size=3, unique=True),
+)
+def test_conjunction_is_posting_intersection(doc_term_lists, query):
+    documents = [
+        Document(doc_id=i, terms=tuple(terms))
+        for i, terms in enumerate(doc_term_lists)
+    ]
+    index = InvertedIndex(documents)
+    expected = {
+        doc.doc_id
+        for doc in documents
+        if all(doc.contains(term) for term in query)
+    }
+    assert index.matching_doc_ids(query) == expected

@@ -1,0 +1,168 @@
+"""Tests for repro.corpus.language_model."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.language_model import (
+    CorpusModel,
+    CorpusModelConfig,
+    TopicLanguageModel,
+)
+
+
+class TestConfig:
+    def test_node_vocab_size_lookup(self):
+        config = CorpusModelConfig(node_vocab_sizes={1: 100, 2: 50})
+        assert config.node_vocab_size(1) == 100
+        assert config.node_vocab_size(2) == 50
+
+    def test_deeper_than_configured_uses_deepest(self):
+        config = CorpusModelConfig(node_vocab_sizes={1: 100, 2: 50})
+        assert config.node_vocab_size(5) == 50
+
+    def test_root_has_no_block(self):
+        with pytest.raises(ValueError):
+            CorpusModelConfig().node_vocab_size(0)
+
+
+class TestCorpusModel:
+    def test_topic_model_cached(self, tiny_corpus):
+        path = ("Root", "Alpha", "Aleph")
+        assert tiny_corpus.topic_model(path) is tiny_corpus.topic_model(path)
+
+    def test_node_block_words_rank_ordered_and_prefixed(self, tiny_corpus):
+        words = tiny_corpus.node_block_words(("Root", "Alpha"))
+        assert all(word.startswith("alphaw") for word in words)
+        assert len(words) == 50
+
+    def test_general_words(self, tiny_corpus):
+        words = tiny_corpus.general_words(10)
+        assert len(words) == 10
+        assert all(word.startswith("genw") for word in words)
+
+    def test_global_vocabulary_contains_all_blocks(self, tiny_corpus):
+        vocabulary = tiny_corpus.global_vocabulary()
+        assert any(w.startswith("genw") for w in vocabulary)
+        assert any(w.startswith("alephw") for w in vocabulary)
+        assert any(w.startswith("betw") for w in vocabulary)
+
+    def test_duplicate_slugs_rejected(self):
+        from repro.corpus.hierarchy import CategoryNode, Hierarchy
+
+        root = CategoryNode("Root")
+        root.add_child("Science")
+        root.add_child("SCIENCE")  # same slug after lowercasing
+        with pytest.raises(ValueError):
+            CorpusModel(Hierarchy(root))
+
+
+class TestTopicLanguageModel:
+    def test_blocks_include_path_and_leak(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        prefixes = [prefix for prefix, _w in model.blocks]
+        assert prefixes[0] == "gen"
+        assert "alpha" in prefixes
+        assert "aleph" in prefixes
+        assert prefixes[-1] == "leak"
+
+    def test_weights_sum_to_one(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        assert sum(w for _p, w in model.blocks) == pytest.approx(1.0)
+
+    def test_deeper_blocks_weigh_more(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        weights = dict(model.blocks)
+        assert weights["aleph"] > weights["alpha"]
+
+    def test_root_model_is_general_plus_leak(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root",))
+        prefixes = [prefix for prefix, _w in model.blocks]
+        assert prefixes == ["gen", "leak"]
+
+    def test_sample_document_terms_length(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Beta", "Bet"))
+        terms = model.sample_document_terms(np.random.default_rng(0), 200)
+        # Within-document repetition trims to at most the requested length.
+        assert 0 < len(terms) <= 200
+
+    def test_sample_zero_length(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Beta", "Bet"))
+        assert model.sample_document_terms(np.random.default_rng(0), 0) == []
+
+    def test_sampled_terms_in_vocabulary(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Alef"))
+        vocabulary = model.vocabulary()
+        terms = model.sample_document_terms(np.random.default_rng(1), 300)
+        assert set(terms) <= vocabulary
+
+    def test_repetition_creates_term_bursts(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        terms = model.sample_document_terms(np.random.default_rng(2), 400)
+        # With mean repetition > 2 the document must reuse words.
+        assert len(set(terms)) < len(terms)
+
+    def test_term_probabilities_distribution(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        probs = model.term_probabilities()
+        assert sum(probs.values()) == pytest.approx(1.0)
+        assert all(p > 0 for p in probs.values())
+
+    def test_topical_words_dominate_in_topic(self, tiny_corpus):
+        aleph = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        probs = aleph.term_probabilities()
+        top_aleph = probs["alephw00001"]
+        top_bet = probs.get("betw00001", 0.0)
+        # "Bet" words appear in Aleph documents only via leakage.
+        assert top_aleph > 5 * top_bet
+
+    def test_leakage_makes_foreign_words_possible(self, tiny_corpus):
+        aleph = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        probs = aleph.term_probabilities()
+        assert probs.get("betw00001", 0.0) > 0.0
+
+    def test_discriminative_terms_default_deepest(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        terms = model.discriminative_terms(5)
+        assert all(t.startswith("alephw") for t in terms)
+
+    def test_discriminative_terms_at_depth(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        terms = model.discriminative_terms(5, depth=1)
+        assert all(t.startswith("alphaw") for t in terms)
+
+    def test_discriminative_terms_bad_depth(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        with pytest.raises(ValueError):
+            model.discriminative_terms(5, depth=0)
+
+    def test_facet_counts(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        counts = model.facet_counts()
+        assert counts[0] == 4  # general block
+        assert counts[-1] == 0  # leak block is facet-free
+
+    def test_facet_preferences_shift_distribution(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Alpha", "Aleph"))
+        rng = np.random.default_rng(3)
+        prefs = []
+        for count in model.facet_counts():
+            if count:
+                vec = np.zeros(count)
+                vec[0] = 1.0  # commit fully to facet 0
+                prefs.append(vec)
+            else:
+                prefs.append(np.array([]))
+        a = model.sample_document_terms(np.random.default_rng(5), 500, prefs)
+        b = model.sample_document_terms(np.random.default_rng(5), 500, None)
+        # Same seed, different facet policy: different documents.
+        assert a != b
+
+    def test_determinism_same_seed(self, tiny_corpus):
+        model = tiny_corpus.topic_model(("Root", "Beta", "Bet"))
+        a = model.sample_document_terms(np.random.default_rng(9), 100)
+        b = model.sample_document_terms(np.random.default_rng(9), 100)
+        assert a == b
+
+    def test_blocks_weights_validation(self):
+        with pytest.raises(ValueError):
+            TopicLanguageModel(("Root",), [], np.array([]), None)

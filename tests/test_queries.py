@@ -1,0 +1,125 @@
+"""Tests for repro.corpus.queries."""
+
+import pytest
+
+from repro.corpus.queries import (
+    Query,
+    QueryWorkload,
+    RelevanceJudgments,
+    generate_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def long_workload(tiny_testbed):
+    return generate_workload(tiny_testbed, kind="long", num_queries=12, seed=1)
+
+
+@pytest.fixture(scope="module")
+def short_workload(tiny_testbed):
+    return generate_workload(tiny_testbed, kind="short", num_queries=12, seed=2)
+
+
+class TestGenerateWorkload:
+    def test_count(self, short_workload):
+        assert len(short_workload) == 12
+
+    def test_long_lengths(self, long_workload):
+        for query in long_workload:
+            assert 1 <= len(query) <= 34
+
+    def test_long_mean_length_regime(self, long_workload):
+        # TREC-4 queries average 16.75 words; ours should land well above
+        # the short regime even after deduplication.
+        assert long_workload.mean_length > 8
+
+    def test_short_lengths(self, short_workload):
+        for query in short_workload:
+            assert 1 <= len(query) <= 5
+
+    def test_short_mean_length_regime(self, short_workload):
+        assert short_workload.mean_length < 5
+
+    def test_topics_are_represented_categories(self, short_workload, tiny_testbed):
+        represented = {db.category for db in tiny_testbed.databases}
+        for query in short_workload:
+            assert query.topic in represented
+
+    def test_key_term_is_topical_and_in_query(self, short_workload, tiny_testbed):
+        for query in short_workload:
+            assert query.key_term in query.terms
+            assert query.key_term in set(
+                tiny_testbed.corpus_model.node_block_words(query.topic)
+            )
+
+    def test_key_term_is_not_head_word(self, short_workload, tiny_testbed):
+        for query in short_workload:
+            words = tiny_testbed.corpus_model.node_block_words(query.topic)
+            assert words.index(query.key_term) >= int(0.2 * len(words))
+
+    def test_topic_terms_subset_of_terms(self, long_workload):
+        for query in long_workload:
+            assert set(query.topic_terms) <= set(query.terms)
+
+    def test_no_duplicate_terms(self, long_workload):
+        for query in long_workload:
+            assert len(query.terms) == len(set(query.terms))
+
+    def test_deterministic(self, tiny_testbed):
+        a = generate_workload(tiny_testbed, kind="short", num_queries=5, seed=9)
+        b = generate_workload(tiny_testbed, kind="short", num_queries=5, seed=9)
+        assert [q.terms for q in a] == [q.terms for q in b]
+
+    def test_unknown_kind_rejected(self, tiny_testbed):
+        with pytest.raises(ValueError):
+            generate_workload(tiny_testbed, kind="medium")
+
+    def test_workload_name(self, short_workload):
+        assert short_workload.kind == "short"
+        assert short_workload.name.endswith("short")
+
+
+class TestRelevanceJudgments:
+    def test_relevant_docs_contain_key_term(self, tiny_testbed, short_workload):
+        judgments = RelevanceJudgments.build(tiny_testbed, short_workload)
+        for query in short_workload:
+            for db_name, count in judgments.per_database(query.qid).items():
+                db = tiny_testbed.database(db_name)
+                docs_with_key = db.engine.index.doc_frequency(query.key_term)
+                assert 0 < count <= docs_with_key
+
+    def test_relevance_concentrates_on_topic(self, tiny_testbed, short_workload):
+        judgments = RelevanceJudgments.build(tiny_testbed, short_workload)
+        # Aggregate: databases whose dominant topic matches the query hold
+        # the majority of relevant documents.
+        on_topic = 0
+        off_topic = 0
+        for query in short_workload:
+            for db_name, count in judgments.per_database(query.qid).items():
+                if tiny_testbed.database(db_name).category == query.topic:
+                    on_topic += count
+                else:
+                    off_topic += count
+        assert on_topic > off_topic
+
+    def test_total_relevant(self, tiny_testbed, short_workload):
+        judgments = RelevanceJudgments.build(tiny_testbed, short_workload)
+        for query in short_workload:
+            assert judgments.total_relevant(query.qid) == sum(
+                judgments.per_database(query.qid).values()
+            )
+
+    def test_relevant_count_zero_for_unknown(self, tiny_testbed, short_workload):
+        judgments = RelevanceJudgments.build(tiny_testbed, short_workload)
+        assert judgments.relevant_count(short_workload.queries[0].qid, "nope") == 0
+        assert judgments.relevant_count(9999, "nope") == 0
+
+    def test_long_queries_demand_more_evidence(self, tiny_testbed):
+        long_wl = generate_workload(tiny_testbed, kind="long", num_queries=12, seed=4)
+        judgments = RelevanceJudgments.build(tiny_testbed, long_wl)
+        # Long-query relevance requires the key term plus another topical
+        # term, so counts can never exceed the key term's df.
+        for query in long_wl:
+            for db_name, count in judgments.per_database(query.qid).items():
+                db = tiny_testbed.database(db_name)
+                assert count <= db.engine.index.doc_frequency(query.key_term)

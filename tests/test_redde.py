@@ -1,0 +1,114 @@
+"""Tests for repro.selection.redde (ReDDE, [27])."""
+
+import pytest
+
+from repro.index.document import Document
+from repro.selection.redde import ReddeSelector
+from repro.summaries.sampling import DocumentSample
+
+
+def make_sample(texts, start_id=0):
+    return DocumentSample(
+        documents=[
+            Document(doc_id=start_id + i, terms=tuple(t.split()))
+            for i, t in enumerate(texts)
+        ]
+    )
+
+
+@pytest.fixture
+def selector():
+    samples = {
+        "medical": make_sample(
+            ["hemophilia blood clot", "blood pressure", "hemophilia treatment"]
+        ),
+        "sports": make_sample(["soccer goal", "tennis match", "goal keeper"]),
+        "tiny": make_sample(["hemophilia note"]),
+    }
+    sizes = {"medical": 9000.0, "sports": 3000.0, "tiny": 10.0}
+    return ReddeSelector(samples, sizes, ratio=0.05)
+
+
+class TestConstruction:
+    def test_pooled_count(self, selector):
+        assert selector.pooled_documents == 7
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            ReddeSelector({}, {}, ratio=0.0)
+
+    def test_missing_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ReddeSelector({"a": make_sample(["x"])}, {})
+
+    def test_empty_selector(self):
+        selector = ReddeSelector({}, {})
+        assert selector.estimate_relevant(["x"]) == {}
+        assert selector.select(["x"], k=3) == []
+
+    def test_empty_sample_skipped(self):
+        selector = ReddeSelector(
+            {"empty": DocumentSample(), "full": make_sample(["word here"])},
+            {"empty": 100.0, "full": 50.0},
+        )
+        assert selector.pooled_documents == 1
+
+
+class TestEstimation:
+    def test_weights_scale_with_database_size(self, selector):
+        estimates = selector.estimate_relevant(["hemophilia"])
+        # medical: 2 of 3 sampled docs match, each representing 3000 docs.
+        # tiny: 1 of 1 matches, representing 10 docs.
+        assert estimates.get("medical", 0) > estimates.get("tiny", 0)
+        assert "sports" not in estimates
+
+    def test_budget_truncates_walk(self):
+        samples = {
+            "a": make_sample(["common word"] * 1, start_id=0),
+            "b": make_sample(["common term"], start_id=100),
+        }
+        sizes = {"a": 1_000_000.0, "b": 100.0}
+        selector = ReddeSelector(samples, sizes, ratio=0.001)
+        estimates = selector.estimate_relevant(["common"])
+        # The first matching document already exceeds the budget; the walk
+        # stops before attributing mass to both databases.
+        assert len(estimates) == 1
+
+    def test_no_match_returns_empty(self, selector):
+        assert selector.estimate_relevant(["zzz"]) == {}
+
+
+class TestSelection:
+    def test_ranking_by_estimated_relevance(self, selector):
+        assert selector.select(["hemophilia"], k=2)[0] == "medical"
+
+    def test_k_zero(self, selector):
+        assert selector.select(["hemophilia"], k=0) == []
+
+    def test_topical_query_finds_topical_database(self, selector):
+        assert selector.select(["soccer", "goal"], k=1) == ["sports"]
+
+    def test_integration_with_harness_samples(self, tiny_testbed, tiny_summaries):
+        import numpy as np
+
+        from repro.summaries.sampling import QBSConfig, QBSSampler
+
+        sampler = QBSSampler(QBSConfig(max_sample_docs=40, give_up_after=40))
+        seed_vocabulary = tiny_testbed.corpus_model.general_words(80)
+        samples, sizes = {}, {}
+        for index, db in enumerate(tiny_testbed.databases):
+            samples[db.name] = sampler.sample(
+                db.engine, np.random.default_rng([99, index]), seed_vocabulary
+            )
+            sizes[db.name] = float(db.size)
+        selector = ReddeSelector(samples, sizes, ratio=0.01)
+        leaf = tiny_testbed.databases[0].category
+        query = tiny_testbed.corpus_model.node_block_words(leaf)[:2]
+        selected = selector.select(query, k=2)
+        assert selected
+        on_topic = [
+            db.name for db in tiny_testbed.databases if db.category == leaf
+        ]
+        # At least one of the top choices is a database of the query's
+        # topic (other databases can surface via noise documents).
+        assert set(selected) & set(on_topic)

@@ -1,0 +1,66 @@
+"""Tests for repro.evaluation.reporting."""
+
+import numpy as np
+
+from repro.evaluation.reporting import (
+    format_application_table,
+    format_lambda_table,
+    format_quality_table,
+    format_rk_series,
+)
+
+
+class TestQualityTable:
+    def test_contains_all_rows(self):
+        text = format_quality_table(
+            "Table 4: weighted recall",
+            [
+                ("Web", "qbs", False, 0.962, 0.875),
+                ("TREC4", "fps", True, 0.983, 0.972),
+            ],
+        )
+        assert "Table 4" in text
+        assert "Web" in text and "TREC4" in text
+        assert "QBS" in text and "FPS" in text
+        assert "0.962" in text and "0.972" in text
+
+    def test_freq_est_column(self):
+        text = format_quality_table(
+            "t", [("Web", "qbs", True, 1.0, 0.5)]
+        )
+        assert "Yes" in text
+
+
+class TestLambdaTable:
+    def test_lists_components(self):
+        text = format_lambda_table(
+            "Table 2",
+            {"AIDS.org": {"Uniform": 0.075, "Root": 0.026, "AIDS.org": 0.421}},
+        )
+        assert "AIDS.org" in text
+        assert "Uniform" in text
+        assert "0.421" in text
+
+
+class TestRkSeries:
+    def test_header_and_rows(self):
+        text = format_rk_series(
+            "Figure 4",
+            {"Plain": np.array([0.5, 0.6]), "Shrinkage": np.array([0.7, 0.8])},
+        )
+        assert "Figure 4" in text
+        assert "Plain" in text and "Shrinkage" in text
+        assert "0.700" in text
+
+    def test_nan_rendered(self):
+        text = format_rk_series("f", {"x": np.array([np.nan])})
+        assert "nan" in text
+
+
+class TestApplicationTable:
+    def test_percentage_formatting(self):
+        text = format_application_table(
+            "Table 10", [("TREC4", "qbs", "bGlOSS", 0.7812)]
+        )
+        assert "78.12%" in text
+        assert "bGlOSS" in text

@@ -1,0 +1,122 @@
+"""Tests for repro.summaries.sampling (QBS)."""
+
+import numpy as np
+import pytest
+
+from repro.index.document import Document
+from repro.index.engine import SearchEngine
+from repro.summaries.sampling import DocumentSample, QBSConfig, QBSSampler
+
+
+def make_engine(num_docs=50, vocab=20, seed=0):
+    rng = np.random.default_rng(seed)
+    documents = []
+    for doc_id in range(num_docs):
+        terms = tuple(f"w{int(i)}" for i in rng.integers(vocab, size=12))
+        documents.append(Document(doc_id=doc_id, terms=terms))
+    return SearchEngine(documents)
+
+
+class TestDocumentSample:
+    def test_size_and_ids(self):
+        sample = DocumentSample(
+            documents=[Document(doc_id=3, terms=("a",))], num_queries=1
+        )
+        assert sample.size == 1
+        assert sample.seen_doc_ids() == {3}
+
+    def test_vocabulary(self):
+        sample = DocumentSample(
+            documents=[
+                Document(doc_id=0, terms=("a", "b")),
+                Document(doc_id=1, terms=("b", "c")),
+            ]
+        )
+        assert sample.vocabulary() == {"a", "b", "c"}
+
+
+class TestQBSSampler:
+    def test_requires_seed_vocabulary(self):
+        sampler = QBSSampler()
+        with pytest.raises(ValueError):
+            sampler.sample(make_engine(), np.random.default_rng(0), [])
+
+    def test_respects_max_sample_docs(self):
+        sampler = QBSSampler(QBSConfig(max_sample_docs=10))
+        sample = sampler.sample(
+            make_engine(100), np.random.default_rng(0), ["w0", "w1", "w2"]
+        )
+        assert sample.size <= 10
+
+    def test_documents_unique(self):
+        sampler = QBSSampler(QBSConfig(max_sample_docs=30))
+        sample = sampler.sample(
+            make_engine(60), np.random.default_rng(1), ["w0", "w1"]
+        )
+        ids = [doc.doc_id for doc in sample.documents]
+        assert len(ids) == len(set(ids))
+
+    def test_match_counts_recorded_and_correct(self):
+        engine = make_engine(40)
+        sampler = QBSSampler(QBSConfig(max_sample_docs=20))
+        sample = sampler.sample(engine, np.random.default_rng(2), ["w0"])
+        assert sample.match_counts
+        for word, count in sample.match_counts.items():
+            assert count == engine.match_count([word])
+
+    def test_gives_up_when_seed_words_absent(self):
+        engine = make_engine(10)
+        sampler = QBSSampler(QBSConfig(max_sample_docs=10))
+        sample = sampler.sample(
+            engine, np.random.default_rng(3), ["zzz", "yyy", "xxx"]
+        )
+        assert sample.size == 0
+        assert sample.num_queries == 3
+
+    def test_gives_up_after_consecutive_failures(self):
+        # One real word, then nothing new is retrievable.
+        documents = [Document(doc_id=0, terms=("solo",))]
+        engine = SearchEngine(documents)
+        sampler = QBSSampler(QBSConfig(max_sample_docs=5, give_up_after=3))
+        sample = sampler.sample(engine, np.random.default_rng(4), ["solo"])
+        assert sample.size == 1
+
+    def test_docs_per_query_limit(self):
+        # Every document contains the seed word, so one query returns
+        # exactly docs_per_query documents.
+        documents = [
+            Document(doc_id=i, terms=("common", f"w{i}")) for i in range(20)
+        ]
+        engine = SearchEngine(documents)
+        sampler = QBSSampler(
+            QBSConfig(max_sample_docs=100, docs_per_query=4, give_up_after=2)
+        )
+        sample = sampler.sample(engine, np.random.default_rng(5), ["common"])
+        # First query returns 4; later queries use words from those docs.
+        assert sample.size >= 4
+
+    def test_deterministic_given_rng(self):
+        engine = make_engine(80, seed=7)
+        sampler = QBSSampler(QBSConfig(max_sample_docs=25))
+        a = sampler.sample(engine, np.random.default_rng(6), ["w0", "w1"])
+        b = sampler.sample(engine, np.random.default_rng(6), ["w0", "w1"])
+        assert [d.doc_id for d in a.documents] == [d.doc_id for d in b.documents]
+
+    def test_max_queries_bound(self):
+        engine = make_engine(200, vocab=150, seed=8)
+        sampler = QBSSampler(
+            QBSConfig(max_sample_docs=1000, max_queries=10, give_up_after=1000)
+        )
+        sample = sampler.sample(engine, np.random.default_rng(7), ["w0"])
+        assert sample.num_queries <= 10
+
+    def test_sample_covers_multiple_docs(self, tiny_testbed):
+        db = tiny_testbed.databases[0]
+        sampler = QBSSampler(QBSConfig(max_sample_docs=30, give_up_after=50))
+        seed_vocabulary = tiny_testbed.corpus_model.general_words(50)
+        sample = sampler.sample(
+            db.engine, np.random.default_rng(8), seed_vocabulary
+        )
+        assert sample.size >= 20
+        # Samples must be a strict subset of the database.
+        assert sample.seen_doc_ids() <= {d.doc_id for d in db.documents()}

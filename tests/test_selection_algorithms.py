@@ -1,0 +1,233 @@
+"""Tests for bGlOSS, CORI, LM and the shared scoring protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.selection.base import rank_databases, select_databases
+from repro.selection.bgloss import BGlossScorer
+from repro.selection.cori import CoriScorer
+from repro.selection.lm import LanguageModelScorer
+from repro.summaries.summary import ContentSummary
+
+
+@pytest.fixture
+def summaries():
+    """The paper's Table 1: a CS database and a Health database."""
+    return {
+        "cs": ContentSummary(
+            51_500,
+            {"algorithm": 0.14, "blood": 1.9e-5, "hypertension": 3.8e-5},
+        ),
+        "health": ContentSummary(
+            25_730,
+            {"algorithm": 2e-4, "blood": 0.42, "hypertension": 0.32},
+        ),
+    }
+
+
+class TestBGloss:
+    def test_example_two(self, summaries):
+        """Example 2: D2 is the promising database for [blood hypertension]."""
+        ranking = rank_databases(
+            BGlossScorer(), ["blood", "hypertension"], summaries
+        )
+        assert ranking[0].name == "health"
+
+    def test_score_formula(self, summaries):
+        scorer = BGlossScorer()
+        score = scorer.score(["blood", "hypertension"], summaries["health"])
+        assert score == pytest.approx(25_730 * 0.42 * 0.32)
+
+    def test_missing_word_zeroes_score(self, summaries):
+        scorer = BGlossScorer()
+        assert scorer.score(["unknown"], summaries["cs"]) == 0.0
+
+    def test_empty_query_scores_size(self, summaries):
+        scorer = BGlossScorer()
+        assert scorer.score([], summaries["cs"]) == 51_500
+
+    def test_floor_is_zero(self, summaries):
+        scorer = BGlossScorer()
+        assert scorer.floor_score(["blood"], summaries["cs"]) == 0.0
+
+    def test_combine_matches_score(self, summaries):
+        scorer = BGlossScorer()
+        summary = summaries["health"]
+        word_scores = [summary.p("blood"), summary.p("hypertension")]
+        assert scorer.combine(word_scores, summary) == pytest.approx(
+            scorer.score(["blood", "hypertension"], summary)
+        )
+
+    def test_word_score_vector(self, summaries):
+        scorer = BGlossScorer()
+        probs = np.array([0.1, 0.2])
+        assert np.allclose(
+            scorer.word_score_vector(probs, summaries["cs"], "x"), probs
+        )
+
+
+class TestCori:
+    def make_prepared(self, summaries):
+        scorer = CoriScorer()
+        scorer.prepare(summaries)
+        return scorer
+
+    def test_prefers_health_for_medical_query(self, summaries):
+        ranking = rank_databases(
+            CoriScorer(), ["blood", "hypertension"], summaries
+        )
+        assert ranking[0].name == "health"
+
+    def test_score_in_belief_range(self, summaries):
+        scorer = self.make_prepared(summaries)
+        for summary in summaries.values():
+            score = scorer.score(["blood", "algorithm"], summary)
+            assert 0.0 <= score <= 1.0
+
+    def test_floor_is_04(self, summaries):
+        scorer = self.make_prepared(summaries)
+        assert scorer.floor_score(["blood"], summaries["cs"]) == pytest.approx(0.4)
+
+    def test_requires_prepare(self, summaries):
+        scorer = CoriScorer()
+        with pytest.raises(RuntimeError):
+            scorer.word_score(0.5, summaries["cs"], "blood")
+
+    def test_idf_component_monotone_in_cf(self, summaries):
+        # A word in fewer databases has a larger I, hence a larger score
+        # at equal T.
+        scorer = self.make_prepared(
+            {
+                "a": ContentSummary(100, {"everywhere": 0.5, "rare": 0.5}),
+                "b": ContentSummary(100, {"everywhere": 0.5}),
+                "c": ContentSummary(100, {"everywhere": 0.5}),
+            }
+        )
+        summary = ContentSummary(100, {"everywhere": 0.5, "rare": 0.5})
+        assert scorer.word_score(0.5, summary, "rare") > scorer.word_score(
+            0.5, summary, "everywhere"
+        )
+
+    def test_more_frequent_word_scores_higher(self, summaries):
+        scorer = self.make_prepared(summaries)
+        summary = summaries["health"]
+        assert scorer.word_score(0.42, summary, "blood") > scorer.word_score(
+            2e-4, summary, "blood"
+        )
+
+    def test_word_score_vector_matches_scalar(self, summaries):
+        scorer = self.make_prepared(summaries)
+        summary = summaries["health"]
+        probs = np.array([0.0, 0.1, 0.42])
+        vector = scorer.word_score_vector(probs, summary, "blood")
+        for probability, value in zip(probs, vector):
+            assert value == pytest.approx(
+                scorer.word_score(float(probability), summary, "blood")
+            )
+
+    def test_combine_averages(self, summaries):
+        scorer = self.make_prepared(summaries)
+        assert scorer.combine([0.4, 0.8], summaries["cs"]) == pytest.approx(0.6)
+
+    def test_empty_query(self, summaries):
+        scorer = self.make_prepared(summaries)
+        assert scorer.score([], summaries["cs"]) == 0.0
+
+    def test_shrunk_summary_presence_uses_round_rule(self):
+        from repro.core.shrinkage import ShrunkSummary
+
+        shrunk = ShrunkSummary(
+            size=100,
+            df_probs={"kept": 0.02, "phantom": 0.001},
+            tf_probs={"kept": 0.9, "phantom": 0.1},
+            lambdas=(0.1, 0.9),
+            tf_lambdas=(0.1, 0.9),
+            component_names=("Uniform", "db"),
+            uniform_probability=0.001,
+            base=ContentSummary(100, {"kept": 0.02}),
+        )
+        scorer = CoriScorer()
+        scorer.prepare({"d": shrunk})
+        # cf counts only words passing round(|D| p) >= 1.
+        assert scorer._cf.get("kept") == 1
+        assert "phantom" not in scorer._cf
+
+
+class TestLanguageModel:
+    def test_smoothing_with_global(self):
+        scorer = LanguageModelScorer({"blood": 0.1}, smoothing_lambda=0.5)
+        summary = ContentSummary(10, {"blood": 0.4}, {"blood": 0.4})
+        assert scorer.score(["blood"], summary) == pytest.approx(
+            0.5 * 0.4 + 0.5 * 0.1
+        )
+
+    def test_missing_word_backs_off_to_global(self):
+        scorer = LanguageModelScorer({"blood": 0.1})
+        summary = ContentSummary(10, {}, {})
+        assert scorer.score(["blood"], summary) == pytest.approx(0.05)
+
+    def test_product_over_words(self):
+        scorer = LanguageModelScorer({"a": 0.2, "b": 0.4}, smoothing_lambda=0.5)
+        summary = ContentSummary(10, {"a": 0.5}, {"a": 0.5, "b": 0.0})
+        expected = (0.5 * 0.5 + 0.5 * 0.2) * (0.5 * 0.0 + 0.5 * 0.4)
+        assert scorer.score(["a", "b"], summary) == pytest.approx(expected)
+
+    def test_uses_tf_regime(self):
+        scorer = LanguageModelScorer({})
+        summary = ContentSummary(10, {"a": 1.0}, {"a": 0.25, "b": 0.75})
+        assert scorer.score(["a"], summary) == pytest.approx(0.5 * 0.25)
+
+    def test_floor_uses_global_only(self):
+        scorer = LanguageModelScorer({"a": 0.2})
+        summary = ContentSummary(10, {"a": 0.9}, {"a": 0.9})
+        assert scorer.floor_score(["a"], summary) == pytest.approx(0.1)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            LanguageModelScorer({}, smoothing_lambda=1.5)
+
+    def test_set_global_probabilities(self):
+        scorer = LanguageModelScorer({})
+        scorer.set_global_probabilities({"x": 0.3})
+        assert scorer.global_probability("x") == pytest.approx(0.3)
+
+
+class TestRanking:
+    def test_ranking_sorted_descending(self, summaries):
+        ranking = rank_databases(BGlossScorer(), ["blood"], summaries)
+        scores = [entry.score for entry in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ties_break_on_name(self):
+        summaries = {
+            "b": ContentSummary(10, {"w": 0.5}),
+            "a": ContentSummary(10, {"w": 0.5}),
+        }
+        ranking = rank_databases(BGlossScorer(), ["w"], summaries)
+        assert [e.name for e in ranking] == ["a", "b"]
+
+    def test_floor_databases_marked_unselected(self, summaries):
+        ranking = rank_databases(BGlossScorer(), ["unknownword"], summaries)
+        assert all(not entry.selected for entry in ranking)
+
+    def test_tiny_positive_scores_still_selected(self):
+        # Long multiplicative queries produce astronomically small scores;
+        # they are still strictly above the zero floor.
+        summary = ContentSummary(10, {f"w{i}": 1e-4 for i in range(20)})
+        ranking = rank_databases(
+            BGlossScorer(), [f"w{i}" for i in range(20)], {"d": summary}
+        )
+        assert ranking[0].selected
+        assert ranking[0].score > 0
+
+    def test_select_databases_caps_k(self, summaries):
+        selected = select_databases(BGlossScorer(), ["blood"], summaries, k=1)
+        assert selected == ["health"]
+
+    def test_select_excludes_floor(self, summaries):
+        selected = select_databases(
+            BGlossScorer(), ["notinanydb"], summaries, k=5
+        )
+        assert selected == []

@@ -1,0 +1,82 @@
+"""Tests for repro.evaluation.selection_quality (the Rk metric)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.selection_quality import mean_rk_curve, rk_curve
+
+RELEVANT = {"d1": 10, "d2": 5, "d3": 1}
+
+
+class TestRkCurve:
+    def test_perfect_ranking(self):
+        curve = rk_curve(["d1", "d2", "d3"], RELEVANT, k_max=3)
+        assert curve == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_reversed_ranking(self):
+        curve = rk_curve(["d3", "d2", "d1"], RELEVANT, k_max=3)
+        assert curve[0] == pytest.approx(1 / 10)
+        assert curve[1] == pytest.approx(6 / 15)
+        assert curve[2] == pytest.approx(1.0)
+
+    def test_irrelevant_choice_scores_zero(self):
+        curve = rk_curve(["nope"], RELEVANT, k_max=1)
+        assert curve[0] == pytest.approx(0.0)
+
+    def test_fewer_selected_than_k(self):
+        # The default-score rule can select fewer than k databases; the
+        # remaining slots contribute nothing.
+        curve = rk_curve(["d1"], RELEVANT, k_max=3)
+        assert curve[0] == pytest.approx(1.0)
+        assert curve[1] == pytest.approx(10 / 15)
+        assert curve[2] == pytest.approx(10 / 16)
+
+    def test_empty_selection(self):
+        curve = rk_curve([], RELEVANT, k_max=2)
+        assert curve == pytest.approx([0.0, 0.0])
+
+    def test_no_relevant_documents_yields_nan(self):
+        curve = rk_curve(["d1"], {}, k_max=2)
+        assert np.isnan(curve).all()
+
+    def test_k_beyond_relevant_databases(self):
+        curve = rk_curve(["d1", "d2", "d3", "x", "y"], RELEVANT, k_max=5)
+        # Once every relevant database is taken, Rk stays at 1.
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            rk_curve(["d1"], RELEVANT, k_max=0)
+
+    def test_monotone_cumulative_numerator(self):
+        curve = rk_curve(["d2", "d1"], RELEVANT, k_max=3)
+        # A(q, D, k) grows with k, the perfect baseline too; the ratio may
+        # wiggle but must stay within [0, 1].
+        assert np.all((curve >= 0) & (curve <= 1.0 + 1e-12))
+
+    @given(
+        st.lists(st.sampled_from(["d1", "d2", "d3", "x"]), max_size=4, unique=True),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_rk_bounded(self, selected, k_max):
+        curve = rk_curve(selected, RELEVANT, k_max=k_max)
+        finite = curve[np.isfinite(curve)]
+        assert np.all((finite >= 0.0) & (finite <= 1.0 + 1e-12))
+
+
+class TestMeanRkCurve:
+    def test_averages_pointwise(self):
+        a = np.array([1.0, 0.5])
+        b = np.array([0.0, 0.5])
+        assert mean_rk_curve([a, b]) == pytest.approx([0.5, 0.5])
+
+    def test_ignores_nan_queries(self):
+        a = np.array([1.0, 1.0])
+        b = np.array([np.nan, np.nan])
+        assert mean_rk_curve([a, b]) == pytest.approx([1.0, 1.0])
+
+    def test_requires_curves(self):
+        with pytest.raises(ValueError):
+            mean_rk_curve([])

@@ -1,0 +1,209 @@
+"""Tests for repro.core.shrinkage (Definition 4, Figure 2 EM)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.category import CategorySummaryBuilder
+from repro.core.shrinkage import (
+    ShrinkageConfig,
+    _run_em,
+    shrink_all_summaries,
+    shrink_database_summary,
+)
+from repro.summaries.summary import ContentSummary
+
+
+@pytest.fixture
+def builder(tiny_hierarchy):
+    summaries = {
+        "d1": ContentSummary(200, {"shared": 0.4, "mine": 0.2}),
+        "d2": ContentSummary(200, {"shared": 0.5, "sibling": 0.3}),
+        "d3": ContentSummary(100, {"faraway": 0.6}),
+    }
+    classifications = {
+        "d1": ("Root", "Alpha", "Aleph"),
+        "d2": ("Root", "Alpha", "Aleph"),
+        "d3": ("Root", "Beta", "Bet"),
+    }
+    return CategorySummaryBuilder(tiny_hierarchy, summaries, classifications), summaries
+
+
+class TestRunEM:
+    def test_lambdas_sum_to_one(self):
+        lambdas = _run_em(
+            {"a": 0.5, "b": 0.1},
+            [{"a": 0.3, "c": 0.2}],
+            uniform_probability=0.01,
+            config=ShrinkageConfig(),
+        )
+        assert sum(lambdas) == pytest.approx(1.0)
+        assert len(lambdas) == 3  # uniform + one category + database
+
+    def test_lambdas_nonnegative(self):
+        lambdas = _run_em(
+            {"a": 0.5},
+            [{"a": 0.3}, {"b": 0.9}],
+            uniform_probability=0.01,
+            config=ShrinkageConfig(),
+        )
+        assert all(l >= 0 for l in lambdas)
+
+    def test_empty_summary_gives_uniform_lambdas(self):
+        lambdas = _run_em({}, [{"a": 1.0}], 0.01, ShrinkageConfig())
+        assert lambdas == pytest.approx([1 / 3] * 3)
+
+    def test_useless_category_gets_no_weight(self):
+        # The category shares no word with the database, so its likelihood
+        # contribution is zero on every summary word.
+        lambdas = _run_em(
+            {"a": 0.5, "b": 0.3},
+            [{"zzz": 0.9}],
+            uniform_probability=0.001,
+            config=ShrinkageConfig(),
+        )
+        assert lambdas[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_identical_components_share_weight(self):
+        probs = {"a": 0.5, "b": 0.3}
+        lambdas = _run_em(
+            probs, [dict(probs)], uniform_probability=0.0, config=ShrinkageConfig()
+        )
+        # Database and category are indistinguishable: EM keeps them equal.
+        assert lambdas[1] == pytest.approx(lambdas[2], abs=1e-6)
+
+    def test_loo_shifts_weight_to_category(self):
+        db = {"common": 0.5, "single": 0.05}
+        category = {"common": 0.5, "single": 0.30}
+        without_loo = _run_em(db, [category], 0.0, ShrinkageConfig())
+        with_loo = _run_em(
+            db, [category], 0.0, ShrinkageConfig(), db_loo_probs={
+                "common": 0.45, "single": 0.0,
+            },
+        )
+        assert with_loo[1] > without_loo[1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdef"),
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=1,
+            max_size=6,
+        ),
+        st.dictionaries(
+            st.sampled_from("abcdefgh"),
+            st.floats(min_value=0.0, max_value=1.0),
+            max_size=8,
+        ),
+        st.floats(min_value=0.0, max_value=0.1),
+    )
+    def test_em_always_returns_distribution(self, db_probs, cat_probs, uniform):
+        lambdas = _run_em(db_probs, [cat_probs], uniform, ShrinkageConfig())
+        assert sum(lambdas) == pytest.approx(1.0)
+        assert all(0.0 <= l <= 1.0 + 1e-9 for l in lambdas)
+
+
+class TestShrinkDatabaseSummary:
+    def test_component_names(self, builder):
+        b, summaries = builder
+        shrunk = shrink_database_summary("d1", summaries["d1"], b)
+        assert shrunk.component_names == (
+            "Uniform",
+            "Root",
+            "Alpha",
+            "Aleph",
+            "d1",
+        )
+
+    def test_lambdas_sum_to_one(self, builder):
+        b, summaries = builder
+        shrunk = shrink_database_summary("d1", summaries["d1"], b)
+        assert sum(shrunk.lambdas) == pytest.approx(1.0)
+        assert sum(shrunk.tf_lambdas) == pytest.approx(1.0)
+
+    def test_shrunk_vocabulary_is_union(self, builder):
+        b, summaries = builder
+        shrunk = shrink_database_summary("d1", summaries["d1"], b)
+        # The sibling's word and the faraway database's word both enter
+        # (through Aleph-exclusive and Root-exclusive respectively).
+        assert "sibling" in shrunk.words()
+        assert "faraway" in shrunk.words()
+        assert "mine" in shrunk.words()
+
+    def test_size_preserved(self, builder):
+        b, summaries = builder
+        shrunk = shrink_database_summary("d1", summaries["d1"], b)
+        assert shrunk.size == summaries["d1"].size
+
+    def test_mixture_equation(self, builder):
+        b, summaries = builder
+        shrunk = shrink_database_summary("d1", summaries["d1"], b)
+        lambdas = shrunk.lambdas
+        path = dict(b.exclusive_path_summaries("d1"))
+        uniform = b.uniform_probability()
+        for word in ("shared", "mine", "sibling"):
+            expected = lambdas[0] * uniform
+            expected += lambdas[1] * path[("Root",)].p(word)
+            expected += lambdas[2] * path[("Root", "Alpha")].p(word)
+            expected += lambdas[3] * path[("Root", "Alpha", "Aleph")].p(word)
+            expected += lambdas[4] * summaries["d1"].p(word)
+            assert shrunk.p(word) == pytest.approx(min(expected, 1.0))
+
+    def test_unknown_word_gets_uniform_floor(self, builder):
+        b, summaries = builder
+        shrunk = shrink_database_summary("d1", summaries["d1"], b)
+        floor = shrunk.lambdas[0] * shrunk.uniform_probability
+        assert shrunk.p("neverseen") == pytest.approx(floor)
+        assert shrunk.p("neverseen") > 0.0
+
+    def test_mixture_weights_accessor(self, builder):
+        b, summaries = builder
+        shrunk = shrink_database_summary("d1", summaries["d1"], b)
+        weights = shrunk.mixture_weights()
+        assert set(weights) == set(shrunk.component_names)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_probabilities_bounded(self, builder):
+        b, summaries = builder
+        shrunk = shrink_database_summary("d1", summaries["d1"], b)
+        for _word, p in shrunk.df_items():
+            assert 0.0 <= p <= 1.0
+
+    def test_base_reference_kept(self, builder):
+        b, summaries = builder
+        shrunk = shrink_database_summary("d1", summaries["d1"], b)
+        assert shrunk.base is summaries["d1"]
+
+
+class TestShrinkAll:
+    def test_every_database_shrunk(self, builder):
+        b, summaries = builder
+        shrunk = shrink_all_summaries(b, summaries)
+        assert set(shrunk) == set(summaries)
+
+    def test_integration_with_sampled_summaries(self, tiny_testbed, tiny_summaries):
+        summaries, classifications = tiny_summaries
+        b = CategorySummaryBuilder(
+            tiny_testbed.hierarchy, summaries, classifications
+        )
+        shrunk = shrink_all_summaries(b, summaries)
+        for name, summary in shrunk.items():
+            assert sum(summary.lambdas) == pytest.approx(1.0)
+            # Shrinkage enlarges vocabulary, never shrinks it.
+            assert summaries[name].words() <= summary.words()
+
+    def test_recovers_missing_sibling_words(self, tiny_testbed, tiny_summaries):
+        summaries, classifications = tiny_summaries
+        b = CategorySummaryBuilder(
+            tiny_testbed.hierarchy, summaries, classifications
+        )
+        shrunk = shrink_all_summaries(b, summaries)
+        recovered_total = 0
+        for db in tiny_testbed.databases:
+            true_words = db.engine.index.vocabulary
+            sample_words = summaries[db.name].words()
+            missing = true_words - sample_words
+            recovered = missing & shrunk[db.name].effective_words()
+            recovered_total += len(recovered)
+        assert recovered_total > 0

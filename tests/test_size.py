@@ -1,0 +1,76 @@
+"""Tests for repro.summaries.size (sample-resample)."""
+
+import numpy as np
+import pytest
+
+from repro.index.document import Document
+from repro.index.engine import SearchEngine
+from repro.summaries.sampling import DocumentSample
+from repro.summaries.size import sample_resample_size
+
+
+def uniform_engine(num_docs, vocab=30, seed=0, doc_len=15):
+    rng = np.random.default_rng(seed)
+    documents = []
+    for doc_id in range(num_docs):
+        words = rng.integers(vocab, size=doc_len)
+        documents.append(
+            Document(doc_id=doc_id, terms=tuple(f"w{int(w)}" for w in words))
+        )
+    return SearchEngine(documents)
+
+
+def sample_of(engine, num_docs, seed=1):
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(engine.num_docs, size=num_docs, replace=False)
+    return DocumentSample(documents=[engine.document(int(i)) for i in ids])
+
+
+class TestSampleResample:
+    def test_estimate_close_to_truth(self):
+        engine = uniform_engine(1000)
+        sample = sample_of(engine, 80)
+        estimate = sample_resample_size(
+            sample, engine, np.random.default_rng(2), num_terms=8
+        )
+        assert 500 <= estimate <= 2000  # right order of magnitude
+
+    def test_estimate_scales_with_database(self):
+        small_engine = uniform_engine(200, seed=3)
+        large_engine = uniform_engine(4000, seed=4)
+        small_est = sample_resample_size(
+            sample_of(small_engine, 60, seed=5),
+            small_engine,
+            np.random.default_rng(6),
+        )
+        large_est = sample_resample_size(
+            sample_of(large_engine, 60, seed=7),
+            large_engine,
+            np.random.default_rng(8),
+        )
+        assert large_est > 4 * small_est
+
+    def test_empty_sample(self):
+        engine = uniform_engine(10)
+        assert sample_resample_size(
+            DocumentSample(), engine, np.random.default_rng(0)
+        ) == 0.0
+
+    def test_never_below_sample_size(self):
+        engine = uniform_engine(50, seed=9)
+        sample = sample_of(engine, 40, seed=10)
+        estimate = sample_resample_size(sample, engine, np.random.default_rng(11))
+        assert estimate >= sample.size
+
+    def test_deterministic_given_rng(self):
+        engine = uniform_engine(500, seed=12)
+        sample = sample_of(engine, 50, seed=13)
+        a = sample_resample_size(sample, engine, np.random.default_rng(14))
+        b = sample_resample_size(sample, engine, np.random.default_rng(14))
+        assert a == b
+
+    def test_single_doc_sample(self):
+        engine = uniform_engine(100, seed=15)
+        sample = DocumentSample(documents=[engine.document(0)])
+        estimate = sample_resample_size(sample, engine, np.random.default_rng(16))
+        assert estimate >= 1

@@ -1,0 +1,77 @@
+"""Tests for repro.evaluation.stats (paired t-tests)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.stats import PairedTestResult, paired_t_test
+
+
+class TestPairedTTest:
+    def test_clear_improvement_is_significant(self):
+        rng = np.random.default_rng(0)
+        baseline = rng.normal(0.5, 0.05, size=40)
+        improved = baseline + 0.1 + rng.normal(0, 0.02, size=40)
+        result = paired_t_test(improved, baseline)
+        assert result.significant(0.01)
+        assert result.mean_difference > 0.05
+        assert result.statistic > 0
+
+    def test_identical_samples_not_significant(self):
+        values = [0.1, 0.5, 0.9]
+        result = paired_t_test(values, values)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_noise_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.5, 0.1, size=30)
+        b = a + rng.normal(0, 0.2, size=30)
+        result = paired_t_test(a, b)
+        # With pure noise the test should rarely fire at 0.1%.
+        assert result.p_value > 1e-3
+
+    def test_nan_pairs_dropped(self):
+        a = [0.5, float("nan"), 0.7, 0.9]
+        b = [0.4, 0.2, float("nan"), 0.8]
+        result = paired_t_test(a, b)
+        assert result.num_pairs == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_too_few_pairs_degenerate(self):
+        result = paired_t_test([1.0], [0.5])
+        assert result.p_value == 1.0
+        assert result.num_pairs == 1
+
+    def test_direction_of_statistic(self):
+        worse = paired_t_test([0.1, 0.2, 0.15, 0.18], [0.5, 0.6, 0.55, 0.58])
+        assert worse.statistic < 0
+        assert worse.mean_difference < 0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_p_value_bounded(self, values):
+        shifted = [v * 0.9 + 0.01 for v in values]
+        result = paired_t_test(values, shifted)
+        assert 0.0 <= result.p_value <= 1.0
+        assert isinstance(result, PairedTestResult)
+
+    def test_integration_with_rk_significance(self, small_cell):
+        from repro.evaluation import harness
+
+        result = harness.rk_significance(
+            small_cell, "bgloss", "shrinkage", "plain", k_max=6
+        )
+        # Shrinkage dominates plain bGlOSS on this testbed.
+        assert result.mean_difference > 0

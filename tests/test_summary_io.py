@@ -1,0 +1,119 @@
+"""Tests for repro.summaries.io (JSON persistence)."""
+
+import json
+
+import pytest
+
+from repro.core.shrinkage import ShrunkSummary
+from repro.summaries.io import (
+    load_summaries,
+    save_summaries,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.summaries.summary import ContentSummary, SampledSummary
+
+
+@pytest.fixture
+def plain():
+    return ContentSummary(120, {"a": 0.5, "b": 0.01}, {"a": 0.9, "b": 0.1})
+
+
+@pytest.fixture
+def sampled():
+    return SampledSummary(
+        size=500,
+        df_probs={"a": 0.5, "b": 0.1},
+        tf_probs={"a": 0.8, "b": 0.2},
+        sample_size=50,
+        sample_df={"a": 25, "b": 5},
+        alpha=-1.1,
+        sample_tf={"a": 100, "b": 20},
+    )
+
+
+@pytest.fixture
+def shrunk(sampled):
+    return ShrunkSummary(
+        size=500,
+        df_probs={"a": 0.45, "b": 0.1, "c": 0.02},
+        tf_probs={"a": 0.7, "b": 0.2, "c": 0.1},
+        lambdas=(0.05, 0.25, 0.7),
+        tf_lambdas=(0.1, 0.2, 0.7),
+        component_names=("Uniform", "Health", "db"),
+        uniform_probability=0.001,
+        base=sampled,
+    )
+
+
+class TestRoundTrip:
+    def test_plain(self, plain):
+        restored = summary_from_dict(summary_to_dict(plain))
+        assert type(restored) is ContentSummary
+        assert restored.size == plain.size
+        assert restored.probabilities("df") == plain.probabilities("df")
+        assert restored.probabilities("tf") == plain.probabilities("tf")
+
+    def test_sampled(self, sampled):
+        restored = summary_from_dict(summary_to_dict(sampled))
+        assert isinstance(restored, SampledSummary)
+        assert restored.sample_size == 50
+        assert restored.sample_df == sampled.sample_df
+        assert restored.sample_tf == sampled.sample_tf
+        assert restored.alpha == sampled.alpha
+
+    def test_shrunk(self, shrunk):
+        restored = summary_from_dict(summary_to_dict(shrunk))
+        assert isinstance(restored, ShrunkSummary)
+        assert restored.lambdas == shrunk.lambdas
+        assert restored.component_names == shrunk.component_names
+        assert restored.uniform_probability == shrunk.uniform_probability
+        assert isinstance(restored.base, SampledSummary)
+        # Background smoothing behaviour survives the round trip.
+        assert restored.p("neverseen") == pytest.approx(shrunk.p("neverseen"))
+
+    def test_payload_is_json_serializable(self, shrunk):
+        json.dumps(summary_to_dict(shrunk))
+
+
+class TestValidation:
+    def test_unknown_version(self):
+        with pytest.raises(ValueError):
+            summary_from_dict({"version": 99, "kind": "plain"})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            summary_from_dict(
+                {"version": 1, "kind": "mystery", "size": 1,
+                 "df_probs": {}, "tf_probs": {}}
+            )
+
+
+class TestFiles:
+    def test_save_and_load_set(self, tmp_path, plain, sampled, shrunk):
+        path = tmp_path / "summaries.json"
+        save_summaries(path, {"p": plain, "s": sampled, "r": shrunk})
+        loaded = load_summaries(path)
+        assert set(loaded) == {"p", "s", "r"}
+        assert isinstance(loaded["s"], SampledSummary)
+        assert isinstance(loaded["r"], ShrunkSummary)
+        assert loaded["p"].p("a") == pytest.approx(0.5)
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 0, "summaries": {}}))
+        with pytest.raises(ValueError):
+            load_summaries(path)
+
+    def test_selection_works_after_reload(self, tmp_path, tiny_testbed, tiny_summaries):
+        from repro.selection.metasearcher import Metasearcher
+
+        summaries, classifications = tiny_summaries
+        path = tmp_path / "set.json"
+        save_summaries(path, summaries)
+        reloaded = load_summaries(path)
+        ms = Metasearcher(tiny_testbed.hierarchy, reloaded, classifications)
+        leaf = tiny_testbed.databases[0].category
+        query = tiny_testbed.corpus_model.node_block_words(leaf)[:2]
+        outcome = ms.select(query, "bgloss", "shrinkage", k=3)
+        assert outcome.names

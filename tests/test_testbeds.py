@@ -1,0 +1,110 @@
+"""Tests for repro.corpus.testbeds."""
+
+import pytest
+
+from repro.corpus.testbeds import build_trec_style_testbed, build_web_style_testbed
+from tests.conftest import TINY_CONFIG, make_tiny_hierarchy
+
+
+def small_trec(**kwargs):
+    defaults = dict(
+        name="t",
+        num_databases=6,
+        size_range=(50, 120),
+        num_leaves=3,
+        doc_length_median=25,
+        hierarchy=make_tiny_hierarchy(),
+        config=TINY_CONFIG,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return build_trec_style_testbed(**defaults)
+
+
+class TestTrecStyle:
+    def test_database_count(self):
+        assert len(small_trec().databases) == 6
+
+    def test_sizes_in_range(self):
+        for db in small_trec().databases:
+            assert 50 <= db.size <= 120
+
+    def test_leaves_shared_by_databases(self):
+        testbed = small_trec()
+        categories = [db.category for db in testbed.databases]
+        assert len(set(categories)) == 3  # 6 dbs round-robin over 3 leaves
+
+    def test_num_leaves_validation(self):
+        with pytest.raises(ValueError):
+            small_trec(num_leaves=99)
+
+    def test_lookup_by_name(self):
+        testbed = small_trec()
+        name = testbed.databases[0].name
+        assert testbed.database(name) is testbed.databases[0]
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            small_trec().database("nope")
+
+    def test_true_category(self):
+        testbed = small_trec()
+        db = testbed.databases[0]
+        assert testbed.true_category(db.name) == db.category
+
+    def test_total_documents(self):
+        testbed = small_trec()
+        assert testbed.total_documents == sum(db.size for db in testbed.databases)
+
+    def test_deterministic(self):
+        a = small_trec()
+        b = small_trec()
+        assert [db.name for db in a.databases] == [db.name for db in b.databases]
+        assert [db.size for db in a.databases] == [db.size for db in b.databases]
+
+    def test_repr(self):
+        assert "databases=6" in repr(small_trec())
+
+
+class TestWebStyle:
+    def make(self, **kwargs):
+        defaults = dict(
+            name="w",
+            databases_per_leaf=2,
+            extra_databases=1,
+            size_range=(30, 300),
+            num_leaves=2,
+            doc_length_median=25,
+            hierarchy=make_tiny_hierarchy(),
+            config=TINY_CONFIG,
+            seed=5,
+        )
+        defaults.update(kwargs)
+        return build_web_style_testbed(**defaults)
+
+    def test_database_count(self):
+        # 2 leaves x 2 per leaf + 1 extra
+        assert len(self.make().databases) == 5
+
+    def test_sizes_span_range(self):
+        sizes = [db.size for db in self.make(extra_databases=20).databases]
+        assert min(sizes) < 100 < max(sizes)
+
+    def test_each_leaf_covered(self):
+        testbed = self.make()
+        per_leaf = {}
+        for db in testbed.databases:
+            per_leaf[db.category] = per_leaf.get(db.category, 0) + 1
+        assert all(count >= 2 for count in per_leaf.values())
+
+    def test_num_leaves_validation(self):
+        with pytest.raises(ValueError):
+            self.make(num_leaves=0)
+
+    def test_default_shape_matches_paper(self):
+        # 5 per leaf x 54 leaves + 45 extra = 315 databases; verify the
+        # arithmetic without building the full corpus.
+        from repro.corpus.hierarchy import default_hierarchy
+
+        leaves = len(default_hierarchy().leaves())
+        assert 5 * leaves + 45 == 315

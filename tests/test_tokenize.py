@@ -1,0 +1,69 @@
+"""Tests for repro.text.tokenize."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import tokenize
+
+
+def test_simple_sentence():
+    assert tokenize("The quick brown fox") == ["the", "quick", "brown", "fox"]
+
+
+def test_lowercases():
+    assert tokenize("PubMed HeMoPhIlIa") == ["pubmed", "hemophilia"]
+
+
+def test_punctuation_splits_words():
+    assert tokenize("blood-pressure,readings.") == [
+        "blood",
+        "pressure",
+        "readings",
+    ]
+
+
+def test_numbers_are_tokens():
+    assert tokenize("120/80 mmHg") == ["120", "80", "mmhg"]
+
+
+def test_apostrophes_kept_inside_words():
+    assert tokenize("doctor's orders") == ["doctor's", "orders"]
+
+
+def test_leading_trailing_apostrophes_dropped():
+    assert tokenize("'quoted'") == ["quoted"]
+
+
+def test_empty_string():
+    assert tokenize("") == []
+
+
+def test_whitespace_only():
+    assert tokenize(" \t\n  ") == []
+
+
+def test_unicode_is_ignored():
+    # Only ASCII alphanumerics form tokens; everything else separates.
+    assert tokenize("naïve café") == ["na", "ve", "caf"]
+
+
+def test_mixed_alphanumeric():
+    assert tokenize("mp3 player x86_64") == ["mp3", "player", "x86", "64"]
+
+
+@given(st.text())
+def test_tokens_are_lowercase_and_nonempty(text):
+    for token in tokenize(text):
+        assert token
+        assert token == token.lower()
+
+
+@given(st.text())
+def test_tokens_contain_no_whitespace(text):
+    for token in tokenize(text):
+        assert not any(ch.isspace() for ch in token)
+
+
+@given(st.lists(st.sampled_from(["alpha", "beta", "gamma", "42"]), max_size=8))
+def test_roundtrip_of_clean_words(words):
+    assert tokenize(" ".join(words)) == words

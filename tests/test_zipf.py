@@ -1,0 +1,139 @@
+"""Tests for repro.corpus.zipf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.zipf import (
+    ZipfSampler,
+    fit_mandelbrot,
+    mandelbrot_probabilities,
+    zipf_probabilities,
+)
+
+
+class TestProbabilities:
+    def test_sum_to_one(self):
+        assert np.isclose(zipf_probabilities(100, 1.1).sum(), 1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(50, 1.0)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_zipf_ratio(self):
+        probs = zipf_probabilities(10, 1.0)
+        assert np.isclose(probs[0] / probs[1], 2.0)
+
+    def test_exponent_zero_is_uniform(self):
+        probs = zipf_probabilities(4, 0.0)
+        assert np.allclose(probs, 0.25)
+
+    def test_shift_flattens_head(self):
+        plain = mandelbrot_probabilities(100, 1.0, shift=0.0)
+        shifted = mandelbrot_probabilities(100, 1.0, shift=5.0)
+        assert shifted[0] < plain[0]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+    def test_invalid_shift(self):
+        with pytest.raises(ValueError):
+            mandelbrot_probabilities(10, 1.0, shift=-1.5)
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=-0.5, max_value=10.0),
+    )
+    def test_always_a_distribution(self, n, exponent, shift):
+        probs = mandelbrot_probabilities(n, exponent, shift)
+        assert probs.shape == (n,)
+        assert np.all(probs > 0)
+        assert np.isclose(probs.sum(), 1.0)
+
+
+class TestZipfSampler:
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(np.array([0.5, 0.2]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(np.array([1.5, -0.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(np.array([]))
+
+    def test_sample_range(self):
+        sampler = ZipfSampler(zipf_probabilities(20, 1.0))
+        samples = sampler.sample(np.random.default_rng(0), 1000)
+        assert samples.min() >= 0
+        assert samples.max() < 20
+
+    def test_sample_size_zero(self):
+        sampler = ZipfSampler(zipf_probabilities(5, 1.0))
+        assert sampler.sample(np.random.default_rng(0), 0).size == 0
+
+    def test_negative_size_rejected(self):
+        sampler = ZipfSampler(zipf_probabilities(5, 1.0))
+        with pytest.raises(ValueError):
+            sampler.sample(np.random.default_rng(0), -1)
+
+    def test_empirical_frequencies_match(self):
+        probs = zipf_probabilities(10, 1.0)
+        sampler = ZipfSampler(probs)
+        samples = sampler.sample(np.random.default_rng(42), 200_000)
+        empirical = np.bincount(samples, minlength=10) / samples.size
+        assert np.allclose(empirical, probs, atol=0.01)
+
+    def test_deterministic_given_seed(self):
+        sampler = ZipfSampler(zipf_probabilities(30, 1.2))
+        a = sampler.sample(np.random.default_rng(7), 50)
+        b = sampler.sample(np.random.default_rng(7), 50)
+        assert np.array_equal(a, b)
+
+    def test_len(self):
+        assert len(ZipfSampler(zipf_probabilities(13, 1.0))) == 13
+
+
+class TestFitMandelbrot:
+    def test_recovers_exact_power_law(self):
+        ranks = np.arange(1, 200)
+        freqs = 1000.0 * ranks**-1.2
+        alpha, beta = fit_mandelbrot(ranks, freqs)
+        assert alpha == pytest.approx(-1.2, abs=1e-6)
+        assert beta == pytest.approx(1000.0, rel=1e-6)
+
+    def test_ignores_zero_frequencies(self):
+        ranks = np.arange(1, 100)
+        freqs = 50.0 * ranks**-1.0
+        freqs[-10:] = 0.0
+        alpha, _beta = fit_mandelbrot(ranks, freqs)
+        assert alpha == pytest.approx(-1.0, abs=1e-6)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            fit_mandelbrot(np.arange(1, 5), np.arange(1, 6, dtype=float))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_mandelbrot(np.array([1.0]), np.array([10.0]))
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=-2.5, max_value=-0.3),
+        st.floats(min_value=1.0, max_value=1e4),
+    )
+    def test_roundtrip_any_power_law(self, alpha, beta):
+        ranks = np.arange(1, 300)
+        freqs = beta * ranks**alpha
+        fitted_alpha, fitted_beta = fit_mandelbrot(ranks, freqs)
+        assert fitted_alpha == pytest.approx(alpha, rel=1e-4, abs=1e-6)
+        assert fitted_beta == pytest.approx(beta, rel=1e-3)
