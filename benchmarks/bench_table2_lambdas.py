@@ -22,10 +22,10 @@ def _example_databases(cell, count=2):
 
 def compute():
     cell = harness.get_cell("web", "qbs", False, scale=SCALE)
+    shrunk = harness.ensure_shrunk(cell)
     weights = {}
     for name in _example_databases(cell):
-        shrunk = cell.metasearcher.shrunk_summaries[name]
-        weights[name] = shrunk.mixture_weights()
+        weights[name] = shrunk[name].mixture_weights()
     return weights
 
 

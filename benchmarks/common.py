@@ -9,6 +9,13 @@ Set ``REPRO_BENCH_SCALE=small`` for a quick smoke run of every benchmark
 (minutes instead of tens of minutes); the default ``bench`` scale is the
 one EXPERIMENTS.md reports.
 
+Heavy artifacts also persist *across* sessions through the harness's
+on-disk artifact store, rooted at ``benchmarks/.cache`` by default: a
+repeat benchmark run skips corpus synthesis, sampling, and EM entirely.
+Point ``REPRO_BENCH_CACHE`` at another directory to relocate the store,
+or set it to ``0``/``none``/``off`` to disable disk caching. Set
+``REPRO_BENCH_JOBS=N`` to fan per-database work out over N processes.
+
 Results are registered here and (a) written to ``benchmarks/results/`` and
 (b) echoed into pytest's terminal summary, so ``pytest benchmarks/
 --benchmark-only`` shows the regenerated tables without ``-s``.
@@ -24,6 +31,19 @@ from repro.evaluation.summary_quality import SummaryQuality
 
 #: Experiment scale; "small" gives a fast smoke run.
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+#: On-disk artifact store location ("0"/"none"/"off" disables it).
+CACHE_DIR = os.environ.get(
+    "REPRO_BENCH_CACHE", str(Path(__file__).parent / ".cache")
+)
+
+#: Worker processes for per-database sampling/shrinkage.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+harness.configure(
+    cache_dir=False if CACHE_DIR.lower() in ("0", "none", "off", "") else CACHE_DIR,
+    jobs=JOBS,
+)
 
 #: The paper's evaluation matrix: dataset x sampler x frequency estimation.
 CELL_MATRIX: list[tuple[str, str, bool]] = [
@@ -53,7 +73,9 @@ def registered_reports() -> list[tuple[str, str]]:
 
 # -- shared expensive computations --------------------------------------------
 
-_QUALITY_CACHE: dict[tuple, SummaryQuality] = {}
+# Registered with the harness so ``harness.clear_caches()`` cannot leave
+# stale cross-layer state behind.
+_QUALITY_CACHE: dict[tuple, SummaryQuality] = harness.register_external_cache({})
 
 
 def cell_quality(

@@ -7,7 +7,14 @@ Exposes the experiment harness without writing Python:
 * ``selection`` — mean Rk curves for one dataset/algorithm across the
   selection strategies.
 * ``lambdas`` — the EM mixture weights of a database's shrunk summary.
+* ``bench`` — end-to-end timed run of one cell (or the whole matrix with
+  ``--matrix``) with cache/parallelism instrumentation.
+* ``cache`` — inspect or clear an on-disk artifact store.
 * ``info`` — the library's layout and the experiment matrix.
+
+Every harness-backed command accepts ``--cache-dir`` (persist artifacts
+across invocations), ``--no-cache`` (force rebuilds), and ``--jobs``
+(fan per-database work out over worker processes).
 """
 
 from __future__ import annotations
@@ -32,11 +39,39 @@ def _add_cell_arguments(parser: argparse.ArgumentParser) -> None:
         "--scale", choices=("small", "bench", "paper"), default="small",
         help="testbed scale (small is seconds, bench is minutes)",
     )
+    _add_runtime_arguments(parser)
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for per-database sampling/shrinkage",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact store root; artifacts persist across invocations",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore any artifact store; rebuild everything",
+    )
+
+
+def _configure_harness(args: argparse.Namespace) -> None:
+    """Apply --jobs/--cache-dir/--no-cache to the harness."""
+    from repro.evaluation import harness
+
+    if args.no_cache:
+        harness.configure(cache_dir=False)
+    elif args.cache_dir:
+        harness.configure(cache_dir=args.cache_dir)
+    harness.configure(jobs=args.jobs)
 
 
 def _cmd_summary_quality(args: argparse.Namespace) -> int:
     from repro.evaluation import harness
 
+    _configure_harness(args)
     cell = harness.get_cell(args.dataset, args.sampler, args.freq_est, args.scale)
     plain = harness.summary_quality(cell, shrinkage=False)
     shrunk = harness.summary_quality(cell, shrinkage=True)
@@ -64,6 +99,7 @@ def _cmd_selection(args: argparse.Namespace) -> int:
     from repro.evaluation import harness
     from repro.evaluation.reporting import format_rk_series
 
+    _configure_harness(args)
     cell = harness.get_cell(args.dataset, args.sampler, args.freq_est, args.scale)
     series = {}
     for strategy in ("plain", "hierarchical", "shrinkage", "universal"):
@@ -93,6 +129,7 @@ def _cmd_selection(args: argparse.Namespace) -> int:
 def _cmd_lambdas(args: argparse.Namespace) -> int:
     from repro.evaluation import harness
 
+    _configure_harness(args)
     cell = harness.get_cell(args.dataset, args.sampler, args.freq_est, args.scale)
     names = sorted(cell.summaries)
     name = args.database or names[0]
@@ -103,6 +140,130 @@ def _cmd_lambdas(args: argparse.Namespace) -> int:
     print(f"Mixture weights (lambda) for {name}:")
     for component, weight in shrunk.mixture_weights().items():
         print(f"  {component:<28} {weight:.3f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.evaluation import harness
+    from repro.evaluation.instrument import get_instrumentation
+
+    _configure_harness(args)
+    store = harness.get_config().store
+    start = time.perf_counter()
+
+    if args.matrix:
+        cells = [
+            (dataset, sampler, freq_est)
+            for dataset in ("trec4", "trec6", "web")
+            for sampler in ("qbs", "fps")
+            for freq_est in (False, True)
+        ]
+        if args.jobs > 1:
+            from repro.evaluation.parallel import evaluate_cells_parallel
+
+            results = evaluate_cells_parallel(
+                cells, args.scale, args.jobs, args.algorithm, args.k
+            )
+        else:
+            results = []
+            for dataset, sampler, freq_est in cells:
+                cell = harness.get_cell(dataset, sampler, freq_est, args.scale)
+                harness.ensure_shrunk(cell)
+                results.append(
+                    {
+                        "dataset": dataset,
+                        "sampler": sampler,
+                        "frequency_estimation": freq_est,
+                        "quality_plain": harness.summary_quality(cell, False),
+                        "quality_shrunk": harness.summary_quality(cell, True),
+                        "rk": {
+                            strategy: harness.rk_experiment(
+                                cell, args.algorithm, strategy, args.k
+                            )
+                            for strategy in ("plain", "shrinkage")
+                        },
+                    }
+                )
+        print(
+            f"Matrix bench — scale={args.scale} / {args.algorithm} / "
+            f"jobs={args.jobs}"
+        )
+        print(
+            f"{'cell':<18} {'wrecall':>8} {'+shrunk':>8} "
+            f"{'Rk plain':>9} {'Rk shrunk':>9}"
+        )
+        for result in results:
+            label = (
+                f"{result['dataset']}/{result['sampler']}"
+                f"{'/fe' if result['frequency_estimation'] else ''}"
+            )
+            rk_plain = float(np.nanmean(result["rk"]["plain"]))
+            rk_shrunk = float(np.nanmean(result["rk"]["shrinkage"]))
+            print(
+                f"{label:<18} {result['quality_plain'].weighted_recall:>8.3f} "
+                f"{result['quality_shrunk'].weighted_recall:>8.3f} "
+                f"{rk_plain:>9.3f} {rk_shrunk:>9.3f}"
+            )
+    else:
+        cell = harness.get_cell(
+            args.dataset, args.sampler, args.freq_est, args.scale
+        )
+        harness.ensure_shrunk(cell)
+        rk = {
+            strategy: harness.rk_experiment(
+                cell, args.algorithm, strategy, args.k
+            )
+            for strategy in ("plain", "shrinkage")
+        }
+        print(
+            f"Bench — {args.dataset} / {args.sampler.upper()} / "
+            f"freq-est={'yes' if args.freq_est else 'no'} / "
+            f"scale={args.scale} / {args.algorithm} / jobs={args.jobs}"
+        )
+        print(
+            f"mean Rk (k<={args.k}): plain "
+            f"{float(np.nanmean(rk['plain'])):.3f}, shrinkage "
+            f"{float(np.nanmean(rk['shrinkage'])):.3f}"
+        )
+
+    wall = time.perf_counter() - start
+    print(f"wall time: {wall:.3f} s")
+    if store is not None:
+        print(f"artifact store: {store.root}")
+    print()
+    print(get_instrumentation().report())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.evaluation.store import ArtifactStore
+
+    if not args.cache_dir:
+        print("cache: --cache-dir is required")
+        return 2
+    store = ArtifactStore(args.cache_dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} artifact(s) from {store.root}")
+        return 0
+    entries = store.entries()
+    print(f"artifact store: {store.root}")
+    if not entries:
+        print("(empty)")
+        return 0
+    by_kind: dict[str, list] = {}
+    for entry in entries:
+        by_kind.setdefault(entry.kind, []).append(entry)
+    print(f"{'kind':<12} {'entries':>8} {'bytes':>12}")
+    for kind, kind_entries in by_kind.items():
+        total = sum(e.bytes for e in kind_entries)
+        print(f"{kind:<12} {len(kind_entries):>8d} {total:>12d}")
+    if args.verbose:
+        print()
+        for entry in entries:
+            print(f"{entry.kind:<12} {entry.key} {entry.bytes:>12d}")
     return 0
 
 
@@ -146,6 +307,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cell_arguments(lambdas)
     lambdas.add_argument("--database", help="database name (default: first)")
     lambdas.set_defaults(handler=_cmd_lambdas)
+
+    bench = commands.add_parser(
+        "bench",
+        help="timed end-to-end cell run with cache/parallel instrumentation",
+    )
+    _add_cell_arguments(bench)
+    bench.add_argument(
+        "--algorithm", choices=("bgloss", "cori", "lm"), default="cori"
+    )
+    bench.add_argument("--k", type=int, default=10)
+    bench.add_argument(
+        "--matrix", action="store_true",
+        help="run the full dataset x sampler x freq-est matrix",
+    )
+    bench.set_defaults(handler=_cmd_bench)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear an on-disk artifact store"
+    )
+    cache.add_argument("--cache-dir", metavar="DIR")
+    cache.add_argument(
+        "--clear", action="store_true", help="delete every stored artifact"
+    )
+    cache.add_argument(
+        "--verbose", action="store_true", help="list individual artifacts"
+    )
+    cache.set_defaults(handler=_cmd_cache)
 
     info = commands.add_parser("info", help="library overview")
     info.set_defaults(handler=_cmd_info)

@@ -128,7 +128,9 @@ def _run_em(
     columns.append([em_db_probs.get(word, 0.0) for word in words])  # the database
 
     lambdas = [1.0 / num_components] * num_components
+    iterations = 0
     for _iteration in range(config.max_iterations):
+        iterations += 1
         betas = [0.0] * num_components
         for word_index in range(len(words)):
             mixture = 0.0
@@ -148,6 +150,13 @@ def _run_em(
         lambdas = new_lambdas
         if delta < config.epsilon:
             break
+
+    # Imported here, not at module top: repro.evaluation would pull
+    # repro.summaries.io back into this partially initialized module.
+    from repro.evaluation.instrument import count
+
+    count("em.runs")
+    count("em.iterations", iterations)
     return lambdas
 
 

@@ -7,11 +7,20 @@
 * :mod:`repro.evaluation.harness` — builds testbeds, samples databases,
   constructs every summary variant and caches the lot, so benchmarks and
   examples share one set of artifacts.
+* :mod:`repro.evaluation.store` — content-addressed on-disk artifact
+  cache; persists testbeds, samples, summaries, and EM weights across
+  sessions.
+* :mod:`repro.evaluation.parallel` — process-pool fan-out for
+  per-database and per-cell work, bit-identical to the serial path.
+* :mod:`repro.evaluation.instrument` — named timers and counters
+  surfaced by ``repro bench``.
 * :mod:`repro.evaluation.reporting` — paper-style table formatting.
 """
 
+from repro.evaluation.instrument import Instrumentation, get_instrumentation
 from repro.evaluation.selection_quality import mean_rk_curve, rk_curve
 from repro.evaluation.stats import PairedTestResult, paired_t_test
+from repro.evaluation.store import ArtifactStore, fingerprint
 from repro.evaluation.summary_quality import (
     SummaryQuality,
     evaluate_summary,
@@ -24,6 +33,10 @@ from repro.evaluation.summary_quality import (
 )
 
 __all__ = [
+    "ArtifactStore",
+    "Instrumentation",
+    "fingerprint",
+    "get_instrumentation",
     "PairedTestResult",
     "SummaryQuality",
     "evaluate_summary",

@@ -9,7 +9,21 @@ sampling, EM), so the harness caches every layer:
 * testbeds per (dataset, scale),
 * document samples and classifications per (dataset, scale, sampler),
 * summary sets per cell (frequency estimation applied on top of samples),
+* shrunk summaries (EM mixture weights) per cell,
 * exact summaries per testbed.
+
+Two cache tiers back those layers. The in-memory tier (module-level dicts)
+serves repeat lookups within one interpreter. The optional on-disk tier —
+an :class:`~repro.evaluation.store.ArtifactStore` configured via
+:func:`configure` — persists testbeds, samples, summary sets, and EM
+weights across interpreter sessions, keyed by a content fingerprint of the
+full producing configuration, so repeat benchmark runs skip corpus
+synthesis and sampling entirely.
+
+:func:`configure` also sets a worker count; with ``jobs > 1`` the
+per-database sampling/shrinkage loops fan out over a process pool (see
+:mod:`repro.evaluation.parallel`) with deterministic per-task seeding, so
+parallel results are bit-identical to the serial path.
 
 ``scale`` profiles keep everything laptop-sized: "small" for unit tests,
 "bench" for the benchmark suite, "paper" for the original dimensions.
@@ -17,21 +31,27 @@ sampling, EM), so the harness caches every layer:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from collections.abc import Sequence
+from collections.abc import Mapping, MutableMapping, Sequence
 
 import numpy as np
 
 from repro.classify.prober import ProbeClassifier
 from repro.classify.rules import ProbeRuleSet, build_probe_rules
-from repro.corpus.language_model import CorpusModelConfig
+from repro.core.shrinkage import ShrinkageConfig
+from repro.corpus.hierarchy import default_hierarchy
+from repro.corpus.language_model import CorpusModel, CorpusModelConfig
 from repro.corpus.queries import QueryWorkload, RelevanceJudgments, generate_workload
 from repro.corpus.testbeds import (
     Testbed,
     build_trec_style_testbed,
     build_web_style_testbed,
 )
+from repro.evaluation import store as store_mod
+from repro.evaluation.instrument import count, get_instrumentation, timer
 from repro.evaluation.selection_quality import mean_rk_curve, rk_curve
+from repro.evaluation.store import ArtifactStore, fingerprint
 from repro.evaluation.summary_quality import SummaryQuality, evaluate_summary
 from repro.selection.metasearcher import Metasearcher, SelectionStrategy
 from repro.summaries.focused import FPSConfig, FPSSampler
@@ -120,6 +140,15 @@ SCALES: dict[str, ScaleProfile] = {
     ),
 }
 
+#: Testbed-builder seeds per dataset (part of every cache fingerprint).
+TESTBED_SEEDS = {"trec4": 41, "trec6": 61, "web": 7}
+
+#: Seed streams for the per-database RNGs; the per-task seed is
+#: ``[stream, database_index]``, which is what makes the parallel fan-out
+#: bit-identical to the serial loop.
+QBS_SEED_STREAM = 1009
+SIZE_SEED_STREAM = 2003
+
 
 @dataclass
 class ExperimentCell:
@@ -142,6 +171,47 @@ class ExperimentCell:
             )
 
 
+# -- runtime configuration (artifact store + parallelism) -------------------------
+
+
+@dataclass
+class HarnessConfig:
+    """Process-wide harness knobs set via :func:`configure`."""
+
+    store: ArtifactStore | None = None
+    jobs: int = 1
+
+
+_CONFIG = HarnessConfig()
+_UNSET = object()
+
+
+def configure(cache_dir=_UNSET, jobs: int | None = None) -> HarnessConfig:
+    """Set the harness's on-disk artifact store and worker count.
+
+    ``cache_dir`` accepts a path (the store root), an
+    :class:`ArtifactStore`, or ``None``/``False``/``""`` to disable disk
+    caching; leave it out to keep the current store. ``jobs`` > 1 fans
+    per-database sampling and shrinkage out over a process pool.
+    Both settings revert to their defaults on :func:`clear_caches`.
+    """
+    if cache_dir is not _UNSET:
+        if cache_dir in (None, False, ""):
+            _CONFIG.store = None
+        elif isinstance(cache_dir, ArtifactStore):
+            _CONFIG.store = cache_dir
+        else:
+            _CONFIG.store = ArtifactStore(cache_dir)
+    if jobs is not None:
+        _CONFIG.jobs = max(int(jobs), 1)
+    return _CONFIG
+
+
+def get_config() -> HarnessConfig:
+    """The live harness configuration."""
+    return _CONFIG
+
+
 # -- caches ---------------------------------------------------------------------
 
 _TESTBEDS: dict[tuple, Testbed] = {}
@@ -152,13 +222,162 @@ _WORKLOADS: dict[tuple, QueryWorkload] = {}
 _JUDGMENTS: dict[tuple, RelevanceJudgments] = {}
 _RULES: dict[tuple, ProbeRuleSet] = {}
 
+#: Caches owned by other modules (e.g. the benchmark suite) that must be
+#: dropped together with the harness's own; registered via
+#: :func:`register_external_cache` so ``clear_caches`` cannot silently
+#: miss cross-layer state.
+_EXTERNAL_CACHES: list[MutableMapping] = []
+
+
+def register_external_cache(cache: MutableMapping) -> MutableMapping:
+    """Register a cache owned elsewhere for clearing by :func:`clear_caches`."""
+    _EXTERNAL_CACHES.append(cache)
+    return cache
+
+
+def memory_caches() -> tuple[MutableMapping, ...]:
+    """The harness's in-memory caches plus registered external ones."""
+    return (
+        _TESTBEDS, _EXACT, _SAMPLES, _CELLS, _WORKLOADS, _JUDGMENTS, _RULES,
+        *_EXTERNAL_CACHES,
+    )
+
 
 def clear_caches() -> None:
-    """Drop every cached artifact (mainly for tests)."""
-    for cache in (
-        _TESTBEDS, _EXACT, _SAMPLES, _CELLS, _WORKLOADS, _JUDGMENTS, _RULES
-    ):
+    """Drop every cached artifact and reset harness state (mainly for tests).
+
+    Besides the in-memory artifact caches this also clears registered
+    external caches, zeroes the instrumentation counters/timers, and
+    reverts :func:`configure` to its defaults (no store, one job) — so no
+    state set up by one test can leak into the next.
+    """
+    for cache in memory_caches():
         cache.clear()
+    get_instrumentation().reset()
+    _CONFIG.store = None
+    _CONFIG.jobs = 1
+
+
+# -- cache fingerprints -----------------------------------------------------------
+
+
+def _testbed_config(dataset: str, scale: str) -> dict:
+    """Everything the testbed artifact depends on, for fingerprinting."""
+    profile = SCALES[scale]
+    config: dict = {
+        "artifact": "testbed",
+        "pipeline": store_mod.PIPELINE_VERSION,
+        "dataset": dataset,
+        "seed": TESTBED_SEEDS[dataset],
+        "corpus": profile.corpus_config,
+        "doc_length_median": profile.doc_length_median,
+    }
+    if dataset == "web":
+        config["web"] = {
+            "databases_per_leaf": profile.web_databases_per_leaf,
+            "extra_databases": profile.web_extra_databases,
+            "size_range": profile.web_size_range,
+            "num_leaves": profile.web_num_leaves,
+        }
+    else:
+        config["trec"] = {
+            "databases": profile.trec_databases,
+            "size_range": profile.trec_size_range,
+            "num_leaves": profile.trec_num_leaves,
+        }
+    return config
+
+
+def _samples_config(dataset: str, sampler: str, scale: str) -> dict:
+    """Everything the samples artifact depends on, for fingerprinting."""
+    profile = SCALES[scale]
+    config = {
+        "artifact": "samples",
+        "testbed": _testbed_config(dataset, scale),
+        "sampler": sampler,
+        "seed_streams": [QBS_SEED_STREAM, SIZE_SEED_STREAM],
+        "probes_per_category": profile.fps_probes_per_category,
+    }
+    if sampler == "qbs":
+        config["qbs"] = profile.qbs
+        config["seed_vocabulary_size"] = profile.seed_vocabulary_size
+    else:
+        config["fps"] = {
+            "docs_per_probe": profile.fps_docs_per_probe,
+            "max_sample_docs": profile.fps_max_sample_docs,
+        }
+    return config
+
+
+def _summaries_config(
+    dataset: str, sampler: str, frequency_estimation: bool, scale: str
+) -> dict:
+    """Everything the summary-set artifact depends on."""
+    return {
+        "artifact": "summaries",
+        "samples": _samples_config(dataset, sampler, scale),
+        "frequency_estimation": frequency_estimation,
+    }
+
+
+def _shrunk_config(
+    dataset: str, sampler: str, frequency_estimation: bool, scale: str
+) -> dict:
+    """Everything the shrunk-summaries (EM weights) artifact depends on."""
+    return {
+        "artifact": "shrunk",
+        "summaries": _summaries_config(
+            dataset, sampler, frequency_estimation, scale
+        ),
+        "shrinkage": ShrinkageConfig(),
+    }
+
+
+def cache_keys(
+    dataset: str,
+    sampler: str = "qbs",
+    frequency_estimation: bool = False,
+    scale: str = "bench",
+) -> dict[str, str]:
+    """The store fingerprints of every artifact behind one matrix cell."""
+    return {
+        "testbed": fingerprint(_testbed_config(dataset, scale)),
+        "samples": fingerprint(_samples_config(dataset, sampler, scale)),
+        "summaries": fingerprint(
+            _summaries_config(dataset, sampler, frequency_estimation, scale)
+        ),
+        "shrunk": fingerprint(
+            _shrunk_config(dataset, sampler, frequency_estimation, scale)
+        ),
+    }
+
+
+# -- artifact construction ---------------------------------------------------------
+
+
+def _build_testbed(dataset: str, scale: str) -> Testbed:
+    """Synthesize a testbed from scratch (no caches consulted)."""
+    profile = SCALES[scale]
+    if dataset == "web":
+        return build_web_style_testbed(
+            name="web",
+            databases_per_leaf=profile.web_databases_per_leaf,
+            extra_databases=profile.web_extra_databases,
+            size_range=profile.web_size_range,
+            seed=TESTBED_SEEDS[dataset],
+            num_leaves=profile.web_num_leaves,
+            doc_length_median=profile.doc_length_median,
+            config=profile.corpus_config,
+        )
+    return build_trec_style_testbed(
+        name=dataset,
+        num_databases=profile.trec_databases,
+        size_range=profile.trec_size_range,
+        seed=TESTBED_SEEDS[dataset],
+        num_leaves=profile.trec_num_leaves,
+        doc_length_median=profile.doc_length_median,
+        config=profile.corpus_config,
+    )
 
 
 def get_testbed(dataset: str, scale: str = "bench") -> Testbed:
@@ -167,30 +386,38 @@ def get_testbed(dataset: str, scale: str = "bench") -> Testbed:
         raise ValueError(f"dataset must be one of {DATASETS}")
     profile = SCALES[scale]
     key = (dataset, scale)
-    if key not in _TESTBEDS:
-        if dataset == "web":
-            _TESTBEDS[key] = build_web_style_testbed(
-                name="web",
-                databases_per_leaf=profile.web_databases_per_leaf,
-                extra_databases=profile.web_extra_databases,
-                size_range=profile.web_size_range,
-                seed=7,
-                num_leaves=profile.web_num_leaves,
-                doc_length_median=profile.doc_length_median,
-                config=profile.corpus_config,
-            )
-        else:
-            seed = 41 if dataset == "trec4" else 61
-            _TESTBEDS[key] = build_trec_style_testbed(
-                name=dataset,
-                num_databases=profile.trec_databases,
-                size_range=profile.trec_size_range,
-                seed=seed,
-                num_leaves=profile.trec_num_leaves,
-                doc_length_median=profile.doc_length_median,
-                config=profile.corpus_config,
-            )
-    return _TESTBEDS[key]
+    if key in _TESTBEDS:
+        return _TESTBEDS[key]
+
+    store = _CONFIG.store
+    config = _testbed_config(dataset, scale)
+    store_key = fingerprint(config) if store else None
+    if store:
+        databases = store.load_artifact(
+            "testbed", store_key, store_mod.testbed_databases_from_payload
+        )
+        if databases is not None:
+            # Hierarchy and corpus model are deterministic functions of the
+            # configuration; only the synthesized documents are persisted.
+            hierarchy = default_hierarchy()
+            corpus_model = CorpusModel(hierarchy, profile.corpus_config)
+            name = "web" if dataset == "web" else dataset
+            _TESTBEDS[key] = Testbed(name, hierarchy, corpus_model, databases)
+            return _TESTBEDS[key]
+
+    with timer("testbed.build"):
+        testbed = _build_testbed(dataset, scale)
+    count("testbed.synthesized")
+    count("testbed.documents", testbed.total_documents)
+    _TESTBEDS[key] = testbed
+    if store:
+        store.save(
+            "testbed",
+            store_key,
+            store_mod.testbed_databases_to_payload(testbed.databases),
+            config=config,
+        )
+    return testbed
 
 
 def get_exact_summaries(
@@ -219,6 +446,57 @@ def get_probe_rules(dataset: str, scale: str = "bench") -> ProbeRuleSet:
     return _RULES[key]
 
 
+def sample_one_database(
+    dataset: str, sampler: str, scale: str, index: int
+) -> tuple[str, DocumentSample, tuple[str, ...], float]:
+    """Sample, classify, and size-estimate database ``index`` of a testbed.
+
+    Deterministic given its arguments: the per-database RNGs are seeded
+    ``[stream, index]``, and the samplers/classifiers are stateless across
+    databases. This is the unit of work the parallel executor fans out;
+    the serial loop in :func:`_collect_samples` calls the same function,
+    which is what makes the two paths bit-identical.
+    """
+    if sampler not in SAMPLERS:
+        raise ValueError(f"sampler must be one of {SAMPLERS}")
+    profile = SCALES[scale]
+    testbed = get_testbed(dataset, scale)
+    db = testbed.databases[index]
+    rules = get_probe_rules(dataset, scale)
+
+    if sampler == "qbs":
+        qbs = QBSSampler(profile.qbs)
+        seed_vocabulary = testbed.corpus_model.general_words(
+            profile.seed_vocabulary_size
+        )
+        rng = np.random.default_rng([QBS_SEED_STREAM, index])
+        sample = qbs.sample(db.engine, rng, seed_vocabulary)
+        if dataset == "web":
+            classification = db.category
+        else:
+            classifier = ProbeClassifier(rules)
+            classification = classifier.classify(db.engine).path
+    else:
+        fps = FPSSampler(
+            rules,
+            FPSConfig(
+                docs_per_probe=profile.fps_docs_per_probe,
+                max_sample_docs=profile.fps_max_sample_docs,
+            ),
+        )
+        result = fps.sample(db.engine)
+        sample = result.sample
+        classification = result.classification
+
+    rng = np.random.default_rng([SIZE_SEED_STREAM, index])
+    size = sample_resample_size(sample, db.engine, rng)
+
+    count("sample.databases")
+    count("sample.documents", sample.size)
+    count("sample.queries", sample.num_queries)
+    return db.name, sample, classification, size
+
+
 def _collect_samples(
     dataset: str, sampler: str, scale: str
 ) -> tuple[
@@ -232,54 +510,76 @@ def _collect_samples(
     directory categories; TREC + QBS uses the probe classifier of [14];
     FPS always uses the classification it derives while sampling.
     """
+    if sampler not in SAMPLERS:
+        raise ValueError(f"sampler must be one of {SAMPLERS}")
     key = (dataset, sampler, scale)
     if key in _SAMPLES:
         return _SAMPLES[key]
 
-    profile = SCALES[scale]
+    store = _CONFIG.store
+    config = _samples_config(dataset, sampler, scale)
+    store_key = fingerprint(config) if store else None
+    if store:
+        loaded = store.load_artifact(
+            "samples", store_key, store_mod.samples_from_payload
+        )
+        if loaded is not None:
+            _SAMPLES[key] = loaded
+            return loaded
+
     testbed = get_testbed(dataset, scale)
     samples: dict[str, DocumentSample] = {}
     classifications: dict[str, tuple[str, ...]] = {}
     sizes: dict[str, float] = {}
 
-    rules = get_probe_rules(dataset, scale)
-    if sampler == "qbs":
-        qbs = QBSSampler(profile.qbs)
-        seed_vocabulary = testbed.corpus_model.general_words(
-            profile.seed_vocabulary_size
-        )
-        classifier = ProbeClassifier(rules)
-        for index, db in enumerate(testbed.databases):
-            rng = np.random.default_rng([1009, index])
-            sample = qbs.sample(db.engine, rng, seed_vocabulary)
-            samples[db.name] = sample
-            if dataset == "web":
-                classifications[db.name] = db.category
-            else:
-                classifications[db.name] = classifier.classify(db.engine).path
-    elif sampler == "fps":
-        fps = FPSSampler(
-            rules,
-            FPSConfig(
-                docs_per_probe=profile.fps_docs_per_probe,
-                max_sample_docs=profile.fps_max_sample_docs,
-            ),
-        )
-        for db in testbed.databases:
-            result = fps.sample(db.engine)
-            samples[db.name] = result.sample
-            classifications[db.name] = result.classification
-    else:
-        raise ValueError(f"sampler must be one of {SAMPLERS}")
+    with timer("sample.collect"):
+        if _CONFIG.jobs > 1:
+            from repro.evaluation import parallel as parallel_mod
 
-    for index, db in enumerate(testbed.databases):
-        rng = np.random.default_rng([2003, index])
-        sizes[db.name] = sample_resample_size(
-            samples[db.name], db.engine, rng
-        )
+            results = parallel_mod.sample_databases_parallel(
+                dataset, sampler, scale, len(testbed.databases),
+                jobs=_CONFIG.jobs,
+            )
+        else:
+            get_probe_rules(dataset, scale)  # build once, outside the loop
+            results = [
+                sample_one_database(dataset, sampler, scale, index)
+                for index in range(len(testbed.databases))
+            ]
+
+    # Insertion order must match testbed.databases: downstream aggregation
+    # (category summaries) folds floats in dict order, and bit-identical
+    # serial/parallel results depend on identical fold order.
+    for name, sample, classification, size in results:
+        samples[name] = sample
+        classifications[name] = classification
+        sizes[name] = size
 
     _SAMPLES[key] = (samples, classifications, sizes)
+    if store:
+        store.save(
+            "samples",
+            store_key,
+            store_mod.samples_to_payload(samples, classifications, sizes),
+            config=config,
+        )
     return _SAMPLES[key]
+
+
+def _build_summaries(
+    samples: Mapping[str, DocumentSample],
+    sizes: Mapping[str, float],
+    frequency_estimation: bool,
+) -> dict[str, SampledSummary]:
+    """Per-database summaries from samples (Appendix A optional)."""
+    summaries: dict[str, SampledSummary] = {}
+    with timer("summaries.build"):
+        for name, sample in samples.items():
+            if frequency_estimation:
+                summaries[name] = build_estimated_summary(sample, sizes[name])
+            else:
+                summaries[name] = build_raw_summary(sample, sizes[name])
+    return summaries
 
 
 def get_cell(
@@ -294,13 +594,34 @@ def get_cell(
         return _CELLS[key]
 
     testbed = get_testbed(dataset, scale)
-    samples, classifications, sizes = _collect_samples(dataset, sampler, scale)
-    summaries: dict[str, SampledSummary] = {}
-    for name, sample in samples.items():
-        if frequency_estimation:
-            summaries[name] = build_estimated_summary(sample, sizes[name])
-        else:
-            summaries[name] = build_raw_summary(sample, sizes[name])
+    store = _CONFIG.store
+
+    summaries: dict[str, SampledSummary] | None = None
+    classifications: dict[str, tuple[str, ...]] | None = None
+    summaries_key = None
+    if store:
+        summaries_config = _summaries_config(
+            dataset, sampler, frequency_estimation, scale
+        )
+        summaries_key = fingerprint(summaries_config)
+        loaded = store.load_artifact(
+            "summaries", summaries_key, store_mod.summaries_from_payload
+        )
+        if loaded is not None:
+            summaries, classifications = loaded
+
+    if summaries is None:
+        samples, classifications, sizes = _collect_samples(
+            dataset, sampler, scale
+        )
+        summaries = _build_summaries(samples, sizes, frequency_estimation)
+        if store:
+            store.save(
+                "summaries",
+                summaries_key,
+                store_mod.summaries_to_payload(summaries, classifications),
+                config=summaries_config,
+            )
 
     cell = ExperimentCell(
         dataset=dataset,
@@ -312,8 +633,65 @@ def get_cell(
         classifications=classifications,
         exact_summaries=get_exact_summaries(dataset, scale),
     )
+    if store:
+        shrunk = store.load_artifact(
+            "shrunk",
+            fingerprint(
+                _shrunk_config(dataset, sampler, frequency_estimation, scale)
+            ),
+            store_mod.shrunk_from_payload,
+        )
+        if shrunk is not None and set(shrunk) == set(summaries):
+            cell.metasearcher.set_shrunk_summaries(shrunk)
     _CELLS[key] = cell
     return cell
+
+
+def ensure_shrunk(cell: ExperimentCell):
+    """Materialize the cell's shrunk summaries R(D), store- and jobs-aware.
+
+    The metasearcher computes R(D) lazily on first use; this routes that
+    computation through the artifact store (EM weights persist across
+    sessions) and, with ``jobs > 1``, fans the per-database EM out over
+    the process pool. Always safe to call; returns the shrunk summaries.
+    """
+    metasearcher = cell.metasearcher
+    if metasearcher.has_shrunk_summaries():
+        return metasearcher.shrunk_summaries
+
+    store = _CONFIG.store
+    config = _shrunk_config(
+        cell.dataset, cell.sampler, cell.frequency_estimation, cell.scale
+    )
+    store_key = fingerprint(config) if store else None
+    if store:
+        shrunk = store.load_artifact(
+            "shrunk", store_key, store_mod.shrunk_from_payload
+        )
+        if shrunk is not None and set(shrunk) == set(cell.summaries):
+            metasearcher.set_shrunk_summaries(shrunk)
+            return metasearcher.shrunk_summaries
+
+    with timer("shrinkage.em"):
+        if _CONFIG.jobs > 1:
+            from repro.evaluation import parallel as parallel_mod
+
+            shrunk = parallel_mod.shrink_cell_parallel(
+                cell.dataset,
+                cell.sampler,
+                cell.frequency_estimation,
+                cell.scale,
+                jobs=_CONFIG.jobs,
+            )
+            metasearcher.set_shrunk_summaries(shrunk)
+        else:
+            shrunk = metasearcher.shrunk_summaries
+    if store:
+        store.save(
+            "shrunk", store_key, store_mod.shrunk_to_payload(shrunk),
+            config=config,
+        )
+    return metasearcher.shrunk_summaries
 
 
 # -- workloads -------------------------------------------------------------------
@@ -351,6 +729,8 @@ def get_judgments(dataset: str, scale: str = "bench") -> RelevanceJudgments:
 
 def summary_quality(cell: ExperimentCell, shrinkage: bool) -> SummaryQuality:
     """Mean Section 6.1 metrics across the cell's databases."""
+    if shrinkage:
+        ensure_shrunk(cell)
     metrics: list[SummaryQuality] = []
     for name, exact in cell.exact_summaries.items():
         if shrinkage:
@@ -358,14 +738,14 @@ def summary_quality(cell: ExperimentCell, shrinkage: bool) -> SummaryQuality:
         else:
             approx = cell.summaries[name]
         metrics.append(evaluate_summary(approx, exact))
-    count = len(metrics)
+    total = len(metrics)
     return SummaryQuality(
-        weighted_recall=sum(m.weighted_recall for m in metrics) / count,
-        unweighted_recall=sum(m.unweighted_recall for m in metrics) / count,
-        weighted_precision=sum(m.weighted_precision for m in metrics) / count,
-        unweighted_precision=sum(m.unweighted_precision for m in metrics) / count,
-        spearman=sum(m.spearman for m in metrics) / count,
-        kl=sum(m.kl for m in metrics) / count,
+        weighted_recall=sum(m.weighted_recall for m in metrics) / total,
+        unweighted_recall=sum(m.unweighted_recall for m in metrics) / total,
+        weighted_precision=sum(m.weighted_precision for m in metrics) / total,
+        unweighted_precision=sum(m.unweighted_precision for m in metrics) / total,
+        spearman=sum(m.spearman for m in metrics) / total,
+        kl=sum(m.kl for m in metrics) / total,
     )
 
 
@@ -377,16 +757,21 @@ def rk_curves_per_query(
     queries: Sequence | None = None,
 ) -> list[np.ndarray]:
     """Per-query Rk curves (k = 1..k_max) over the cell's workload."""
+    if SelectionStrategy(strategy) in (
+        SelectionStrategy.SHRINKAGE, SelectionStrategy.UNIVERSAL
+    ):
+        ensure_shrunk(cell)
     workload = queries if queries is not None else get_workload(cell.dataset, cell.scale)
     judgments = get_judgments(cell.dataset, cell.scale)
     curves = []
-    for query in workload:
-        outcome = cell.metasearcher.select(
-            list(query.terms), algorithm=algorithm, strategy=strategy, k=k_max
-        )
-        curves.append(
-            rk_curve(outcome.names, judgments.per_database(query.qid), k_max)
-        )
+    with timer("evaluate.rk"):
+        for query in workload:
+            outcome = cell.metasearcher.select(
+                list(query.terms), algorithm=algorithm, strategy=strategy, k=k_max
+            )
+            curves.append(
+                rk_curve(outcome.names, judgments.per_database(query.qid), k_max)
+            )
     return curves
 
 
@@ -434,6 +819,7 @@ def shrinkage_application_rate(
     cell: ExperimentCell, algorithm: str
 ) -> float:
     """Fraction of (query, database) pairs where shrinkage was applied (Table 10)."""
+    ensure_shrunk(cell)
     workload = get_workload(cell.dataset, cell.scale)
     applications = 0
     pairs = 0

@@ -1,0 +1,149 @@
+"""Run instrumentation: named counters and wall-clock timers.
+
+The experiment harness spans several expensive stages — corpus synthesis,
+query-based sampling, EM shrinkage, matrix evaluation — and, with the
+artifact store of :mod:`repro.evaluation.store`, many of those stages may
+be skipped on a warm cache. Counters and timers make those effects
+observable: ``repro bench`` prints them, tests assert on them, and the
+parallel executor merges per-worker snapshots back into the parent
+process.
+
+Counters are plain monotonically increasing integers (``cache.hit``,
+``sample.documents``, ``em.iterations``, ...). Timers accumulate wall
+seconds per name along with an invocation count, so ``report()`` can show
+both the total cost of a stage and how often it ran.
+
+Everything funnels through one module-level :class:`Instrumentation`
+instance (:func:`get_instrumentation`); worker processes use their own
+copy and ship :meth:`~Instrumentation.snapshot` deltas back to the parent
+(see :func:`Instrumentation.delta_since` / :meth:`Instrumentation.merge`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Instrumentation:
+    """A registry of named counters and cumulative timers."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timer_seconds: dict[str, float] = {}
+        self.timer_calls: dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager accumulating wall time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timer_seconds[name] = self.timer_seconds.get(name, 0.0) + elapsed
+            self.timer_calls[name] = self.timer_calls.get(name, 0) + 1
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record ``seconds`` of wall time under ``name`` directly."""
+        self.timer_seconds[name] = self.timer_seconds.get(name, 0.0) + seconds
+        self.timer_calls[name] = self.timer_calls.get(name, 0) + calls
+
+    # -- snapshots (for cross-process merging) -------------------------------
+
+    def snapshot(self) -> dict:
+        """A picklable copy of the current state."""
+        return {
+            "counters": dict(self.counters),
+            "timer_seconds": dict(self.timer_seconds),
+            "timer_calls": dict(self.timer_calls),
+        }
+
+    def delta_since(self, snapshot: dict) -> dict:
+        """The state accumulated since ``snapshot`` was taken.
+
+        Worker processes are long-lived (one worker handles many tasks),
+        so each task reports only its own contribution: snapshot on entry,
+        delta on exit.
+        """
+        before_counters = snapshot.get("counters", {})
+        before_seconds = snapshot.get("timer_seconds", {})
+        before_calls = snapshot.get("timer_calls", {})
+        return {
+            "counters": {
+                name: value - before_counters.get(name, 0)
+                for name, value in self.counters.items()
+                if value != before_counters.get(name, 0)
+            },
+            "timer_seconds": {
+                name: value - before_seconds.get(name, 0.0)
+                for name, value in self.timer_seconds.items()
+                if value != before_seconds.get(name, 0.0)
+            },
+            "timer_calls": {
+                name: value - before_calls.get(name, 0)
+                for name, value in self.timer_calls.items()
+                if value != before_calls.get(name, 0)
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot (or delta) from another process into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        calls = snapshot.get("timer_calls", {})
+        for name, seconds in snapshot.get("timer_seconds", {}).items():
+            self.add_time(name, seconds, calls.get(name, 1))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        self.counters.clear()
+        self.timer_seconds.clear()
+        self.timer_calls.clear()
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> str:
+        """A formatted two-section table of timers and counters."""
+        lines: list[str] = []
+        if self.timer_seconds:
+            lines.append(f"{'timer':<28} {'total s':>10} {'calls':>7}")
+            for name in sorted(self.timer_seconds):
+                lines.append(
+                    f"{name:<28} {self.timer_seconds[name]:>10.3f} "
+                    f"{self.timer_calls.get(name, 0):>7d}"
+                )
+        if self.counters:
+            if lines:
+                lines.append("")
+            lines.append(f"{'counter':<28} {'value':>10}")
+            for name in sorted(self.counters):
+                lines.append(f"{name:<28} {self.counters[name]:>10d}")
+        return "\n".join(lines) if lines else "(no instrumentation recorded)"
+
+
+#: The process-wide instance all harness code records into.
+_GLOBAL = Instrumentation()
+
+
+def get_instrumentation() -> Instrumentation:
+    """The process-wide :class:`Instrumentation` instance."""
+    return _GLOBAL
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Shorthand for ``get_instrumentation().count(...)``."""
+    _GLOBAL.count(name, amount)
+
+
+def timer(name: str):
+    """Shorthand for ``get_instrumentation().timer(...)``."""
+    return _GLOBAL.timer(name)

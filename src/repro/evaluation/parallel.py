@@ -1,0 +1,205 @@
+"""Process-pool fan-out for the experiment harness.
+
+Two levels of parallelism, mirroring where the harness spends its time:
+
+* **per-database** — sampling/classification/size estimation
+  (:func:`sample_databases_parallel`) and shrinkage EM
+  (:func:`shrink_cell_parallel`) are independent across databases, each
+  seeded deterministically by ``[stream, database_index]``;
+* **per-cell** — whole matrix cells evaluate independently
+  (:func:`evaluate_cells_parallel`), which is how ``repro bench --matrix``
+  uses all cores.
+
+Determinism contract: every task is a pure function of (configuration,
+index) — the workers call the exact same per-unit functions as the serial
+path, with the exact same seeds, and the parent reassembles results in
+serial order — so results are bit-identical to a single-process run
+(:mod:`tests.test_parallel` asserts this).
+
+Workers rebuild any artifact they need through the harness itself: when an
+artifact store is configured, the parent persists testbeds/samples before
+fanning out, and workers load them from disk instead of re-synthesizing.
+Worker-side instrumentation is shipped back as per-task snapshot deltas
+and merged into the parent's counters, so ``repro bench`` totals include
+work done in the pool.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.core.shrinkage import ShrunkSummary, shrink_database_summary
+from repro.evaluation.instrument import get_instrumentation
+from repro.summaries.sampling import DocumentSample
+
+# -- worker-side plumbing ---------------------------------------------------------
+
+
+def _worker_init(cache_dir: str | None) -> None:
+    """Configure a worker process: same store as the parent, no nesting.
+
+    ``jobs`` is pinned to 1 so a worker that rebuilds artifacts through
+    the harness never tries to open its own process pool.
+    """
+    from repro.evaluation import harness
+
+    harness.configure(cache_dir=cache_dir, jobs=1)
+
+
+def _sample_task(task: tuple) -> tuple:
+    """Worker body: sample one database; returns its results + counters."""
+    from repro.evaluation import harness
+
+    dataset, sampler, scale, index = task
+    instrumentation = get_instrumentation()
+    before = instrumentation.snapshot()
+    name, sample, classification, size = harness.sample_one_database(
+        dataset, sampler, scale, index
+    )
+    return (
+        index, name, sample, classification, size,
+        instrumentation.delta_since(before),
+    )
+
+
+def _shrink_task(task: tuple) -> tuple:
+    """Worker body: EM-shrink one database of one cell."""
+    from repro.evaluation import harness
+
+    dataset, sampler, frequency_estimation, scale, index = task
+    instrumentation = get_instrumentation()
+    before = instrumentation.snapshot()
+    cell = harness.get_cell(dataset, sampler, frequency_estimation, scale)
+    name = list(cell.summaries)[index]
+    shrunk = shrink_database_summary(
+        name,
+        cell.summaries[name],
+        cell.metasearcher.builder,
+        cell.metasearcher.shrinkage_config,
+    )
+    return index, name, shrunk, instrumentation.delta_since(before)
+
+
+def _evaluate_cell_task(task: tuple) -> tuple:
+    """Worker body: build + fully evaluate one matrix cell."""
+    from repro.evaluation import harness
+
+    dataset, sampler, frequency_estimation, scale, algorithm, k_max = task
+    instrumentation = get_instrumentation()
+    before = instrumentation.snapshot()
+    cell = harness.get_cell(dataset, sampler, frequency_estimation, scale)
+    harness.ensure_shrunk(cell)
+    result = {
+        "dataset": dataset,
+        "sampler": sampler,
+        "frequency_estimation": frequency_estimation,
+        "quality_plain": harness.summary_quality(cell, shrinkage=False),
+        "quality_shrunk": harness.summary_quality(cell, shrinkage=True),
+        "rk": {
+            strategy: harness.rk_experiment(cell, algorithm, strategy, k_max)
+            for strategy in ("plain", "shrinkage")
+        },
+    }
+    return result, instrumentation.delta_since(before)
+
+
+# -- parent-side fan-out ----------------------------------------------------------
+
+
+def _cache_dir_for_workers() -> str | None:
+    """The configured store root, as a string the initializer can ship."""
+    from repro.evaluation import harness
+
+    store = harness.get_config().store
+    return str(Path(store.root)) if store is not None else None
+
+
+def _executor(jobs: int, num_tasks: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=max(1, min(jobs, num_tasks)),
+        initializer=_worker_init,
+        initargs=(_cache_dir_for_workers(),),
+    )
+
+
+def sample_databases_parallel(
+    dataset: str,
+    sampler: str,
+    scale: str,
+    num_databases: int,
+    jobs: int,
+) -> list[tuple[str, DocumentSample, tuple[str, ...], float]]:
+    """Fan per-database sampling out over ``jobs`` worker processes.
+
+    Returns (name, sample, classification, size) tuples in database order
+    — the exact order and values of the serial loop.
+    """
+    tasks = [
+        (dataset, sampler, scale, index) for index in range(num_databases)
+    ]
+    instrumentation = get_instrumentation()
+    results = []
+    with _executor(jobs, len(tasks)) as executor:
+        for index, name, sample, classification, size, delta in executor.map(
+            _sample_task, tasks
+        ):
+            instrumentation.merge(delta)
+            results.append((index, name, sample, classification, size))
+    results.sort(key=lambda item: item[0])
+    return [(name, s, c, z) for _i, name, s, c, z in results]
+
+
+def shrink_cell_parallel(
+    dataset: str,
+    sampler: str,
+    frequency_estimation: bool,
+    scale: str,
+    jobs: int,
+) -> dict[str, ShrunkSummary]:
+    """Fan one cell's per-database shrinkage EM out over worker processes.
+
+    The parent must have built (and, with a store configured, persisted)
+    the cell's summaries first; workers reload them through the harness.
+    """
+    from repro.evaluation import harness
+
+    cell = harness.get_cell(dataset, sampler, frequency_estimation, scale)
+    tasks = [
+        (dataset, sampler, frequency_estimation, scale, index)
+        for index in range(len(cell.summaries))
+    ]
+    instrumentation = get_instrumentation()
+    gathered: list[tuple[int, str, ShrunkSummary]] = []
+    with _executor(jobs, len(tasks)) as executor:
+        for index, name, shrunk, delta in executor.map(_shrink_task, tasks):
+            instrumentation.merge(delta)
+            gathered.append((index, name, shrunk))
+    gathered.sort(key=lambda item: item[0])
+    return {name: shrunk for _i, name, shrunk in gathered}
+
+
+def evaluate_cells_parallel(
+    cells: list[tuple[str, str, bool]],
+    scale: str,
+    jobs: int,
+    algorithm: str = "cori",
+    k_max: int = 10,
+) -> list[dict]:
+    """Evaluate whole matrix cells concurrently (one worker per cell).
+
+    Each result dict carries the cell coordinates, plain and shrunk
+    summary quality, and mean Rk curves for the plain and shrinkage
+    strategies under ``algorithm``.
+    """
+    tasks = [
+        (dataset, sampler, frequency_estimation, scale, algorithm, k_max)
+        for dataset, sampler, frequency_estimation in cells
+    ]
+    instrumentation = get_instrumentation()
+    results = []
+    with _executor(jobs, len(tasks)) as executor:
+        for result, delta in executor.map(_evaluate_cell_task, tasks):
+            instrumentation.merge(delta)
+            results.append(result)
+    return results

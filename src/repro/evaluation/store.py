@@ -1,0 +1,329 @@
+"""Content-addressed on-disk artifact store for the experiment harness.
+
+The harness's in-memory caches die with the interpreter, so every pytest
+session, benchmark run, and CLI invocation used to rebuild testbeds,
+samples, summaries, and EM weights from scratch. This module persists
+those artifacts on disk, keyed by a stable fingerprint of the full
+configuration that produced them (scale profile, dataset, sampler config,
+seeds, pipeline version), so a repeat run skips straight to the cached
+bytes.
+
+Layout: one gzip-compressed JSON document per artifact at
+``<root>/<kind>/<fingerprint>.json.gz``, where ``kind`` is one of
+:data:`ARTIFACT_KINDS`. Each document carries the store format version,
+its kind, and an echo of the configuration that keyed it (for human
+inspection via ``repro cache``). Serialization of summaries, samples, and
+documents reuses :mod:`repro.summaries.io` so the on-disk format stays
+consistent with the library's public persistence API.
+
+Failure policy: a missing, truncated, or otherwise corrupted entry is a
+*cache miss*, never an error — the caller rebuilds and overwrites. Writes
+are atomic (temp file + ``os.replace``) so a crashed run cannot leave a
+half-written artifact behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+import os
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro.evaluation.instrument import count, timer
+from repro.index.engine import TextDatabase
+from repro.summaries.io import (
+    FORMAT_VERSION,
+    document_from_dict,
+    document_to_dict,
+    sample_from_dict,
+    sample_to_dict,
+    summary_from_dict,
+    summary_to_dict,
+)
+
+#: Artifact kinds the store recognises, in pipeline order.
+ARTIFACT_KINDS = ("testbed", "samples", "summaries", "shrunk")
+
+#: On-disk format version; bump on incompatible layout changes.
+STORE_VERSION = 1
+
+#: Version of the artifact-producing pipeline itself. Part of every
+#: fingerprint, so changing the harness's algorithms invalidates caches
+#: produced by older code even when the configuration is unchanged.
+PIPELINE_VERSION = 1
+
+
+# -- fingerprinting --------------------------------------------------------------
+
+
+def _canonical(value):
+    """Reduce ``value`` to plain JSON types, deterministically.
+
+    Dataclasses become sorted dicts, tuples become lists, dict keys are
+    stringified; sets are rejected (iteration order would leak in).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonical(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, (set, frozenset)):
+        raise TypeError("sets have no canonical order; sort before hashing")
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing")
+
+
+def fingerprint(config: Mapping) -> str:
+    """A stable hex digest of an artifact's full configuration."""
+    canonical = _canonical(dict(config))
+    encoded = json.dumps(
+        canonical, sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(encoded).hexdigest()[:20]
+
+
+# -- artifact payload converters --------------------------------------------------
+
+
+def testbed_databases_to_payload(databases: list[TextDatabase]) -> dict:
+    """Serialize a testbed's databases (documents + true categories)."""
+    return {
+        "databases": [
+            {
+                "name": db.name,
+                "category": list(db.category) if db.category else None,
+                "documents": [
+                    document_to_dict(doc) for doc in db.documents()
+                ],
+            }
+            for db in databases
+        ]
+    }
+
+
+def testbed_databases_from_payload(payload: Mapping) -> list[TextDatabase]:
+    """Rebuild the databases of a persisted testbed."""
+    databases = []
+    for entry in payload["databases"]:
+        category = entry["category"]
+        databases.append(
+            TextDatabase(
+                name=entry["name"],
+                documents=[
+                    document_from_dict(doc) for doc in entry["documents"]
+                ],
+                category=tuple(category) if category is not None else None,
+            )
+        )
+    return databases
+
+
+def samples_to_payload(samples, classifications, sizes) -> dict:
+    """Serialize per-database samples, classifications, size estimates."""
+    return {
+        "samples": {
+            name: sample_to_dict(sample) for name, sample in samples.items()
+        },
+        "classifications": {
+            name: list(path) for name, path in classifications.items()
+        },
+        "sizes": dict(sizes),
+    }
+
+
+def samples_from_payload(payload: Mapping):
+    """Rebuild (samples, classifications, sizes) from a store payload."""
+    samples = {
+        name: sample_from_dict(entry)
+        for name, entry in payload["samples"].items()
+    }
+    classifications = {
+        name: tuple(path)
+        for name, path in payload["classifications"].items()
+    }
+    sizes = {name: float(size) for name, size in payload["sizes"].items()}
+    return samples, classifications, sizes
+
+
+def summaries_to_payload(summaries, classifications) -> dict:
+    """Serialize a cell's summary set plus its classifications."""
+    return {
+        "summaries": {
+            name: summary_to_dict(summary)
+            for name, summary in summaries.items()
+        },
+        "classifications": {
+            name: list(path) for name, path in classifications.items()
+        },
+    }
+
+
+def summaries_from_payload(payload: Mapping):
+    """Rebuild (summaries, classifications) from a store payload."""
+    summaries = {
+        name: summary_from_dict(entry)
+        for name, entry in payload["summaries"].items()
+    }
+    classifications = {
+        name: tuple(path)
+        for name, path in payload["classifications"].items()
+    }
+    return summaries, classifications
+
+
+def shrunk_to_payload(shrunk) -> dict:
+    """Serialize shrunk summaries (mixture weights ride along)."""
+    return {
+        "summaries": {
+            name: summary_to_dict(summary)
+            for name, summary in shrunk.items()
+        }
+    }
+
+
+def shrunk_from_payload(payload: Mapping) -> dict:
+    """Rebuild a cell's shrunk summaries from a store payload."""
+    return {
+        name: summary_from_dict(entry)
+        for name, entry in payload["summaries"].items()
+    }
+
+
+# -- the store --------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """One artifact on disk, as listed by :meth:`ArtifactStore.entries`."""
+
+    kind: str
+    key: str
+    bytes: int
+    path: Path
+
+
+class ArtifactStore:
+    """Gzip-JSON artifact cache rooted at one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(root={str(self.root)!r})"
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """Where the (kind, key) artifact lives on disk."""
+        if kind not in ARTIFACT_KINDS:
+            raise ValueError(f"kind must be one of {ARTIFACT_KINDS}")
+        return self.root / kind / f"{key}.json.gz"
+
+    # -- read ------------------------------------------------------------------
+
+    def load(self, kind: str, key: str):
+        """The payload stored under (kind, key), or None on any miss.
+
+        Corruption — unreadable gzip, invalid JSON, wrong version or kind,
+        missing fields downstream — is treated as a miss: the entry is
+        counted under ``cache.corrupt`` and the caller rebuilds.
+        """
+        path = self.path_for(kind, key)
+        if not path.exists():
+            count("cache.miss")
+            return None
+        try:
+            with timer("store.load"):
+                raw = gzip.decompress(path.read_bytes())
+                document = json.loads(raw)
+        except (OSError, EOFError, ValueError):
+            # gzip.BadGzipFile is an OSError; json errors are ValueErrors.
+            count("cache.miss")
+            count("cache.corrupt")
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("store_version") != STORE_VERSION
+            or document.get("kind") != kind
+            or "payload" not in document
+        ):
+            count("cache.miss")
+            count("cache.corrupt")
+            return None
+        count("cache.hit")
+        return document["payload"]
+
+    def load_artifact(self, kind: str, key: str, converter):
+        """Load (kind, key) and rebuild it with ``converter``.
+
+        A converter failure on a structurally valid document still counts
+        as corruption — the entry was written by an incompatible or
+        interrupted producer — and yields a miss.
+        """
+        payload = self.load(kind, key)
+        if payload is None:
+            return None
+        try:
+            return converter(payload)
+        except (KeyError, TypeError, ValueError):
+            count("cache.corrupt")
+            return None
+
+    # -- write -----------------------------------------------------------------
+
+    def save(self, kind: str, key: str, payload: dict, config=None) -> Path:
+        """Atomically persist ``payload`` under (kind, key)."""
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "store_version": STORE_VERSION,
+            "format_version": FORMAT_VERSION,
+            "kind": kind,
+            "key": key,
+            "payload": payload,
+        }
+        if config is not None:
+            document["config"] = _canonical(dict(config))
+        with timer("store.save"):
+            data = gzip.compress(
+                json.dumps(document, separators=(",", ":")).encode(),
+                compresslevel=5,
+            )
+            tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        count("cache.store")
+        return path
+
+    # -- inspection / maintenance ----------------------------------------------
+
+    def entries(self) -> list[StoreEntry]:
+        """Every artifact currently on disk, sorted by kind then key."""
+        found: list[StoreEntry] = []
+        for kind in ARTIFACT_KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.json.gz")):
+                found.append(
+                    StoreEntry(
+                        kind=kind,
+                        key=path.name[: -len(".json.gz")],
+                        bytes=path.stat().st_size,
+                        path=path,
+                    )
+                )
+        return found
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        removed = 0
+        for entry in self.entries():
+            entry.path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -98,6 +98,28 @@ class Metasearcher:
             )
         return self._shrunk
 
+    def has_shrunk_summaries(self) -> bool:
+        """True once R(D) has been computed or installed."""
+        return self._shrunk is not None
+
+    def set_shrunk_summaries(
+        self, shrunk: Mapping[str, ShrunkSummary]
+    ) -> None:
+        """Install precomputed R(D) (e.g. loaded from an artifact store).
+
+        The mapping must cover every sampled database; insertion order is
+        normalized to the sampled-summary order so downstream iteration is
+        independent of where the shrunk summaries came from.
+        """
+        missing = set(self.sampled_summaries) - set(shrunk)
+        if missing:
+            raise ValueError(
+                f"shrunk summaries missing for {sorted(missing)[:5]!r}"
+            )
+        self._shrunk = {
+            name: shrunk[name] for name in self.sampled_summaries
+        }
+
     def make_scorer(self, algorithm: str) -> DatabaseScorer:
         """A fresh scorer instance for ``algorithm`` (bgloss/cori/lm)."""
         algorithm = algorithm.lower()

@@ -21,6 +21,8 @@ from pathlib import Path
 from collections.abc import Mapping
 
 from repro.core.shrinkage import ShrunkSummary
+from repro.index.document import Document
+from repro.summaries.sampling import DocumentSample
 from repro.summaries.summary import ContentSummary, SampledSummary
 
 FORMAT_VERSION = 1
@@ -84,6 +86,48 @@ def summary_from_dict(payload: Mapping) -> ContentSummary:
             base=summary_from_dict(payload["base"]),
         )
     raise ValueError(f"unknown summary kind {kind!r}")
+
+
+def document_to_dict(document: Document) -> dict:
+    """A JSON-serializable representation of one document."""
+    payload: dict = {
+        "doc_id": document.doc_id,
+        "terms": list(document.terms),
+    }
+    if document.topic is not None:
+        payload["topic"] = document.topic
+    return payload
+
+
+def document_from_dict(payload: Mapping) -> Document:
+    """Rebuild a document from :func:`document_to_dict` output."""
+    return Document(
+        doc_id=payload["doc_id"],
+        terms=tuple(payload["terms"]),
+        topic=payload.get("topic"),
+    )
+
+
+def sample_to_dict(sample: DocumentSample) -> dict:
+    """A JSON-serializable representation of a sampling run's outcome."""
+    return {
+        "version": FORMAT_VERSION,
+        "documents": [document_to_dict(doc) for doc in sample.documents],
+        "match_counts": dict(sample.match_counts),
+        "num_queries": sample.num_queries,
+    }
+
+
+def sample_from_dict(payload: Mapping) -> DocumentSample:
+    """Rebuild a document sample from :func:`sample_to_dict` output."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported sample format version {version!r}")
+    return DocumentSample(
+        documents=[document_from_dict(doc) for doc in payload["documents"]],
+        match_counts=dict(payload["match_counts"]),
+        num_queries=payload["num_queries"],
+    )
 
 
 def save_summaries(

@@ -21,6 +21,29 @@ from repro.summaries.frequency import build_raw_summary
 from repro.summaries.sampling import QBSConfig, QBSSampler
 from repro.summaries.size import sample_resample_size
 
+#: A deliberately tiny scale profile for cache/parallel plumbing tests —
+#: everything a "small" cell has, at a fraction of the build time.
+MICRO_PROFILE = harness.ScaleProfile(
+    corpus_config=CorpusModelConfig(
+        general_vocab_size=300,
+        node_vocab_sizes={1: 80, 2: 60, 3: 50},
+    ),
+    trec_databases=4,
+    trec_size_range=(80, 150),
+    trec_num_leaves=3,
+    web_databases_per_leaf=1,
+    web_extra_databases=1,
+    web_size_range=(60, 200),
+    web_num_leaves=3,
+    qbs=QBSConfig(max_sample_docs=25, give_up_after=30, max_queries=200),
+    fps_probes_per_category=3,
+    fps_docs_per_probe=2,
+    fps_max_sample_docs=30,
+    num_queries=5,
+    doc_length_median=50.0,
+    seed_vocabulary_size=200,
+)
+
 
 def make_tiny_hierarchy() -> Hierarchy:
     """Root -> {Alpha -> {Aleph, Alef}, Beta -> {Bet}}."""
@@ -82,6 +105,68 @@ def tiny_summaries(tiny_testbed):
         summaries[db.name] = build_raw_summary(sample, size)
         classifications[db.name] = db.category
     return summaries, classifications
+
+
+@pytest.fixture
+def isolated_harness():
+    """Snapshot harness caches/config/instrumentation; restore afterwards.
+
+    Tests that call ``harness.clear_caches()`` or ``harness.configure()``
+    must use this fixture so they cannot disturb the session-scoped cells
+    other tests share.
+    """
+    saved = [dict(cache) for cache in harness.memory_caches()]
+    config = harness.get_config()
+    saved_store, saved_jobs = config.store, config.jobs
+    try:
+        yield
+    finally:
+        harness.clear_caches()
+        for cache, contents in zip(harness.memory_caches(), saved):
+            cache.update(contents)
+        config.store = saved_store
+        config.jobs = saved_jobs
+
+
+@pytest.fixture(scope="session")
+def micro_store(tmp_path_factory):
+    """An artifact store pre-warmed with the trec4/qbs cell at micro scale.
+
+    Registers the "micro" profile in ``harness.SCALES`` for the whole
+    session, builds every artifact layer (testbed, samples, summaries,
+    shrunk) once into a session temp directory, and fully restores the
+    harness state before yielding — tests get a warm on-disk cache without
+    paying the build repeatedly or leaking harness configuration.
+    """
+    root = tmp_path_factory.mktemp("micro-store")
+    patcher = pytest.MonkeyPatch()
+    patcher.setitem(harness.SCALES, "micro", MICRO_PROFILE)
+    saved = [dict(cache) for cache in harness.memory_caches()]
+    config = harness.get_config()
+    saved_store, saved_jobs = config.store, config.jobs
+    try:
+        harness.clear_caches()
+        harness.configure(cache_dir=root, jobs=1)
+        cell = harness.get_cell("trec4", "qbs", False, scale="micro")
+        harness.ensure_shrunk(cell)
+    finally:
+        harness.clear_caches()
+        for cache, contents in zip(harness.memory_caches(), saved):
+            cache.update(contents)
+        config.store = saved_store
+        config.jobs = saved_jobs
+    yield root
+    patcher.undo()
+
+
+@pytest.fixture
+def micro_scale(micro_store, isolated_harness):
+    """The name of the micro scale profile, with warm store available.
+
+    Depends on :func:`isolated_harness`, so a test is free to
+    ``clear_caches()``/``configure()`` as it pleases.
+    """
+    return "micro"
 
 
 @pytest.fixture(scope="session")

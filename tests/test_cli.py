@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.evaluation import harness
+from repro.evaluation.store import ArtifactStore
 
 
 class TestParser:
@@ -27,6 +29,34 @@ class TestParser:
     def test_invalid_dataset_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["selection", "--dataset", "trec99"])
+
+    def test_runtime_arguments(self):
+        args = build_parser().parse_args(
+            ["bench", "--jobs", "3", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 3
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache
+        assert not args.matrix
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.algorithm == "cori"
+        assert args.k == 10
+
+    def test_bench_matrix_flag(self):
+        args = build_parser().parse_args(["bench", "--matrix"])
+        assert args.matrix
+
+    def test_cache_arguments(self):
+        args = build_parser().parse_args(
+            ["cache", "--cache-dir", "/tmp/x", "--clear", "--verbose"]
+        )
+        assert args.cache_dir == "/tmp/x"
+        assert args.clear
+        assert args.verbose
 
 
 class TestCommands:
@@ -64,3 +94,69 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Shrinkage" in out
         assert "paired t-test" in out
+
+
+def mean_rk_line(output: str) -> str:
+    return next(line for line in output.splitlines() if line.startswith("mean Rk"))
+
+
+class TestBenchAndCache:
+    def test_bench_cold_then_warm_cache(
+        self, capsys, tmp_path, isolated_harness
+    ):
+        cache_dir = str(tmp_path / "store")
+
+        harness.clear_caches()
+        assert main(["bench", "--scale", "small", "--cache-dir", cache_dir]) == 0
+        cold_out = capsys.readouterr().out
+        assert "wall time" in cold_out
+        assert "testbed.synthesized" in cold_out
+        assert "em.runs" in cold_out
+
+        # Fresh interpreter state, same store: everything loads from disk.
+        harness.clear_caches()
+        code = main(
+            ["bench", "--scale", "small", "--cache-dir", cache_dir,
+             "--jobs", "2"]
+        )
+        assert code == 0
+        warm_out = capsys.readouterr().out
+        assert "cache.hit" in warm_out
+        assert "testbed.synthesized" not in warm_out
+        assert "sample.databases" not in warm_out
+        assert "em.runs" not in warm_out
+        # The cached run reports the exact numbers of the cold run.
+        assert mean_rk_line(warm_out) == mean_rk_line(cold_out)
+
+    def test_bench_no_cache_disables_store(self, capsys, isolated_harness):
+        from repro.evaluation.instrument import get_instrumentation
+
+        get_instrumentation().reset()
+        assert main(["bench", "--scale", "small", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "artifact store" not in out
+        assert "cache.store" not in out
+        assert harness.get_config().store is None
+
+    def test_cache_requires_directory(self, capsys):
+        assert main(["cache"]) == 2
+        assert "--cache-dir is required" in capsys.readouterr().out
+
+    def test_cache_inspect_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path)
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+        store = ArtifactStore(tmp_path)
+        store.save("testbed", "aaa111", {"v": 1})
+        store.save("samples", "bbb222", {"v": 2})
+        assert main(["cache", "--cache-dir", cache_dir, "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "testbed" in out
+        assert "samples" in out
+        assert "aaa111" in out
+
+        assert main(["cache", "--cache-dir", cache_dir, "--clear"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "(empty)" in capsys.readouterr().out

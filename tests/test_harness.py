@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.evaluation import harness
+from repro.evaluation.instrument import get_instrumentation
 from repro.selection.metasearcher import SelectionStrategy
+from repro.summaries.io import summary_to_dict
 
 
 class TestTestbedsAndCells:
@@ -112,3 +114,63 @@ class TestExperiments:
                 query, "cori", strategy, k=4
             )
             assert len(outcome.names) <= 4
+
+
+class TestDeterminism:
+    def test_two_fresh_runs_identical(self, micro_scale):
+        """Everything downstream of the seeds is reproducible bit for bit:
+        build a cell twice from scratch (caches dropped in between, no disk
+        store) and compare summaries, lambdas, and R(k) exactly."""
+
+        def run():
+            harness.clear_caches()
+            cell = harness.get_cell("trec4", "qbs", False, scale=micro_scale)
+            shrunk = harness.ensure_shrunk(cell)
+            rk = harness.rk_experiment(cell, "cori", "shrinkage", k_max=5)
+            return (
+                {n: summary_to_dict(s) for n, s in cell.summaries.items()},
+                dict(cell.classifications),
+                {n: s.lambdas for n, s in shrunk.items()},
+                rk,
+            )
+
+        first = run()
+        second = run()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+        assert np.array_equal(first[3], second[3], equal_nan=True)
+
+
+class TestCacheLifecycle:
+    def test_clear_caches_resets_all_state(self, isolated_harness, tmp_path):
+        external = harness.register_external_cache({"stale": 1})
+        try:
+            harness.configure(cache_dir=tmp_path, jobs=4)
+            get_instrumentation().count("anything")
+            assert harness.get_config().store is not None
+            assert harness.get_config().jobs == 4
+
+            harness.clear_caches()
+
+            assert external == {}
+            for cache in harness.memory_caches():
+                assert cache == {}
+            config = harness.get_config()
+            assert config.store is None
+            assert config.jobs == 1
+            assert get_instrumentation().counters == {}
+            assert get_instrumentation().timer_seconds == {}
+        finally:
+            harness._EXTERNAL_CACHES.remove(external)
+
+    def test_configure_accepts_store_instance_and_disabling(
+        self, isolated_harness, tmp_path
+    ):
+        from repro.evaluation.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        assert harness.configure(cache_dir=store).store is store
+        assert harness.configure(cache_dir=None).store is None
+        assert harness.configure(cache_dir=str(tmp_path)).store.root == tmp_path
+        assert harness.configure(jobs=0).jobs == 1  # floor at one worker

@@ -1,0 +1,153 @@
+"""Counters, timers, and cross-process snapshot/delta/merge semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.instrument import (
+    Instrumentation,
+    count,
+    get_instrumentation,
+    timer,
+)
+
+
+class TestCounters:
+    def test_count_creates_and_accumulates(self):
+        inst = Instrumentation()
+        inst.count("cache.hit")
+        inst.count("cache.hit", 4)
+        assert inst.counters == {"cache.hit": 5}
+
+    def test_count_coerces_to_int(self):
+        inst = Instrumentation()
+        inst.count("docs", 2.0)
+        assert inst.counters["docs"] == 2
+        assert isinstance(inst.counters["docs"], int)
+
+    def test_independent_names(self):
+        inst = Instrumentation()
+        inst.count("a")
+        inst.count("b", 3)
+        assert inst.counters == {"a": 1, "b": 3}
+
+
+class TestTimers:
+    def test_timer_accumulates_seconds_and_calls(self):
+        inst = Instrumentation()
+        with inst.timer("stage"):
+            pass
+        with inst.timer("stage"):
+            pass
+        assert inst.timer_calls["stage"] == 2
+        assert inst.timer_seconds["stage"] >= 0.0
+
+    def test_timer_records_on_exception(self):
+        inst = Instrumentation()
+        with pytest.raises(RuntimeError):
+            with inst.timer("boom"):
+                raise RuntimeError("fail inside timed block")
+        assert inst.timer_calls["boom"] == 1
+
+    def test_add_time_direct(self):
+        inst = Instrumentation()
+        inst.add_time("em", 1.5)
+        inst.add_time("em", 0.5, calls=3)
+        assert inst.timer_seconds["em"] == pytest.approx(2.0)
+        assert inst.timer_calls["em"] == 4
+
+
+class TestSnapshots:
+    def test_snapshot_is_a_copy(self):
+        inst = Instrumentation()
+        inst.count("a")
+        snap = inst.snapshot()
+        inst.count("a")
+        assert snap["counters"]["a"] == 1
+        assert inst.counters["a"] == 2
+
+    def test_delta_since_reports_only_changes(self):
+        inst = Instrumentation()
+        inst.count("before", 7)
+        inst.add_time("old", 1.0)
+        snap = inst.snapshot()
+        inst.count("after", 2)
+        inst.add_time("new", 0.25)
+        delta = inst.delta_since(snap)
+        assert delta["counters"] == {"after": 2}
+        assert delta["timer_seconds"] == {"new": pytest.approx(0.25)}
+        assert delta["timer_calls"] == {"new": 1}
+
+    def test_delta_of_incremented_counter(self):
+        inst = Instrumentation()
+        inst.count("a", 3)
+        snap = inst.snapshot()
+        inst.count("a", 2)
+        assert inst.delta_since(snap)["counters"] == {"a": 2}
+
+    def test_merge_folds_delta_in(self):
+        parent = Instrumentation()
+        parent.count("a", 1)
+        parent.merge(
+            {
+                "counters": {"a": 2, "b": 5},
+                "timer_seconds": {"em": 1.5},
+                "timer_calls": {"em": 3},
+            }
+        )
+        assert parent.counters == {"a": 3, "b": 5}
+        assert parent.timer_seconds["em"] == pytest.approx(1.5)
+        assert parent.timer_calls["em"] == 3
+
+    def test_merge_roundtrip_matches_single_process(self):
+        """worker-delta merging must equal doing the work in one process."""
+        serial = Instrumentation()
+        serial.count("docs", 10)
+        serial.count("docs", 20)
+
+        parent = Instrumentation()
+        worker = Instrumentation()
+        snap = worker.snapshot()
+        worker.count("docs", 10)
+        parent.merge(worker.delta_since(snap))
+        snap = worker.snapshot()
+        worker.count("docs", 20)
+        parent.merge(worker.delta_since(snap))
+        assert parent.counters == serial.counters
+
+
+class TestLifecycleAndReport:
+    def test_reset_zeroes_everything(self):
+        inst = Instrumentation()
+        inst.count("a")
+        inst.add_time("t", 1.0)
+        inst.reset()
+        assert inst.counters == {}
+        assert inst.timer_seconds == {}
+        assert inst.timer_calls == {}
+
+    def test_report_empty(self):
+        assert "no instrumentation" in Instrumentation().report()
+
+    def test_report_lists_timers_and_counters(self):
+        inst = Instrumentation()
+        inst.count("cache.hit", 3)
+        inst.add_time("sample.collect", 1.25)
+        report = inst.report()
+        assert "cache.hit" in report
+        assert "3" in report
+        assert "sample.collect" in report
+
+    def test_module_shorthands_hit_global(self):
+        inst = get_instrumentation()
+        snap = inst.snapshot()
+        count("test.shorthand", 2)
+        with timer("test.shorthand.timer"):
+            pass
+        delta = inst.delta_since(snap)
+        assert delta["counters"]["test.shorthand"] == 2
+        assert delta["timer_calls"]["test.shorthand.timer"] == 1
+        # tidy up the global instance
+        inst.counters.pop("test.shorthand", None)
+        inst.timer_seconds.pop("test.shorthand.timer", None)
+        inst.timer_calls.pop("test.shorthand.timer", None)

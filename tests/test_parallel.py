@@ -1,0 +1,157 @@
+"""Serial vs. parallel equivalence: the process-pool fan-out must produce
+bit-identical samples, summaries, EM weights, and R(k) curves."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import harness, parallel
+from repro.evaluation.instrument import get_instrumentation
+from repro.summaries.io import summary_to_dict
+
+from tests.conftest import MICRO_PROFILE
+
+DATASET, SAMPLER = "trec4", "qbs"
+
+
+def summaries_digest(summaries):
+    return {name: summary_to_dict(s) for name, s in summaries.items()}
+
+
+class TestSamplingEquivalence:
+    def test_parallel_sampling_bit_identical_to_serial(
+        self, micro_scale, micro_store
+    ):
+        harness.clear_caches()
+        harness.configure(cache_dir=micro_store, jobs=1)
+        num = MICRO_PROFILE.trec_databases
+        serial = [
+            harness.sample_one_database(DATASET, SAMPLER, micro_scale, index)
+            for index in range(num)
+        ]
+        fanned = parallel.sample_databases_parallel(
+            DATASET, SAMPLER, micro_scale, num, jobs=2
+        )
+        assert len(fanned) == len(serial)
+        for (s_name, s_sample, s_class, s_size), (
+            p_name, p_sample, p_class, p_size
+        ) in zip(serial, fanned):
+            assert p_name == s_name
+            assert p_class == s_class
+            assert p_size == s_size  # exact, not approx
+            assert [d.doc_id for d in p_sample.documents] == [
+                d.doc_id for d in s_sample.documents
+            ]
+            assert [d.terms for d in p_sample.documents] == [
+                d.terms for d in s_sample.documents
+            ]
+            assert p_sample.match_counts == s_sample.match_counts
+            assert p_sample.num_queries == s_sample.num_queries
+
+    def test_worker_counters_merged_into_parent(self, micro_scale, micro_store):
+        harness.clear_caches()
+        harness.configure(cache_dir=micro_store, jobs=1)
+        num = MICRO_PROFILE.trec_databases
+        snap = get_instrumentation().snapshot()
+        parallel.sample_databases_parallel(
+            DATASET, SAMPLER, micro_scale, num, jobs=2
+        )
+        delta = get_instrumentation().delta_since(snap)["counters"]
+        assert delta.get("sample.databases") == num
+        assert delta.get("sample.documents", 0) > 0
+        # Workers found the shared store, so nothing was re-synthesized.
+        assert "testbed.synthesized" not in delta
+
+    def test_sample_one_database_is_deterministic(self, micro_scale, micro_store):
+        harness.clear_caches()
+        harness.configure(cache_dir=micro_store, jobs=1)
+        first = harness.sample_one_database(DATASET, SAMPLER, micro_scale, 2)
+        second = harness.sample_one_database(DATASET, SAMPLER, micro_scale, 2)
+        assert first[0] == second[0]
+        assert first[3] == second[3]
+        assert [d.doc_id for d in first[1].documents] == [
+            d.doc_id for d in second[1].documents
+        ]
+
+
+class TestShrinkageEquivalence:
+    def test_parallel_em_matches_serial(self, micro_scale, micro_store):
+        """The session store holds serially-computed EM weights; a parallel
+        recompute must reproduce them bit for bit."""
+        harness.clear_caches()
+        harness.configure(cache_dir=micro_store, jobs=1)
+        cell = harness.get_cell(DATASET, SAMPLER, False, scale=micro_scale)
+        serial_shrunk = harness.ensure_shrunk(cell)
+
+        fanned = parallel.shrink_cell_parallel(
+            DATASET, SAMPLER, False, micro_scale, jobs=2
+        )
+        assert list(fanned) == list(serial_shrunk)
+        for name in serial_shrunk:
+            assert fanned[name].lambdas == serial_shrunk[name].lambdas
+            assert fanned[name].tf_lambdas == serial_shrunk[name].tf_lambdas
+            assert summary_to_dict(fanned[name]) == summary_to_dict(
+                serial_shrunk[name]
+            )
+
+
+class TestEndToEndEquivalence:
+    def test_full_run_identical_without_store(self, micro_scale):
+        """jobs=2 with no disk store at all: sampling and EM both fan out,
+        and every downstream number matches the serial run exactly."""
+        harness.clear_caches()
+        harness.configure(cache_dir=False, jobs=1)
+        cell_s = harness.get_cell(DATASET, SAMPLER, False, scale=micro_scale)
+        shrunk_s = harness.ensure_shrunk(cell_s)
+        summaries_s = summaries_digest(cell_s.summaries)
+        lambdas_s = {name: s.lambdas for name, s in shrunk_s.items()}
+        rk_plain_s = harness.rk_experiment(cell_s, "cori", "plain", k_max=5)
+        rk_shrunk_s = harness.rk_experiment(cell_s, "cori", "shrinkage", k_max=5)
+
+        harness.clear_caches()
+        harness.configure(cache_dir=False, jobs=2)
+        cell_p = harness.get_cell(DATASET, SAMPLER, False, scale=micro_scale)
+        shrunk_p = harness.ensure_shrunk(cell_p)
+        assert summaries_digest(cell_p.summaries) == summaries_s
+        assert cell_p.classifications == cell_s.classifications
+        assert {name: s.lambdas for name, s in shrunk_p.items()} == lambdas_s
+        rk_plain_p = harness.rk_experiment(cell_p, "cori", "plain", k_max=5)
+        rk_shrunk_p = harness.rk_experiment(cell_p, "cori", "shrinkage", k_max=5)
+        assert np.array_equal(rk_plain_s, rk_plain_p, equal_nan=True)
+        assert np.array_equal(rk_shrunk_s, rk_shrunk_p, equal_nan=True)
+
+    def test_evaluate_cells_parallel_matches_serial(
+        self, micro_scale, micro_store
+    ):
+        cells = [(DATASET, SAMPLER, False), (DATASET, SAMPLER, True)]
+
+        harness.clear_caches()
+        harness.configure(cache_dir=micro_store, jobs=1)
+        serial = {}
+        for dataset, sampler, freq_est in cells:
+            cell = harness.get_cell(dataset, sampler, freq_est, scale=micro_scale)
+            harness.ensure_shrunk(cell)
+            serial[(dataset, sampler, freq_est)] = {
+                "quality_plain": harness.summary_quality(cell, shrinkage=False),
+                "quality_shrunk": harness.summary_quality(cell, shrinkage=True),
+                "rk": harness.rk_experiment(cell, "cori", "shrinkage", k_max=5),
+            }
+
+        harness.clear_caches()
+        harness.configure(cache_dir=micro_store, jobs=1)
+        results = parallel.evaluate_cells_parallel(
+            cells, micro_scale, jobs=2, algorithm="cori", k_max=5
+        )
+        assert len(results) == len(cells)
+        for result in results:
+            key = (
+                result["dataset"],
+                result["sampler"],
+                result["frequency_estimation"],
+            )
+            expected = serial[key]
+            assert result["quality_plain"] == expected["quality_plain"]
+            assert result["quality_shrunk"] == expected["quality_shrunk"]
+            assert np.array_equal(
+                result["rk"]["shrinkage"], expected["rk"], equal_nan=True
+            )
