@@ -238,7 +238,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.evaluation.store import ArtifactStore
+    from repro.evaluation.store import (
+        PIPELINE_VERSION,
+        REPRESENTATION_VERSION,
+        STORE_VERSION,
+        ArtifactStore,
+    )
 
     if not args.cache_dir:
         print("cache: --cache-dir is required")
@@ -250,6 +255,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     entries = store.entries()
     print(f"artifact store: {store.root}")
+    print(
+        f"versions: store={STORE_VERSION} pipeline={PIPELINE_VERSION} "
+        f"representation={REPRESENTATION_VERSION}"
+    )
     if not entries:
         print("(empty)")
         return 0

@@ -98,6 +98,10 @@ class ScoreDistributionModel:
         #: (scorer name, word). Sound as long as a scorer's corpus-level
         #: statistics stay fixed, which holds within one summary set.
         self.moment_cache = moment_cache
+        # The posterior support grid depends only on |D|, which is fixed
+        # per model; every query word reuses the same grid and its
+        # word-independent log terms.
+        self._grid_cache: tuple[int, tuple[np.ndarray, ...]] | None = None
 
     @property
     def gamma(self) -> float:
@@ -113,24 +117,17 @@ class ScoreDistributionModel:
         sample_size = self.summary.sample_size
         observed = min(self.summary.sample_frequency(word), sample_size)
 
-        support = self._support(database_size)
-        ratio = support / database_size
-        with np.errstate(divide="ignore"):
-            log_weights = (
-                self.gamma * np.log(support)
-                + observed * np.log(ratio)
-                + (sample_size - observed) * np.log1p(-np.clip(ratio, 0.0, 1.0))
-            )
+        support, log_support, log_ratio, log_miss, log_widths = self._grid(
+            database_size
+        )
+        log_weights = (
+            self.gamma * log_support
+            + observed * log_ratio
+            + (sample_size - observed) * log_miss
+        )
         log_weights[~np.isfinite(log_weights)] = -np.inf
-        if support.size > 1 and support.size < database_size:
-            # Geometric grid: weight each point by the width of the stretch
-            # of integers it represents, so the subsampled posterior is an
-            # unbiased quadrature of the dense one.
-            widths = np.empty_like(support)
-            widths[1:-1] = (support[2:] - support[:-2]) / 2.0
-            widths[0] = (support[1] - support[0] + 1) / 2.0
-            widths[-1] = (support[-1] - support[-2] + 1) / 2.0
-            log_weights += np.log(widths)
+        if log_widths is not None:
+            log_weights += log_widths
         if not np.any(np.isfinite(log_weights)):
             # Degenerate (e.g. s_k = |S| and d = |D| is the only option):
             # put all mass on the largest support value.
@@ -150,6 +147,36 @@ class ScoreDistributionModel:
             ).astype(np.int64)
         )
         return grid.astype(np.float64)
+
+    def _grid(self, database_size: int) -> tuple[np.ndarray, ...]:
+        """Support grid plus its word-independent log terms, cached.
+
+        Returns ``(support, log(support), log(d/|D|), log1p(-d/|D|),
+        log_widths-or-None)``; only the binomial exponents vary per word,
+        so everything else is computed once per model.
+        """
+        cached = self._grid_cache
+        if cached is not None and cached[0] == database_size:
+            return cached[1]
+        support = self._support(database_size)
+        ratio = support / database_size
+        with np.errstate(divide="ignore"):
+            log_support = np.log(support)
+            log_ratio = np.log(ratio)
+            log_miss = np.log1p(-np.clip(ratio, 0.0, 1.0))
+        log_widths = None
+        if support.size > 1 and support.size < database_size:
+            # Geometric grid: weight each point by the width of the stretch
+            # of integers it represents, so the subsampled posterior is an
+            # unbiased quadrature of the dense one.
+            widths = np.empty_like(support)
+            widths[1:-1] = (support[2:] - support[:-2]) / 2.0
+            widths[0] = (support[1] - support[0] + 1) / 2.0
+            widths[-1] = (support[-1] - support[-2] + 1) / 2.0
+            log_widths = np.log(widths)
+        grid = (support, log_support, log_ratio, log_miss, log_widths)
+        self._grid_cache = (database_size, grid)
+        return grid
 
     # -- analytic moments ------------------------------------------------------
 

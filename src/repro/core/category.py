@@ -9,21 +9,34 @@ descendant), weighting each database by its (estimated) size:
 Definition 4's note additionally requires that, when shrinking a database
 ``D`` along its path ``C1..Cm``, the summary of ``C_i`` must *exclude* all
 data already counted in ``C_{i+1}`` (and ``C_m`` must exclude ``D``
-itself) so the mixture components are independent. The builder implements
-this with aggregate sums per category, so each exclusive summary is one
-dictionary subtraction instead of a re-aggregation.
+itself) so the mixture components are independent.
+
+The builder works in the columnar representation: every database summary
+is expressed over one shared :class:`~repro.core.vocab.Vocabulary` (the
+summaries' own, when they already share an instance; a union vocabulary
+otherwise), and each category subtree keeps *dense* per-id probability
+sums. Aggregation is then one fancy-indexed array add per database, and
+each exclusive summary is a single array subtraction instead of a
+re-aggregation.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 
+import numpy as np
+
+from repro.core.vocab import Vocabulary
 from repro.corpus.hierarchy import Hierarchy
 from repro.summaries.summary import ContentSummary
 
+#: Contributions at or below this threshold are dropped after exclusion —
+#: they are floating-point residue of subtracting a component's own sums.
+_EXCLUSION_EPSILON = 1e-12
+
 
 class _Aggregate:
-    """Weighted sums of probabilities for one category subtree.
+    """Weighted dense sums of probabilities for one category subtree.
 
     ``total_weight`` normalizes the probability sums (database sizes under
     Equation 1, database counts under the footnote-5 alternative);
@@ -31,41 +44,49 @@ class _Aggregate:
     a category's own |C| means to the selection algorithms.
     """
 
-    __slots__ = ("df_sums", "tf_sums", "total_weight", "total_size", "database_names")
+    __slots__ = (
+        "vocab", "df_sums", "tf_sums", "total_weight", "total_size",
+        "database_names",
+    )
 
-    def __init__(self) -> None:
-        self.df_sums: dict[str, float] = {}
-        self.tf_sums: dict[str, float] = {}
+    def __init__(self, vocab: Vocabulary, vocab_size: int) -> None:
+        self.vocab = vocab
+        self.df_sums = np.zeros(vocab_size, dtype=np.float64)
+        self.tf_sums = np.zeros(vocab_size, dtype=np.float64)
         self.total_weight = 0.0
         self.total_size = 0.0
         self.database_names: list[str] = []
 
-    def add_summary(
-        self, name: str, summary: ContentSummary, weight: float
+    def add_summary_arrays(
+        self,
+        name: str,
+        size: float,
+        weight: float,
+        df: tuple[np.ndarray, np.ndarray],
+        tf: tuple[np.ndarray, np.ndarray],
     ) -> None:
+        """Fold one database's columnar regimes into the sums."""
         self.total_weight += weight
-        self.total_size += summary.size
+        self.total_size += size
         self.database_names.append(name)
-        for word, probability in summary.df_items():
-            self.df_sums[word] = self.df_sums.get(word, 0.0) + probability * weight
-        for word, probability in summary.tf_items():
-            self.tf_sums[word] = self.tf_sums.get(word, 0.0) + probability * weight
+        df_ids, df_values = df
+        tf_ids, tf_values = tf
+        self.df_sums[df_ids] += df_values * weight
+        self.tf_sums[tf_ids] += tf_values * weight
 
     def add_aggregate(self, other: "_Aggregate") -> None:
         self.total_weight += other.total_weight
         self.total_size += other.total_size
         self.database_names.extend(other.database_names)
-        for word, value in other.df_sums.items():
-            self.df_sums[word] = self.df_sums.get(word, 0.0) + value
-        for word, value in other.tf_sums.items():
-            self.tf_sums[word] = self.tf_sums.get(word, 0.0) + value
+        self.df_sums += other.df_sums
+        self.tf_sums += other.tf_sums
 
     def minus(self, other: "_Aggregate | None") -> "_Aggregate":
         """A new aggregate with ``other``'s contribution removed."""
-        result = _Aggregate()
+        result = _Aggregate(self.vocab, self.df_sums.size)
         if other is None:
-            result.df_sums = dict(self.df_sums)
-            result.tf_sums = dict(self.tf_sums)
+            result.df_sums = self.df_sums.copy()
+            result.tf_sums = self.tf_sums.copy()
             result.total_weight = self.total_weight
             result.total_size = self.total_size
             result.database_names = list(self.database_names)
@@ -76,24 +97,29 @@ class _Aggregate:
         ]
         result.total_weight = max(self.total_weight - other.total_weight, 0.0)
         result.total_size = max(self.total_size - other.total_size, 0.0)
-        for word, value in self.df_sums.items():
-            remaining = value - other.df_sums.get(word, 0.0)
-            if remaining > 1e-12:
-                result.df_sums[word] = remaining
-        for word, value in self.tf_sums.items():
-            remaining = value - other.tf_sums.get(word, 0.0)
-            if remaining > 1e-12:
-                result.tf_sums[word] = remaining
+        df_remaining = self.df_sums - other.df_sums
+        tf_remaining = self.tf_sums - other.tf_sums
+        result.df_sums = np.where(
+            df_remaining > _EXCLUSION_EPSILON, df_remaining, 0.0
+        )
+        result.tf_sums = np.where(
+            tf_remaining > _EXCLUSION_EPSILON, tf_remaining, 0.0
+        )
         return result
 
     def to_summary(self) -> ContentSummary:
         if self.total_weight <= 0:
-            return ContentSummary(0.0, {}, {})
-        df_probs = {
-            w: min(v / self.total_weight, 1.0) for w, v in self.df_sums.items()
-        }
-        tf_probs = {w: v / self.total_weight for w, v in self.tf_sums.items()}
-        return ContentSummary(self.total_size, df_probs, tf_probs)
+            return ContentSummary(0.0, {}, {}, vocab=self.vocab)
+        df_ids = np.flatnonzero(self.df_sums > 0.0)
+        tf_ids = np.flatnonzero(self.tf_sums > 0.0)
+        df_values = np.minimum(self.df_sums[df_ids] / self.total_weight, 1.0)
+        tf_values = self.tf_sums[tf_ids] / self.total_weight
+        return ContentSummary(
+            self.total_size,
+            (df_ids, df_values),
+            (tf_ids, tf_values),
+            vocab=self.vocab,
+        )
 
 
 class CategorySummaryBuilder:
@@ -136,25 +162,58 @@ class CategorySummaryBuilder:
         for name, path in self._classifications.items():
             if path not in hierarchy:
                 raise ValueError(f"{name!r} classified under unknown path {path}")
+        self.vocab = self._shared_vocabulary()
+        self._regimes = self._translate_summaries()
         self._aggregates = self._build_aggregates()
         self._summary_cache: dict[tuple[str, ...], ContentSummary] = {}
+
+    def _shared_vocabulary(self) -> Vocabulary:
+        """The summaries' common vocabulary, or a fresh union of them all."""
+        vocabs = {id(s.vocab): s.vocab for s in self._summaries.values()}
+        if len(vocabs) == 1:
+            return next(iter(vocabs.values()))
+        return Vocabulary()
+
+    def _translate_summaries(self) -> dict[str, tuple]:
+        """Every classified summary's regimes in the builder's id space.
+
+        When the summaries already share the builder vocabulary this is
+        pure aliasing; otherwise each summary's words are interned once
+        here — the only per-word Python loop in the builder.
+        """
+        regimes: dict[str, tuple] = {}
+        for name in self._classifications:
+            summary = self._summaries[name]
+            regimes[name] = (
+                summary.regime_arrays("df", self.vocab),
+                summary.regime_arrays("tf", self.vocab),
+            )
+        return regimes
+
+    def _new_aggregate(self) -> _Aggregate:
+        return _Aggregate(self.vocab, len(self.vocab))
+
+    def _add_database(
+        self, aggregate: _Aggregate, name: str
+    ) -> None:
+        summary = self._summaries[name]
+        weight = summary.size if self.weighting == "size" else 1.0
+        df, tf = self._regimes[name]
+        aggregate.add_summary_arrays(name, summary.size, weight, df, tf)
 
     def _build_aggregates(self) -> dict[tuple[str, ...], _Aggregate]:
         """Per-category subtree aggregates, computed bottom-up."""
         direct: dict[tuple[str, ...], _Aggregate] = {}
         for name, path in self._classifications.items():
-            summary = self._summaries.get(name)
-            if summary is None:
-                continue
-            weight = summary.size if self.weighting == "size" else 1.0
-            direct.setdefault(path, _Aggregate()).add_summary(
-                name, summary, weight
-            )
+            aggregate = direct.get(path)
+            if aggregate is None:
+                aggregate = direct[path] = self._new_aggregate()
+            self._add_database(aggregate, name)
 
         aggregates: dict[tuple[str, ...], _Aggregate] = {}
 
         def collect(node) -> _Aggregate:
-            aggregate = _Aggregate()
+            aggregate = self._new_aggregate()
             own = direct.get(node.path)
             if own is not None:
                 aggregate.add_aggregate(own)
@@ -204,20 +263,24 @@ class CategorySummaryBuilder:
                 child_aggregate = self._aggregates[chain[i + 1].path]
                 exclusive = aggregate.minus(child_aggregate)
             else:
-                own = _Aggregate()
-                summary = self._summaries.get(db_name)
-                if summary is not None:
-                    weight = summary.size if self.weighting == "size" else 1.0
-                    own.add_summary(db_name, summary, weight)
+                own = self._new_aggregate()
+                if db_name in self._summaries and db_name in self._regimes:
+                    self._add_database(own, db_name)
                 exclusive = aggregate.minus(own)
             result.append((node.path, exclusive.to_summary()))
         return result
 
+    def global_ids(self) -> np.ndarray:
+        """Vocabulary ids with mass anywhere (the C0 support), sorted."""
+        return np.flatnonzero(
+            self._aggregates[self.hierarchy.root.path].df_sums > 0.0
+        )
+
     def global_vocabulary(self) -> set[str]:
         """All words across all database summaries (the C0 support)."""
-        return set(self._aggregates[self.hierarchy.root.path].df_sums)
+        return set(self.vocab.words_of(self.global_ids()))
 
     def uniform_probability(self) -> float:
         """p(w|C0) of the dummy uniform category: 1 / |global vocabulary|."""
-        vocabulary_size = len(self.global_vocabulary())
+        vocabulary_size = int(self.global_ids().size)
         return 1.0 / vocabulary_size if vocabulary_size else 0.0

@@ -12,6 +12,11 @@ the E step measures the "similarity" of each component with the current
 mixture over the words of the database's own sampled summary, and the M
 step renormalizes. The weights are computed offline, once per database —
 no query-time overhead (Section 3.2).
+
+This is the hottest loop in the repo, so EM runs columnar: the components
+become a ``(m+2, |words|)`` probability matrix over vocabulary ids and
+each E/M step is a handful of array operations. :func:`_run_em` keeps the
+original mapping-based signature as a thin wrapper over the array core.
 """
 
 from __future__ import annotations
@@ -19,8 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.core.category import CategorySummaryBuilder
-from repro.summaries.summary import ContentSummary, SampledSummary
+from repro.core.vocab import Vocabulary
+from repro.summaries.summary import ContentSummary, IdProbs, SampledSummary
 
 
 @dataclass(frozen=True)
@@ -57,15 +65,17 @@ class ShrunkSummary(ContentSummary):
     def __init__(
         self,
         size: float,
-        df_probs: Mapping[str, float],
-        tf_probs: Mapping[str, float],
+        df_probs: Mapping[str, float] | IdProbs,
+        tf_probs: Mapping[str, float] | IdProbs,
         lambdas: Sequence[float],
         tf_lambdas: Sequence[float],
         component_names: Sequence[str],
         uniform_probability: float,
         base: SampledSummary | ContentSummary,
+        *,
+        vocab: Vocabulary | None = None,
     ) -> None:
-        super().__init__(size, df_probs, tf_probs)
+        super().__init__(size, df_probs, tf_probs, vocab=vocab)
         self.lambdas = tuple(lambdas)
         self.tf_lambdas = tuple(tf_lambdas)
         self.component_names = tuple(component_names)
@@ -84,9 +94,64 @@ class ShrunkSummary(ContentSummary):
             return explicit
         return self.tf_lambdas[0] * self.uniform_probability
 
+    def scored_lookup(self, ids: np.ndarray, regime: str = "df") -> np.ndarray:
+        """Vectorized :meth:`p` / :meth:`tf_p`: ids outside the summary's
+        support fall back to the uniform-component floor."""
+        values = self.lookup_ids(ids, regime)
+        floor_lambda = (
+            self.lambdas[0] if regime == "df" else self.tf_lambdas[0]
+        )
+        floor = floor_lambda * self.uniform_probability
+        return np.where(
+            (values > 0.0) | self._ids_in_support(ids), values, floor
+        )
+
     def mixture_weights(self) -> dict[str, float]:
         """{component name: lambda} for the document-frequency regime."""
         return dict(zip(self.component_names, self.lambdas))
+
+
+def _em_core(columns: np.ndarray, config: ShrinkageConfig) -> list[float]:
+    """Figure 2 over a dense ``(num_components, num_words)`` matrix.
+
+    Row 0 is the uniform component C0, rows 1..m the categories, the last
+    row the database itself (leave-one-out corrected when configured).
+    The E step is one matrix-vector product plus a masked column-normalized
+    sum; the M step a renormalization.
+    """
+    num_components, num_words = columns.shape
+    if num_words == 0:
+        # Degenerate: an empty sample gives EM nothing to fit. Uniform
+        # weights keep the mixture well-defined.
+        return [1.0 / num_components] * num_components
+
+    lambdas = np.full(num_components, 1.0 / num_components)
+    iterations = 0
+    for _iteration in range(config.max_iterations):
+        iterations += 1
+        mixture = lambdas @ columns
+        positive = mixture > 0.0
+        if positive.any():
+            ratios = columns[:, positive] / mixture[positive]
+            betas = lambdas * ratios.sum(axis=1)
+        else:
+            betas = np.zeros(num_components)
+        total = float(betas.sum())
+        if total <= 0.0:
+            break
+        new_lambdas = betas / total
+        delta = float(np.max(np.abs(new_lambdas - lambdas)))
+        lambdas = new_lambdas
+        if delta < config.epsilon:
+            break
+
+    # Imported here, not at module top: repro.evaluation would pull
+    # repro.summaries.io back into this partially initialized module.
+    from repro.evaluation.instrument import count
+
+    count("em.runs")
+    count("em.iterations", iterations)
+    return lambdas.tolist()
 
 
 def _run_em(
@@ -110,75 +175,97 @@ def _run_em(
     drifts to an all-database mixture. McCallum et al. [22] — the source
     of the shrinkage technique — prescribe this correction; the final
     mixture still uses the unmodified database probabilities.
+
+    Mapping-based convenience wrapper over :func:`_em_core`, kept for
+    callers (and tests) that have plain dicts rather than summaries.
     """
     words = list(db_probs)
     num_components = len(component_probs) + 2  # C0 + categories + database
     if not words:
-        # Degenerate: an empty sample gives EM nothing to fit. Uniform
-        # weights keep the mixture well-defined.
         return [1.0 / num_components] * num_components
 
     em_db_probs = db_loo_probs if db_loo_probs is not None else db_probs
+    columns = np.empty((num_components, len(words)), dtype=np.float64)
+    columns[0] = uniform_probability
+    for j, probs in enumerate(component_probs, start=1):
+        get = probs.get
+        columns[j] = [get(word, 0.0) for word in words]
+    get = em_db_probs.get
+    columns[-1] = [get(word, 0.0) for word in words]
+    return _em_core(columns, config)
 
-    # Per-word probability of each component, dense over the summary words.
-    columns: list[list[float]] = []
-    columns.append([uniform_probability] * len(words))  # C0
-    for probs in component_probs:
-        columns.append([probs.get(word, 0.0) for word in words])
-    columns.append([em_db_probs.get(word, 0.0) for word in words])  # the database
 
-    lambdas = [1.0 / num_components] * num_components
-    iterations = 0
-    for _iteration in range(config.max_iterations):
-        iterations += 1
-        betas = [0.0] * num_components
-        for word_index in range(len(words)):
-            mixture = 0.0
-            for j in range(num_components):
-                mixture += lambdas[j] * columns[j][word_index]
-            if mixture <= 0.0:
-                continue
-            for j in range(num_components):
-                betas[j] += lambdas[j] * columns[j][word_index] / mixture
-        total = sum(betas)
-        if total <= 0.0:
-            break
-        new_lambdas = [beta / total for beta in betas]
-        delta = max(
-            abs(new - old) for new, old in zip(new_lambdas, lambdas)
+def _gather(
+    ids: np.ndarray, ref_ids: np.ndarray, ref_values: np.ndarray
+) -> np.ndarray:
+    """Values of sorted ``ref_ids``/``ref_values`` at ``ids``; missing → 0."""
+    out = np.zeros(ids.size, dtype=np.float64)
+    if ref_ids.size and ids.size:
+        positions = np.minimum(
+            np.searchsorted(ref_ids, ids), ref_ids.size - 1
         )
-        lambdas = new_lambdas
-        if delta < config.epsilon:
-            break
-
-    # Imported here, not at module top: repro.evaluation would pull
-    # repro.summaries.io back into this partially initialized module.
-    from repro.evaluation.instrument import count
-
-    count("em.runs")
-    count("em.iterations", iterations)
-    return lambdas
+        hit = ref_ids[positions] == ids
+        out[hit] = ref_values[positions[hit]]
+    return out
 
 
-def _mix(
-    db_probs: Mapping[str, float],
-    component_probs: Sequence[Mapping[str, float]],
+def _loo_values(
+    db_summary: ContentSummary,
+    regime: str,
+    values: np.ndarray,
+    config: ShrinkageConfig,
+) -> np.ndarray:
+    """The database's EM column: leave-one-out when configured."""
+    if config.loo_discount <= 0.0:
+        return values
+    if isinstance(db_summary, SampledSummary):
+        return db_summary.leave_one_out_arrays(regime, config.loo_discount)
+    if regime == "df":
+        # No raw sample statistics: discount one document's worth of
+        # evidence per word, the same correction at summary granularity.
+        size = max(db_summary.size, 1.0)
+        return np.maximum(values - config.loo_discount / size, 0.0)
+    return values
+
+
+def _db_regime(
+    db_summary: ContentSummary,
+    regime: str,
+    vocab: Vocabulary,
+    config: ShrinkageConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(ids, probabilities, EM column) of the database in ``vocab``'s space.
+
+    The EM column is computed against the summary's *own* array order
+    (that is what :meth:`SampledSummary.leave_one_out_arrays` aligns to)
+    and permuted together with the ids when a translation is needed.
+    """
+    own_ids, own_values = db_summary.regime_arrays(regime)
+    em_values = _loo_values(db_summary, regime, own_values, config)
+    if db_summary.vocab is vocab:
+        return own_ids, own_values, em_values
+    translated = vocab.intern_many(db_summary.vocab.words_of(own_ids))
+    order = np.argsort(translated, kind="stable")
+    return translated[order], own_values[order], em_values[order]
+
+
+def _mix_arrays(
+    regime: str,
+    db_ids: np.ndarray,
+    db_values: np.ndarray,
+    components: Sequence[ContentSummary],
     uniform_probability: float,
     lambdas: Sequence[float],
-) -> dict[str, float]:
+) -> IdProbs:
     """Materialize pR(w|D) over the union of the component vocabularies."""
-    vocabulary: set[str] = set(db_probs)
-    for probs in component_probs:
-        vocabulary.update(probs)
-    background = lambdas[0] * uniform_probability
-    mixed: dict[str, float] = {}
-    for word in vocabulary:
-        value = background
-        for j, probs in enumerate(component_probs, start=1):
-            value += lambdas[j] * probs.get(word, 0.0)
-        value += lambdas[-1] * db_probs.get(word, 0.0)
-        mixed[word] = min(value, 1.0)
-    return mixed
+    ids = db_ids
+    for summary in components:
+        ids = np.union1d(ids, summary.regime_arrays(regime)[0])
+    values = np.full(ids.size, lambdas[0] * uniform_probability)
+    for j, summary in enumerate(components, start=1):
+        values = values + lambdas[j] * summary.lookup_ids(ids, regime)
+    values = values + lambdas[-1] * _gather(ids, db_ids, db_values)
+    return ids, np.minimum(values, 1.0)
 
 
 def shrink_database_summary(
@@ -191,49 +278,39 @@ def shrink_database_summary(
 
     EM is run independently for the document-frequency regime (used by
     bGlOSS/CORI) and the term-frequency regime (used by LM), per the
-    adaptation note of Section 5.3.
+    adaptation note of Section 5.3. All arithmetic happens over the
+    builder's shared vocabulary ids; the database summary is translated
+    into that id space once per regime if it was built against a different
+    vocabulary instance.
     """
     config = config or ShrinkageConfig()
     path_summaries = builder.exclusive_path_summaries(db_name)
     uniform_probability = builder.uniform_probability()
+    vocab = builder.vocab
+    components = [summary for _path, summary in path_summaries]
 
     component_names = ["Uniform"]
     component_names.extend(path[-1] for path, _summary in path_summaries)
     component_names.append(db_name)
 
-    df_components = [
-        summary.probabilities("df") for _path, summary in path_summaries
-    ]
-    tf_components = [
-        summary.probabilities("tf") for _path, summary in path_summaries
-    ]
-    db_df = db_summary.probabilities("df")
-    db_tf = db_summary.probabilities("tf")
-    if config.loo_discount <= 0.0:
-        loo_df = None
-        loo_tf = None
-    elif isinstance(db_summary, SampledSummary):
-        loo_df = db_summary.leave_one_out_probabilities("df", config.loo_discount)
-        loo_tf = db_summary.leave_one_out_probabilities("tf", config.loo_discount)
-    else:
-        # No raw sample statistics: discount one document's worth of
-        # evidence per word, the same correction at summary granularity.
-        size = max(db_summary.size, 1.0)
-        loo_df = {
-            w: max(p - config.loo_discount / size, 0.0) for w, p in db_df.items()
-        }
-        loo_tf = None
+    regimes: dict[str, tuple[list[float], IdProbs]] = {}
+    for regime in ("df", "tf"):
+        ids, values, em_values = _db_regime(db_summary, regime, vocab, config)
+        columns = np.empty((len(components) + 2, ids.size), dtype=np.float64)
+        columns[0] = uniform_probability
+        for j, summary in enumerate(components, start=1):
+            columns[j] = summary.lookup_ids(ids, regime)
+        columns[-1] = em_values
+        lambdas = _em_core(columns, config)
+        regimes[regime] = (
+            lambdas,
+            _mix_arrays(
+                regime, ids, values, components, uniform_probability, lambdas
+            ),
+        )
 
-    lambdas = _run_em(
-        db_df, df_components, uniform_probability, config, db_loo_probs=loo_df
-    )
-    tf_lambdas = _run_em(
-        db_tf, tf_components, uniform_probability, config, db_loo_probs=loo_tf
-    )
-
-    df_probs = _mix(db_df, df_components, uniform_probability, lambdas)
-    tf_probs = _mix(db_tf, tf_components, uniform_probability, tf_lambdas)
-
+    lambdas, df_probs = regimes["df"]
+    tf_lambdas, tf_probs = regimes["tf"]
     return ShrunkSummary(
         size=db_summary.size,
         df_probs=df_probs,
@@ -243,6 +320,7 @@ def shrink_database_summary(
         component_names=component_names,
         uniform_probability=uniform_probability,
         base=db_summary,
+        vocab=vocab,
     )
 
 

@@ -31,7 +31,6 @@ parallel results are bit-identical to the serial path.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from collections.abc import Mapping, MutableMapping, Sequence
 
@@ -40,6 +39,7 @@ import numpy as np
 from repro.classify.prober import ProbeClassifier
 from repro.classify.rules import ProbeRuleSet, build_probe_rules
 from repro.core.shrinkage import ShrinkageConfig
+from repro.core.vocab import Vocabulary
 from repro.corpus.hierarchy import default_hierarchy
 from repro.corpus.language_model import CorpusModel, CorpusModelConfig
 from repro.corpus.queries import QueryWorkload, RelevanceJudgments, generate_workload
@@ -423,12 +423,18 @@ def get_testbed(dataset: str, scale: str = "bench") -> Testbed:
 def get_exact_summaries(
     dataset: str, scale: str = "bench"
 ) -> dict[str, ContentSummary]:
-    """Ground-truth S(D) for every database of a testbed (cached)."""
+    """Ground-truth S(D) for every database of a testbed (cached).
+
+    All exact summaries of one testbed share a single :class:`Vocabulary`
+    instance, which keeps downstream comparisons and scoring columnar.
+    """
     key = (dataset, scale)
     if key not in _EXACT:
         testbed = get_testbed(dataset, scale)
+        vocab = Vocabulary()
         _EXACT[key] = {
-            db.name: build_exact_summary(db) for db in testbed.databases
+            db.name: build_exact_summary(db, vocab=vocab)
+            for db in testbed.databases
         }
     return _EXACT[key]
 
@@ -571,14 +577,25 @@ def _build_summaries(
     sizes: Mapping[str, float],
     frequency_estimation: bool,
 ) -> dict[str, SampledSummary]:
-    """Per-database summaries from samples (Appendix A optional)."""
+    """Per-database summaries from samples (Appendix A optional).
+
+    One :class:`Vocabulary` instance is shared by the whole summary set.
+    Construction order is deterministic (samples iterate in testbed
+    order), so the interned id space — and hence every downstream array —
+    is identical between serial and parallel runs.
+    """
     summaries: dict[str, SampledSummary] = {}
+    vocab = Vocabulary()
     with timer("summaries.build"):
         for name, sample in samples.items():
             if frequency_estimation:
-                summaries[name] = build_estimated_summary(sample, sizes[name])
+                summaries[name] = build_estimated_summary(
+                    sample, sizes[name], vocab=vocab
+                )
             else:
-                summaries[name] = build_raw_summary(sample, sizes[name])
+                summaries[name] = build_raw_summary(
+                    sample, sizes[name], vocab=vocab
+                )
     return summaries
 
 

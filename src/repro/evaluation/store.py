@@ -32,6 +32,7 @@ import os
 from pathlib import Path
 from collections.abc import Mapping
 
+from repro.core.vocab import Vocabulary
 from repro.evaluation.instrument import count, timer
 from repro.index.engine import TextDatabase
 from repro.summaries.io import (
@@ -53,7 +54,13 @@ STORE_VERSION = 1
 #: Version of the artifact-producing pipeline itself. Part of every
 #: fingerprint, so changing the harness's algorithms invalidates caches
 #: produced by older code even when the configuration is unchanged.
-PIPELINE_VERSION = 1
+PIPELINE_VERSION = 2
+
+#: Version of the in-memory/on-disk summary representation (the columnar
+#: ``(ids, values)`` format of :mod:`repro.summaries.io`). Also part of
+#: every fingerprint: dict-era cache entries become plain misses instead
+#: of deserialization hazards.
+REPRESENTATION_VERSION = FORMAT_VERSION
 
 
 # -- fingerprinting --------------------------------------------------------------
@@ -81,8 +88,21 @@ def _canonical(value):
 
 
 def fingerprint(config: Mapping) -> str:
-    """A stable hex digest of an artifact's full configuration."""
-    canonical = _canonical(dict(config))
+    """A stable hex digest of an artifact's full configuration.
+
+    The digest covers an envelope of the caller's configuration plus the
+    store, pipeline, and representation versions, so entries written by
+    any incompatible era of the code — layout, algorithms, or summary
+    representation — key differently and read as cache misses.
+    """
+    canonical = _canonical(
+        {
+            "config": dict(config),
+            "store": STORE_VERSION,
+            "pipeline": PIPELINE_VERSION,
+            "representation": REPRESENTATION_VERSION,
+        }
+    )
     encoded = json.dumps(
         canonical, sort_keys=True, separators=(",", ":")
     ).encode()
@@ -152,25 +172,58 @@ def samples_from_payload(payload: Mapping):
     return samples, classifications, sizes
 
 
+def _summary_set_to_payload(summaries) -> dict:
+    """Serialize a named summary set with a single hoisted word list.
+
+    Every member payload's id arrays index into the one ``"vocab"`` list,
+    stored once per artifact instead of once per summary.
+    """
+    vocab = Vocabulary()
+    payloads = {
+        name: summary_to_dict(summary, vocab=vocab)
+        for name, summary in summaries.items()
+    }
+    return {
+        "summaries": payloads,
+        "vocab": vocab.to_list(),
+        "vocab_version": vocab.version,
+    }
+
+
+def _summary_set_from_payload(payload: Mapping) -> dict:
+    """Rebuild a summary set; members share one Vocabulary instance.
+
+    Legacy payloads (no hoisted ``"vocab"``) fall back to per-summary
+    deserialization, which still handles embedded word lists and the
+    version-1 dict format.
+    """
+    vocab = None
+    if "vocab" in payload:
+        vocab = Vocabulary(payload["vocab"])
+        stored = payload.get("vocab_version")
+        if stored is not None and stored != vocab.version:
+            raise ValueError(
+                f"summary-set word list digest mismatch: "
+                f"stored {stored!r}, computed {vocab.version!r}"
+            )
+    return {
+        name: summary_from_dict(entry, vocab=vocab)
+        for name, entry in payload["summaries"].items()
+    }
+
+
 def summaries_to_payload(summaries, classifications) -> dict:
     """Serialize a cell's summary set plus its classifications."""
-    return {
-        "summaries": {
-            name: summary_to_dict(summary)
-            for name, summary in summaries.items()
-        },
-        "classifications": {
-            name: list(path) for name, path in classifications.items()
-        },
+    payload = _summary_set_to_payload(summaries)
+    payload["classifications"] = {
+        name: list(path) for name, path in classifications.items()
     }
+    return payload
 
 
 def summaries_from_payload(payload: Mapping):
     """Rebuild (summaries, classifications) from a store payload."""
-    summaries = {
-        name: summary_from_dict(entry)
-        for name, entry in payload["summaries"].items()
-    }
+    summaries = _summary_set_from_payload(payload)
     classifications = {
         name: tuple(path)
         for name, path in payload["classifications"].items()
@@ -180,20 +233,12 @@ def summaries_from_payload(payload: Mapping):
 
 def shrunk_to_payload(shrunk) -> dict:
     """Serialize shrunk summaries (mixture weights ride along)."""
-    return {
-        "summaries": {
-            name: summary_to_dict(summary)
-            for name, summary in shrunk.items()
-        }
-    }
+    return _summary_set_to_payload(shrunk)
 
 
 def shrunk_from_payload(payload: Mapping) -> dict:
     """Rebuild a cell's shrunk summaries from a store payload."""
-    return {
-        name: summary_from_dict(entry)
-        for name, entry in payload["summaries"].items()
-    }
+    return _summary_set_from_payload(payload)
 
 
 # -- the store --------------------------------------------------------------------

@@ -45,6 +45,34 @@ class DatabaseScorer(ABC):
     def prepare(self, summaries: Mapping[str, ContentSummary]) -> None:
         """Compute corpus-level statistics over the candidate summaries."""
 
+    def query_vector(
+        self,
+        query_terms: Sequence[str],
+        summary: ContentSummary,
+        regime: str = "df",
+    ) -> np.ndarray:
+        """Per-word probabilities of ``query_terms`` under ``summary``.
+
+        One vectorized lookup instead of per-word ``p()`` calls: the query
+        is resolved to vocabulary ids once per (vocabulary, query) pair —
+        scoring the same query against every candidate summary reuses the
+        id array — and gathered through
+        :meth:`~repro.summaries.summary.ContentSummary.scored_lookup`, so
+        default-probability semantics (the shrunk uniform floor) are
+        honoured exactly as the scalar accessors would.
+        """
+        cache = getattr(self, "_query_ids_cache", None)
+        if cache is None:
+            cache = self._query_ids_cache = {}
+        key = (id(summary.vocab), tuple(query_terms))
+        entry = cache.get(key)
+        if entry is not None and entry[0] is summary.vocab:
+            ids = entry[1]
+        else:
+            ids = summary.vocab.ids_of(query_terms)
+            cache[key] = (summary.vocab, ids)
+        return summary.scored_lookup(ids, regime)
+
     @abstractmethod
     def score(
         self, query_terms: Sequence[str], summary: ContentSummary

@@ -30,9 +30,13 @@ class BGlossScorer(DatabaseScorer):
     def score(
         self, query_terms: Sequence[str], summary: ContentSummary
     ) -> float:
+        # One vectorized probability lookup; the product is reduced
+        # sequentially in Python so scores stay bit-identical to the
+        # per-word formulation (the floor comparison in rank_databases
+        # relies on exact equality).
         score = self.scale(summary)
-        for word in query_terms:
-            score *= self.word_score(summary.p(word), summary, word)
+        for probability in self.query_vector(query_terms, summary, "df").tolist():
+            score *= probability
         return score
 
     def word_score(

@@ -18,6 +18,14 @@ Paper-specific details implemented here (Section 5.3):
   ``cw(D)`` is approximated by the total estimated document-frequency mass
   ``sum_w round(|D| * p(w|D))`` — a consistent proxy across databases
   (exact collection lengths are not available to a metasearcher either).
+
+``prepare`` is columnar: when all candidate summaries share one
+:class:`~repro.core.vocab.Vocabulary` (the normal case — one instance per
+testbed cell), cf is accumulated as a dense per-id count array with one
+fancy-indexed add per summary; a dict fallback covers mixed-vocabulary
+candidate sets (e.g. summaries deserialized independently). The per-word
+``I`` factors still go through ``math.log`` so scores agree bit-for-bit
+with the scalar formulation.
 """
 
 from __future__ import annotations
@@ -28,8 +36,16 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from repro.core.shrinkage import ShrunkSummary
+from repro.core.vocab import Vocabulary
 from repro.selection.base import DatabaseScorer
 from repro.summaries.summary import ContentSummary
+
+
+def _present_ids(summary: ContentSummary) -> np.ndarray:
+    """Ids counted as present for cf purposes (the round rule for R(D))."""
+    if isinstance(summary, ShrunkSummary):
+        return summary.effective_ids()
+    return summary.regime_arrays("df")[0]
 
 
 def _present_words(summary: ContentSummary) -> set[str]:
@@ -49,22 +65,40 @@ class CoriScorer(DatabaseScorer):
         self.df_base = df_base
         self.df_factor = df_factor
         self._cf: dict[str, int] = {}
+        self._cf_vocab: Vocabulary | None = None
+        self._cf_counts: np.ndarray | None = None
         self._num_databases = 0
         self._mean_cw = 1.0
         self._cw: dict[int, float] = {}
+        self._i_cache: dict[tuple[str, ...], np.ndarray] = {}
 
     def prepare(self, summaries: Mapping[str, ContentSummary]) -> None:
         """Compute cf(w), m and mcw over the candidate summaries."""
         self._cf = {}
+        self._cf_vocab = None
+        self._cf_counts = None
         self._num_databases = len(summaries)
         self._cw = {}
+        self._i_cache = {}
         total_cw = 0.0
-        for summary in summaries.values():
-            cw = self._collection_words(summary)
-            self._cw[id(summary)] = cw
-            total_cw += cw
-            for word in _present_words(summary):
-                self._cf[word] = self._cf.get(word, 0) + 1
+        vocabs = {id(s.vocab): s.vocab for s in summaries.values()}
+        shared = next(iter(vocabs.values())) if len(vocabs) == 1 else None
+        if shared is not None:
+            counts = np.zeros(len(shared), dtype=np.int64)
+            for summary in summaries.values():
+                cw = self._collection_words(summary)
+                self._cw[id(summary)] = cw
+                total_cw += cw
+                counts[_present_ids(summary)] += 1
+            self._cf_vocab = shared
+            self._cf_counts = counts
+        else:
+            for summary in summaries.values():
+                cw = self._collection_words(summary)
+                self._cw[id(summary)] = cw
+                total_cw += cw
+                for word in _present_words(summary):
+                    self._cf[word] = self._cf.get(word, 0) + 1
         self._mean_cw = (
             total_cw / self._num_databases if self._num_databases else 1.0
         )
@@ -76,14 +110,62 @@ class CoriScorer(DatabaseScorer):
         """cw(D) proxy: total estimated document-frequency mass."""
         return summary.df_mass()
 
+    def _cf_count(self, word: str) -> int:
+        """cf(w) from the dense array (shared vocab) or the dict fallback."""
+        if self._cf_counts is not None and self._cf_vocab is not None:
+            word_id = self._cf_vocab.get(word)
+            if word_id is None or word_id >= self._cf_counts.size:
+                return 0
+            return int(self._cf_counts[word_id])
+        return self._cf.get(word, 0)
+
+    def _i_values(self, query_terms: tuple[str, ...]) -> np.ndarray:
+        """Per-word I factors; cf(w) and m are fixed between prepares, so
+        the array is cached per query."""
+        cached = self._i_cache.get(query_terms)
+        if cached is None:
+            m = self._num_databases
+            denominator = math.log(m + 1.0)
+            cached = np.array(
+                [
+                    math.log((m + 0.5) / max(self._cf_count(word), 1))
+                    / denominator
+                    for word in query_terms
+                ],
+                dtype=np.float64,
+            )
+            self._i_cache[query_terms] = cached
+        return cached
+
+    def _database_cw(self, summary: ContentSummary) -> float:
+        cw = self._cw.get(id(summary))
+        if cw is None:
+            cw = self._collection_words(summary)
+        return cw
+
     def score(
         self, query_terms: Sequence[str], summary: ContentSummary
     ) -> float:
         if not query_terms:
             return 0.0
+        if self._num_databases == 0:
+            raise RuntimeError("CoriScorer.prepare must run before scoring")
+        probabilities = self.query_vector(query_terms, summary, "df")
+        document_frequency = probabilities * summary.size
+        cw = self._database_cw(summary)
+        t_values = document_frequency / (
+            document_frequency
+            + self.df_base
+            + self.df_factor * cw / self._mean_cw
+        )
+        i_values = self._i_values(tuple(query_terms))
+        word_scores = 0.4 + 0.6 * t_values * i_values
+        # Sequential reduction keeps the sum bit-identical to the scalar
+        # per-word loop (numpy's pairwise summation would not be), which
+        # the exact floor comparison in rank_databases depends on.
         total = 0.0
-        for word in query_terms:
-            total += self.word_score(summary.p(word), summary, word)
+        for word_score in word_scores.tolist():
+            total += word_score
         return total / len(query_terms)
 
     def word_score(
@@ -92,13 +174,11 @@ class CoriScorer(DatabaseScorer):
         if self._num_databases == 0:
             raise RuntimeError("CoriScorer.prepare must run before scoring")
         document_frequency = probability * summary.size
-        cw = self._cw.get(id(summary))
-        if cw is None:
-            cw = self._collection_words(summary)
+        cw = self._database_cw(summary)
         t_value = document_frequency / (
             document_frequency + self.df_base + self.df_factor * cw / self._mean_cw
         )
-        cf = max(self._cf.get(word, 0), 1)
+        cf = max(self._cf_count(word), 1)
         i_value = math.log((self._num_databases + 0.5) / cf) / math.log(
             self._num_databases + 1.0
         )
@@ -111,13 +191,11 @@ class CoriScorer(DatabaseScorer):
             raise RuntimeError("CoriScorer.prepare must run before scoring")
         probabilities = np.asarray(probabilities, dtype=np.float64)
         document_frequency = probabilities * summary.size
-        cw = self._cw.get(id(summary))
-        if cw is None:
-            cw = self._collection_words(summary)
+        cw = self._database_cw(summary)
         t_values = document_frequency / (
             document_frequency + self.df_base + self.df_factor * cw / self._mean_cw
         )
-        cf = max(self._cf.get(word, 0), 1)
+        cf = max(self._cf_count(word), 1)
         i_value = math.log((self._num_databases + 0.5) / cf) / math.log(
             self._num_databases + 1.0
         )
@@ -136,7 +214,18 @@ class CoriScorer(DatabaseScorer):
     def floor_score(
         self, query_terms: Sequence[str], summary: ContentSummary
     ) -> float:
-        """With T = 0 every word contributes exactly 0.4 / |q|."""
+        """With T = 0 every word contributes exactly 0.4 / |q|.
+
+        The accumulation mirrors :meth:`score`'s reduction operation by
+        operation: ``sum_w 0.4 / |q|`` is *not* exactly 0.4 in floating
+        point for every query length (e.g. three words give
+        0.4000000000000001), and the default-score rule compares
+        ``score > floor`` strictly, so returning the literal 0.4 would
+        mark zero-overlap databases as selected on such queries.
+        """
         if not query_terms:
             return 0.0
-        return 0.4
+        total = 0.0
+        for _word in query_terms:
+            total += 0.4
+        return total / len(query_terms)

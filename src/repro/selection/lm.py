@@ -9,6 +9,11 @@ to the KL-based selection of [31].
 
 The paper notes that its shrinkage technique generalizes exactly this
 single-level smoothing to multi-level smoothing over the hierarchy.
+
+The global model can be installed either as a plain word → probability
+mapping or directly as a :class:`~repro.summaries.summary.ContentSummary`
+(its tf regime is used); the summary form keeps p(w|G) lookups columnar —
+one id-array gather per query instead of per-word dict probes.
 """
 
 from __future__ import annotations
@@ -29,30 +34,66 @@ class LanguageModelScorer(DatabaseScorer):
 
     def __init__(
         self,
-        global_probabilities: Mapping[str, float] | None = None,
+        global_probabilities: Mapping[str, float] | ContentSummary | None = None,
         smoothing_lambda: float = 0.5,
     ) -> None:
         if not 0.0 <= smoothing_lambda <= 1.0:
             raise ValueError("smoothing_lambda must lie in [0, 1]")
         self.smoothing_lambda = smoothing_lambda
-        self._global = dict(global_probabilities or {})
+        self._global: dict[str, float] = {}
+        self._global_summary: ContentSummary | None = None
+        self._global_cache: dict[tuple[str, ...], np.ndarray] = {}
+        if global_probabilities is not None:
+            self.set_global_probabilities(global_probabilities)
 
     def set_global_probabilities(
-        self, global_probabilities: Mapping[str, float]
+        self, global_probabilities: Mapping[str, float] | ContentSummary
     ) -> None:
         """Install p(w|G), typically the Root category's tf summary."""
-        self._global = dict(global_probabilities)
+        if isinstance(global_probabilities, ContentSummary):
+            self._global_summary = global_probabilities
+            self._global = {}
+        else:
+            self._global_summary = None
+            self._global = dict(global_probabilities)
+        self._global_cache = {}
 
     def global_probability(self, word: str) -> float:
         """p(w|G) for ``word`` (0 when the word is unknown globally)."""
+        if self._global_summary is not None:
+            return self._global_summary.tf_p(word)
         return self._global.get(word, 0.0)
+
+    def _global_vector(self, query_terms: tuple[str, ...]) -> np.ndarray:
+        """Per-word p(w|G) for a query, cached per query tuple."""
+        cached = self._global_cache.get(query_terms)
+        if cached is None:
+            if self._global_summary is not None:
+                cached = self._global_summary.query_probabilities(
+                    query_terms, "tf"
+                )
+            else:
+                get = self._global.get
+                cached = np.array(
+                    [get(word, 0.0) for word in query_terms], dtype=np.float64
+                )
+            self._global_cache[query_terms] = cached
+        return cached
 
     def score(
         self, query_terms: Sequence[str], summary: ContentSummary
     ) -> float:
+        probabilities = self.query_vector(query_terms, summary, "tf")
+        word_scores = (
+            self.smoothing_lambda * probabilities
+            + (1.0 - self.smoothing_lambda)
+            * self._global_vector(tuple(query_terms))
+        )
+        # Sequential product: bit-identical to the per-word loop, which the
+        # exact floor comparison in rank_databases depends on.
         score = 1.0
-        for word in query_terms:
-            score *= self.word_score(summary.tf_p(word), summary, word)
+        for word_score in word_scores.tolist():
+            score *= word_score
         return score
 
     def word_score(
@@ -77,10 +118,11 @@ class LanguageModelScorer(DatabaseScorer):
 
         A hypothetical document frequency d implies a term-frequency
         probability of roughly (d/|D|) * (sum_w p_tf / sum_w p_df); the
-        sums over the summary's own words estimate that corpus ratio.
+        sums over the summary's own words estimate that corpus ratio
+        (cached on the summary — see ``df_total``/``tf_total``).
         """
-        df_mass = sum(p for _w, p in summary.df_items())
-        tf_mass = sum(p for _w, p in summary.tf_items())
+        df_mass = summary.df_total()
+        tf_mass = summary.tf_total()
         if df_mass <= 0.0:
             return 1.0
         return tf_mass / df_mass

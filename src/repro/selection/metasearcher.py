@@ -131,7 +131,9 @@ class Metasearcher:
             root_summary = self.builder.category_summary(
                 self.hierarchy.root.path
             )
-            return LanguageModelScorer(root_summary.probabilities("tf"))
+            # The summary is handed over directly (not as a dict), keeping
+            # the scorer's p(w|G) lookups columnar.
+            return LanguageModelScorer(root_summary)
         raise ValueError(f"unknown algorithm {algorithm!r}; pick from {_ALGORITHMS}")
 
     # -- selection --------------------------------------------------------------

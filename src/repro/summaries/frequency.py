@@ -22,6 +22,7 @@ import math
 
 import numpy as np
 
+from repro.core.vocab import Vocabulary
 from repro.corpus.zipf import fit_mandelbrot
 from repro.index.document import Document
 from repro.summaries.sampling import DocumentSample
@@ -132,6 +133,7 @@ def build_estimated_summary(
     sample: DocumentSample,
     database_size: float,
     num_checkpoints: int = 6,
+    vocab: Vocabulary | None = None,
 ) -> SampledSummary:
     """Sampled summary with Appendix A document-frequency estimation.
 
@@ -140,10 +142,12 @@ def build_estimated_summary(
     frequency estimation leaves the LM/bGlOSS probabilities "virtually
     unaffected" — it reshapes document frequencies, which CORI consumes).
     Falls back to the raw summary when the sample is too small to fit.
+    ``vocab`` (shared across a summary set) keeps downstream aggregation
+    and scoring columnar without per-set re-interning.
     """
     sample_size, df, tf = summarize_documents(sample.documents)
     if sample_size == 0:
-        return SampledSummary(database_size, {}, {}, 0, {}, None)
+        return SampledSummary(database_size, {}, {}, 0, {}, None, vocab=vocab)
     total_terms = sum(tf.values())
     tf_probs = {w: c / total_terms for w, c in tf.items()}
 
@@ -172,11 +176,14 @@ def build_estimated_summary(
         sample_df=df,
         alpha=alpha,
         sample_tf=tf,
+        vocab=vocab,
     )
 
 
 def build_raw_summary(
-    sample: DocumentSample, database_size: float
+    sample: DocumentSample,
+    database_size: float,
+    vocab: Vocabulary | None = None,
 ) -> SampledSummary:
     """Sampled summary without frequency estimation (raw sample fractions).
 
@@ -186,7 +193,7 @@ def build_raw_summary(
     """
     sample_size, df, tf = summarize_documents(sample.documents)
     if sample_size == 0:
-        return SampledSummary(database_size, {}, {}, 0, {}, None)
+        return SampledSummary(database_size, {}, {}, 0, {}, None, vocab=vocab)
     total_terms = sum(tf.values())
     try:
         alpha, _beta = estimate_sample_mandelbrot(sample.documents)
@@ -200,4 +207,5 @@ def build_raw_summary(
         sample_df=df,
         alpha=alpha,
         sample_tf=tf,
+        vocab=vocab,
     )

@@ -10,8 +10,17 @@ stable JSON representation for all three summary kinds:
 * :class:`~repro.core.shrinkage.ShrunkSummary` (keeps the mixture weights
   and the base summary)
 
-The format is versioned; loading rejects unknown versions and kinds
-explicitly rather than guessing.
+Format version 2 serializes each probability regime as a columnar
+``(ids, values)`` pair over an interned word list rather than a
+word → probability dict. The word list lives either inside the payload
+(standalone summaries: ``"words"``) or once per enclosing document
+(summary *sets*: ``save_summaries`` hoists a single ``"vocab"`` list that
+all member payloads index into). Either way a ``vocab_version`` digest
+(:attr:`repro.core.vocab.Vocabulary.version`) rides along, so id arrays
+can never be silently interpreted against the wrong word list.
+
+The format is versioned; version-1 documents (the dict era) still load,
+unknown versions and kinds are rejected explicitly rather than guessed.
 """
 
 from __future__ import annotations
@@ -20,29 +29,81 @@ import json
 from pathlib import Path
 from collections.abc import Mapping
 
+import numpy as np
+
 from repro.core.shrinkage import ShrunkSummary
+from repro.core.vocab import Vocabulary
 from repro.index.document import Document
 from repro.summaries.sampling import DocumentSample
 from repro.summaries.summary import ContentSummary, SampledSummary
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`summary_from_dict` knows how to read.
+_READABLE_VERSIONS = (1, 2)
 
 
-def summary_to_dict(summary: ContentSummary) -> dict:
-    """A JSON-serializable representation of any summary kind."""
+def _regime_to_payload(
+    summary: ContentSummary, regime: str, vocab: Vocabulary
+) -> dict:
+    """One regime as parallel id/value lists in ``vocab``'s id space."""
+    ids, values = summary.regime_arrays(regime, vocab)
+    return {"ids": ids.tolist(), "values": values.tolist()}
+
+
+def _regime_from_payload(entry: Mapping) -> tuple[np.ndarray, np.ndarray]:
+    return (
+        np.asarray(entry["ids"], dtype=np.int64),
+        np.asarray(entry["values"], dtype=np.float64),
+    )
+
+
+def _support_words(summary: ContentSummary) -> set[str]:
+    """Every word in the summary's regimes (and its base's, recursively)."""
+    words: set[str] = set()
+    for regime in ("df", "tf"):
+        ids, _ = summary.regime_arrays(regime)
+        words.update(summary.vocab.words_of(ids))
+    if isinstance(summary, ShrunkSummary):
+        words |= _support_words(summary.base)
+    return words
+
+
+def summary_to_dict(
+    summary: ContentSummary, vocab: Vocabulary | None = None
+) -> dict:
+    """A JSON-serializable representation of any summary kind.
+
+    Without ``vocab`` the payload is self-contained: it carries its own
+    ``"words"`` list (position = id) covering exactly the summary's
+    support, in sorted order — a canonical form, so two summaries with
+    identical probabilities produce identical payloads no matter which
+    vocabulary instance they were built against. With ``vocab`` — the
+    shared-vocabulary mode used by :func:`save_summaries` and the
+    artifact store — the payload's id arrays index into that vocabulary,
+    which the enclosing document serializes once; the summary's words are
+    interned into it as needed.
+    """
+    if vocab is None:
+        local_vocab = Vocabulary(sorted(_support_words(summary)))
+    else:
+        local_vocab = vocab
     payload: dict = {
         "version": FORMAT_VERSION,
         "size": summary.size,
-        "df_probs": summary.probabilities("df"),
-        "tf_probs": summary.probabilities("tf"),
+        "df": _regime_to_payload(summary, "df", local_vocab),
+        "tf": _regime_to_payload(summary, "tf", local_vocab),
     }
+    if vocab is None:
+        payload["words"] = local_vocab.to_list()
+        payload["vocab_version"] = local_vocab.version
     if isinstance(summary, ShrunkSummary):
         payload["kind"] = "shrunk"
         payload["lambdas"] = list(summary.lambdas)
         payload["tf_lambdas"] = list(summary.tf_lambdas)
         payload["component_names"] = list(summary.component_names)
         payload["uniform_probability"] = summary.uniform_probability
-        payload["base"] = summary_to_dict(summary.base)
+        payload["base"] = summary_to_dict(summary.base, vocab=local_vocab)
     elif isinstance(summary, SampledSummary):
         payload["kind"] = "sampled"
         payload["sample_size"] = summary.sample_size
@@ -54,36 +115,73 @@ def summary_to_dict(summary: ContentSummary) -> dict:
     return payload
 
 
-def summary_from_dict(payload: Mapping) -> ContentSummary:
-    """Rebuild a summary from :func:`summary_to_dict` output."""
+def _payload_vocab(payload: Mapping, vocab: Vocabulary | None) -> Vocabulary:
+    """The vocabulary a v2 payload's id arrays index into."""
+    if vocab is not None:
+        return vocab
+    words = payload.get("words")
+    if words is None:
+        raise ValueError(
+            "summary payload has no embedded word list and no enclosing "
+            "vocabulary was provided"
+        )
+    embedded = Vocabulary(words)
+    stored = payload.get("vocab_version")
+    if stored is not None and stored != embedded.version:
+        raise ValueError(
+            f"summary payload word list digest mismatch: "
+            f"stored {stored!r}, computed {embedded.version!r}"
+        )
+    return embedded
+
+
+def summary_from_dict(
+    payload: Mapping, vocab: Vocabulary | None = None
+) -> ContentSummary:
+    """Rebuild a summary from :func:`summary_to_dict` output.
+
+    ``vocab`` supplies the shared vocabulary for payloads written in
+    shared mode; standalone payloads carry their own word list.
+    Version-1 payloads (word → probability dicts) are still accepted.
+    """
     version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(f"unsupported summary format version {version!r}")
     kind = payload.get("kind")
+    if version == 1:
+        df_probs: Mapping | tuple = payload["df_probs"]
+        tf_probs: Mapping | tuple = payload["tf_probs"]
+        local_vocab = None
+    else:
+        local_vocab = _payload_vocab(payload, vocab)
+        df_probs = _regime_from_payload(payload["df"])
+        tf_probs = _regime_from_payload(payload["tf"])
     if kind == "plain":
         return ContentSummary(
-            payload["size"], payload["df_probs"], payload["tf_probs"]
+            payload["size"], df_probs, tf_probs, vocab=local_vocab
         )
     if kind == "sampled":
         return SampledSummary(
             size=payload["size"],
-            df_probs=payload["df_probs"],
-            tf_probs=payload["tf_probs"],
+            df_probs=df_probs,
+            tf_probs=tf_probs,
             sample_size=payload["sample_size"],
             sample_df=payload["sample_df"],
             alpha=payload.get("alpha"),
             sample_tf=payload.get("sample_tf"),
+            vocab=local_vocab,
         )
     if kind == "shrunk":
         return ShrunkSummary(
             size=payload["size"],
-            df_probs=payload["df_probs"],
-            tf_probs=payload["tf_probs"],
+            df_probs=df_probs,
+            tf_probs=tf_probs,
             lambdas=payload["lambdas"],
             tf_lambdas=payload["tf_lambdas"],
             component_names=payload["component_names"],
             uniform_probability=payload["uniform_probability"],
-            base=summary_from_dict(payload["base"]),
+            base=summary_from_dict(payload["base"], vocab=local_vocab),
+            vocab=local_vocab,
         )
     raise ValueError(f"unknown summary kind {kind!r}")
 
@@ -121,7 +219,7 @@ def sample_to_dict(sample: DocumentSample) -> dict:
 def sample_from_dict(payload: Mapping) -> DocumentSample:
     """Rebuild a document sample from :func:`sample_to_dict` output."""
     version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(f"unsupported sample format version {version!r}")
     return DocumentSample(
         documents=[document_from_dict(doc) for doc in payload["documents"]],
@@ -133,24 +231,46 @@ def sample_from_dict(payload: Mapping) -> DocumentSample:
 def save_summaries(
     path: str | Path, summaries: Mapping[str, ContentSummary]
 ) -> None:
-    """Write a named set of summaries as one JSON document."""
+    """Write a named set of summaries as one JSON document.
+
+    The word list is hoisted to the document level: every member payload's
+    id arrays index into the single ``"vocab"`` list, stored once.
+    """
+    vocab = Vocabulary()
+    payloads = {
+        name: summary_to_dict(summary, vocab=vocab)
+        for name, summary in summaries.items()
+    }
     document = {
         "version": FORMAT_VERSION,
-        "summaries": {
-            name: summary_to_dict(summary)
-            for name, summary in summaries.items()
-        },
+        "vocab": vocab.to_list(),
+        "vocab_version": vocab.version,
+        "summaries": payloads,
     }
     Path(path).write_text(json.dumps(document))
 
 
 def load_summaries(path: str | Path) -> dict[str, ContentSummary]:
-    """Load a summary set written by :func:`save_summaries`."""
+    """Load a summary set written by :func:`save_summaries`.
+
+    All returned summaries share one :class:`Vocabulary` instance, so the
+    columnar fast paths (scorer preparation, aggregation) apply to loaded
+    sets exactly as to freshly built ones.
+    """
     document = json.loads(Path(path).read_text())
     version = document.get("version")
-    if version != FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(f"unsupported summary-set format version {version!r}")
+    vocab: Vocabulary | None = None
+    if version >= 2:
+        vocab = Vocabulary(document.get("vocab", ()))
+        stored = document.get("vocab_version")
+        if stored is not None and stored != vocab.version:
+            raise ValueError(
+                f"summary-set word list digest mismatch: "
+                f"stored {stored!r}, computed {vocab.version!r}"
+            )
     return {
-        name: summary_from_dict(payload)
+        name: summary_from_dict(payload, vocab=vocab)
         for name, payload in document.get("summaries", {}).items()
     }

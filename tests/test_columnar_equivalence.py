@@ -1,0 +1,330 @@
+"""Dict-reference vs columnar equivalence.
+
+The columnar refactor (shared :class:`Vocabulary`, id/value arrays) must
+not change any number. Each test here recomputes a pipeline stage with a
+straightforward dict/loop implementation — the representation the paper's
+formulas are written in, and the one the pre-columnar code used — and
+compares against the array-based production code within 1e-9:
+
+* category aggregation (Equation 1),
+* the shrinkage EM of Figure 2 (lambdas and mixture probabilities),
+* all three scorers' scores and rankings.
+
+Summaries are built two ways — sharing one Vocabulary instance and with
+per-summary vocabularies — because the production code has distinct fast
+and translation paths for the two cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.category import CategorySummaryBuilder
+from repro.core.shrinkage import ShrinkageConfig, shrink_database_summary
+from repro.core.vocab import Vocabulary
+from repro.corpus.hierarchy import default_hierarchy
+from repro.selection.base import rank_databases
+from repro.selection.bgloss import BGlossScorer
+from repro.selection.cori import CoriScorer
+from repro.selection.lm import LanguageModelScorer
+from repro.summaries.summary import SampledSummary
+
+TOLERANCE = 1e-9
+
+
+def _synthetic_cell(shared_vocab: bool, num_databases: int = 8):
+    """A deterministic little testbed cell with hierarchical word overlap."""
+    rng = np.random.default_rng(20040613)
+    hierarchy = default_hierarchy()
+    leaf_paths = [
+        ("Root", "Health", "Diseases", "Cancer"),
+        ("Root", "Health", "Diseases", "AIDS"),
+        ("Root", "Computers", "Programming", "Java"),
+        ("Root", "Computers", "Programming", "Databases"),
+    ]
+    general = [f"gen{i:03d}" for i in range(40)]
+    vocab = Vocabulary() if shared_vocab else None
+
+    summaries = {}
+    classifications = {}
+    for index in range(num_databases):
+        path = leaf_paths[index % len(leaf_paths)]
+        topic = [f"{path[-1].lower()}{i:03d}" for i in range(25)]
+        words = list(
+            rng.choice(general, size=15, replace=False)
+        ) + list(rng.choice(topic, size=12, replace=False))
+        size = int(rng.integers(50, 400))
+        sample_size = int(rng.integers(10, 40))
+        sample_df = {
+            w: int(rng.integers(1, sample_size + 1)) for w in words
+        }
+        sample_tf = {w: c + int(rng.integers(0, 30)) for w, c in sample_df.items()}
+        total_tf = sum(sample_tf.values())
+        name = f"db{index:02d}"
+        summaries[name] = SampledSummary(
+            size=size,
+            df_probs={w: c / sample_size for w, c in sample_df.items()},
+            tf_probs={w: c / total_tf for w, c in sample_tf.items()},
+            sample_size=sample_size,
+            sample_df=sample_df,
+            alpha=-1.2,
+            sample_tf=sample_tf,
+            vocab=vocab,
+        )
+        classifications[name] = path
+    return hierarchy, summaries, classifications
+
+
+@pytest.fixture(params=[True, False], ids=["shared-vocab", "own-vocabs"])
+def cell(request):
+    hierarchy, summaries, classifications = _synthetic_cell(request.param)
+    builder = CategorySummaryBuilder(hierarchy, summaries, classifications)
+    return hierarchy, summaries, classifications, builder
+
+
+# -- reference implementations (dict/loop, as the paper writes them) ----------
+
+
+def reference_category_probabilities(
+    summaries, classifications, path, regime
+):
+    """Equation 1 with dict accumulation over db(C)."""
+    members = [
+        name
+        for name, db_path in classifications.items()
+        if db_path[: len(path)] == tuple(path)
+    ]
+    total_weight = sum(summaries[name].size for name in members)
+    if total_weight <= 0:
+        return {}
+    sums: dict[str, float] = {}
+    for name in members:
+        summary = summaries[name]
+        for word, value in summary.probabilities(regime).items():
+            sums[word] = sums.get(word, 0.0) + value * summary.size
+    return {word: min(value / total_weight, 1.0) for word, value in sums.items()}
+
+
+def reference_em(db_probs, component_probs, uniform, config, db_loo_probs):
+    """Figure 2 with per-word Python loops."""
+    words = list(db_probs)
+    num_components = len(component_probs) + 2
+    if not words:
+        return [1.0 / num_components] * num_components
+    lambdas = [1.0 / num_components] * num_components
+    for _ in range(config.max_iterations):
+        betas = [0.0] * num_components
+        for word in words:
+            probs = (
+                [uniform]
+                + [c.get(word, 0.0) for c in component_probs]
+                + [db_loo_probs.get(word, 0.0)]
+            )
+            mixture = sum(l * p for l, p in zip(lambdas, probs))
+            if mixture > 0.0:
+                for j in range(num_components):
+                    betas[j] += lambdas[j] * probs[j] / mixture
+        total = sum(betas)
+        if total <= 0.0:
+            break
+        new_lambdas = [beta / total for beta in betas]
+        delta = max(abs(a - b) for a, b in zip(new_lambdas, lambdas))
+        lambdas = new_lambdas
+        if delta < config.epsilon:
+            break
+    return lambdas
+
+
+def reference_scalar_score(scorer, query_terms, summary, regime):
+    """The pre-columnar per-word path: dict lookups + word_score + combine."""
+    lookup = summary.p if regime == "df" else summary.tf_p
+    word_scores = [
+        scorer.word_score(lookup(word), summary, word) for word in query_terms
+    ]
+    return scorer.combine(word_scores, summary)
+
+
+# -- category summaries --------------------------------------------------------
+
+
+class TestCategoryEquivalence:
+    @pytest.mark.parametrize("regime", ["df", "tf"])
+    def test_category_summary_matches_equation_one(self, cell, regime):
+        hierarchy, summaries, classifications, builder = cell
+        paths = [
+            ("Root",),
+            ("Root", "Health"),
+            ("Root", "Health", "Diseases"),
+            ("Root", "Computers", "Programming", "Java"),
+        ]
+        for path in paths:
+            expected = reference_category_probabilities(
+                summaries, classifications, path, regime
+            )
+            got = builder.category_summary(path).probabilities(regime)
+            assert set(got) == set(expected)
+            for word, value in expected.items():
+                assert got[word] == pytest.approx(value, abs=TOLERANCE)
+
+    def test_category_size_is_member_sum(self, cell):
+        _hierarchy, summaries, classifications, builder = cell
+        path = ("Root", "Health")
+        members = [
+            n for n, p in classifications.items() if p[:2] == path
+        ]
+        expected = sum(summaries[n].size for n in members)
+        assert builder.category_summary(path).size == pytest.approx(
+            expected, abs=TOLERANCE
+        )
+
+
+# -- shrinkage EM --------------------------------------------------------------
+
+
+class TestShrinkageEquivalence:
+    @pytest.mark.parametrize("regime", ["df", "tf"])
+    def test_em_lambdas_match_reference(self, cell, regime):
+        _hierarchy, summaries, _classifications, builder = cell
+        config = ShrinkageConfig()
+        for name in list(summaries)[:4]:
+            summary = summaries[name]
+            shrunk = shrink_database_summary(name, summary, builder, config)
+            components = [
+                s.probabilities(regime)
+                for _path, s in builder.exclusive_path_summaries(name)
+            ]
+            db_probs = summary.probabilities(regime)
+            db_loo = summary.leave_one_out_probabilities(
+                regime, config.loo_discount
+            )
+            expected = reference_em(
+                db_probs,
+                components,
+                builder.uniform_probability(),
+                config,
+                db_loo,
+            )
+            got = shrunk.lambdas if regime == "df" else shrunk.tf_lambdas
+            assert len(got) == len(expected)
+            for a, b in zip(got, expected):
+                assert a == pytest.approx(b, abs=TOLERANCE)
+
+    def test_mixture_probabilities_match_definition_four(self, cell):
+        _hierarchy, summaries, _classifications, builder = cell
+        config = ShrinkageConfig()
+        name = next(iter(summaries))
+        summary = summaries[name]
+        shrunk = shrink_database_summary(name, summary, builder, config)
+        components = [
+            s.probabilities("df")
+            for _path, s in builder.exclusive_path_summaries(name)
+        ]
+        db_probs = summary.probabilities("df")
+        uniform = builder.uniform_probability()
+        lambdas = shrunk.lambdas
+        union = set(db_probs)
+        for component in components:
+            union |= set(component)
+        for word in union:
+            expected = lambdas[0] * uniform
+            for j, component in enumerate(components, start=1):
+                expected += lambdas[j] * component.get(word, 0.0)
+            expected += lambdas[-1] * db_probs.get(word, 0.0)
+            assert shrunk.p(word) == pytest.approx(
+                min(expected, 1.0), abs=TOLERANCE
+            )
+        # Words outside every component get the uniform floor.
+        assert shrunk.p("never-seen-anywhere") == pytest.approx(
+            lambdas[0] * uniform, abs=TOLERANCE
+        )
+
+
+# -- scorers -------------------------------------------------------------------
+
+
+def _queries(summaries):
+    rng = np.random.default_rng(7)
+    all_words = sorted({w for s in summaries.values() for w in s.words()})
+    queries = [
+        list(rng.choice(all_words, size=3, replace=False)) for _ in range(6)
+    ]
+    queries.append(["absent-word", all_words[0]])
+    queries.append(["completely", "absent", "words"])
+    return queries
+
+
+class TestScorerEquivalence:
+    def _assert_scores_match(self, scorer, summaries, regime):
+        for query in _queries(summaries):
+            for summary in summaries.values():
+                expected = reference_scalar_score(
+                    scorer, query, summary, regime
+                )
+                assert scorer.score(query, summary) == pytest.approx(
+                    expected, abs=TOLERANCE
+                )
+
+    def test_bgloss(self, cell):
+        _hierarchy, summaries, _classifications, _builder = cell
+        scorer = BGlossScorer()
+        scorer.prepare(summaries)
+        self._assert_scores_match(scorer, summaries, "df")
+
+    def test_cori(self, cell):
+        _hierarchy, summaries, _classifications, _builder = cell
+        scorer = CoriScorer()
+        scorer.prepare(summaries)
+        self._assert_scores_match(scorer, summaries, "df")
+
+    def test_lm(self, cell):
+        _hierarchy, summaries, _classifications, builder = cell
+        scorer = LanguageModelScorer(builder.category_summary(("Root",)))
+        scorer.prepare(summaries)
+        self._assert_scores_match(scorer, summaries, "tf")
+
+    def test_rankings_match_scalar_path(self, cell):
+        _hierarchy, summaries, _classifications, builder = cell
+        scorers = {
+            "df": [BGlossScorer(), CoriScorer()],
+            "tf": [LanguageModelScorer(builder.category_summary(("Root",)))],
+        }
+        for regime, regime_scorers in scorers.items():
+            for scorer in regime_scorers:
+                scorer.prepare(summaries)
+                for query in _queries(summaries):
+                    ranking = rank_databases(
+                        scorer, query, summaries, prepare=False
+                    )
+                    reference = sorted(
+                        (
+                            (
+                                -reference_scalar_score(
+                                    scorer, query, s, regime
+                                ),
+                                name,
+                            )
+                            for name, s in summaries.items()
+                        ),
+                    )
+                    assert [e.name for e in ranking] == [
+                        name for _score, name in reference
+                    ]
+
+    def test_shrunk_summary_scoring_matches_scalar_path(self, cell):
+        _hierarchy, summaries, _classifications, builder = cell
+        name = next(iter(summaries))
+        shrunk = shrink_database_summary(
+            name, summaries[name], builder, ShrinkageConfig()
+        )
+        mixed = dict(summaries)
+        mixed[name] = shrunk
+        for scorer, regime in [
+            (BGlossScorer(), "df"),
+            (CoriScorer(), "df"),
+            (LanguageModelScorer(builder.category_summary(("Root",))), "tf"),
+        ]:
+            scorer.prepare(mixed)
+            for query in _queries(summaries):
+                expected = reference_scalar_score(scorer, query, shrunk, regime)
+                assert scorer.score(query, shrunk) == pytest.approx(
+                    expected, abs=TOLERANCE
+                )

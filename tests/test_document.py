@@ -1,6 +1,5 @@
 """Tests for repro.index.document."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

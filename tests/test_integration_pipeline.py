@@ -11,8 +11,6 @@ import pytest
 
 from repro.classify.prober import ProbeClassifier
 from repro.classify.rules import build_probe_rules
-from repro.core.category import CategorySummaryBuilder
-from repro.core.shrinkage import shrink_all_summaries
 from repro.corpus.queries import RelevanceJudgments, generate_workload
 from repro.evaluation.selection_quality import mean_rk_curve, rk_curve
 from repro.evaluation.summary_quality import evaluate_summary

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.corpus.queries import (
-    Query,
-    QueryWorkload,
     RelevanceJudgments,
     generate_workload,
 )

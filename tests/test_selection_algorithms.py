@@ -1,7 +1,5 @@
 """Tests for bGlOSS, CORI, LM and the shared scoring protocol."""
 
-import math
-
 import numpy as np
 import pytest
 
@@ -151,8 +149,8 @@ class TestCori:
         scorer = CoriScorer()
         scorer.prepare({"d": shrunk})
         # cf counts only words passing round(|D| p) >= 1.
-        assert scorer._cf.get("kept") == 1
-        assert "phantom" not in scorer._cf
+        assert scorer._cf_count("kept") == 1
+        assert scorer._cf_count("phantom") == 0
 
 
 class TestLanguageModel:

@@ -1,0 +1,130 @@
+"""Floor-score / default-score edge cases (Section 6.2's rule).
+
+A database whose score is exactly what it would get with *zero* query-word
+overlap is "not selected", which can leave fewer than k databases chosen.
+These tests pin the edges of that rule for all three scorers: exact floor
+equality on zero overlap, under-full selections, and deterministic
+tie-breaking independent of dict insertion order.
+"""
+
+import pytest
+
+from repro.selection.base import rank_databases, select_databases
+from repro.selection.bgloss import BGlossScorer
+from repro.selection.cori import CoriScorer
+from repro.selection.lm import LanguageModelScorer
+from repro.summaries.summary import ContentSummary
+
+
+@pytest.fixture
+def summaries():
+    return {
+        "match-both": ContentSummary(
+            100, {"shared": 0.3, "rare": 0.2}, {"shared": 0.3, "rare": 0.2}
+        ),
+        "match-one": ContentSummary(
+            200, {"shared": 0.1}, {"shared": 0.1}
+        ),
+        "no-match": ContentSummary(
+            300, {"other": 0.9}, {"other": 0.9}
+        ),
+    }
+
+
+def _scorers(summaries):
+    return [
+        BGlossScorer(),
+        CoriScorer(),
+        LanguageModelScorer({"shared": 0.05, "rare": 0.01, "other": 0.2}),
+    ]
+
+
+class TestZeroOverlap:
+    def test_score_equals_floor_exactly(self, summaries):
+        """Zero overlap must reproduce the floor expression bit-for-bit.
+
+        The selected flag relies on a strict ``score > floor`` comparison,
+        so this is an exact equality, not an approx.
+        """
+        query = ["nowhere", "tobe", "found"]
+        for scorer in _scorers(summaries):
+            scorer.prepare(summaries)
+            for summary in summaries.values():
+                assert scorer.score(query, summary) == scorer.floor_score(
+                    query, summary
+                )
+
+    def test_no_database_selected(self, summaries):
+        for scorer in _scorers(summaries):
+            ranking = rank_databases(scorer, ["unseen-word"], summaries)
+            assert all(not entry.selected for entry in ranking)
+
+    def test_select_returns_empty(self, summaries):
+        for scorer in _scorers(summaries):
+            assert select_databases(scorer, ["unseen-word"], summaries, 3) == []
+
+    def test_cori_zero_overlap_score_is_default_belief(self, summaries):
+        """CORI's per-word belief bottoms out at the 0.4 default."""
+        scorer = CoriScorer()
+        scorer.prepare(summaries)
+        assert scorer.score(["unseen-word"], summaries["no-match"]) == 0.4
+        assert scorer.floor_score(["unseen-word"], summaries["no-match"]) == 0.4
+
+    def test_lm_floor_is_global_backoff(self, summaries):
+        """LM's floor is the pure smoothing-background product."""
+        scorer = LanguageModelScorer({"shared": 0.05}, smoothing_lambda=0.5)
+        floor = scorer.floor_score(["shared"], summaries["no-match"])
+        assert floor == pytest.approx(0.5 * 0.05)
+        assert scorer.score(["shared"], summaries["no-match"]) == floor
+
+
+class TestUnderFullSelection:
+    def test_partial_overlap_selects_fewer_than_k(self, summaries):
+        for scorer in _scorers(summaries):
+            selected = select_databases(scorer, ["rare"], summaries, k=3)
+            # Only one summary contains "rare"; k=3 must not pad the result.
+            assert selected == ["match-both"]
+
+    def test_partial_overlap_ranks_matching_first(self, summaries):
+        for scorer in _scorers(summaries):
+            ranking = rank_databases(scorer, ["shared", "rare"], summaries)
+            selected = [e.name for e in ranking if e.selected]
+            assert selected[0] == "match-both"
+            assert "no-match" not in selected
+
+    def test_floored_databases_keep_their_scores(self, summaries):
+        """Unselected entries still report a score (used for diagnostics)."""
+        scorer = CoriScorer()
+        ranking = rank_databases(scorer, ["unseen-word"], summaries)
+        assert all(entry.score == 0.4 for entry in ranking)
+
+
+class TestTieBreaking:
+    def _tied_summaries(self, order):
+        entries = {
+            "delta": ContentSummary(100, {"w": 0.5}, {"w": 0.5}),
+            "alpha": ContentSummary(100, {"w": 0.5}, {"w": 0.5}),
+            "charlie": ContentSummary(100, {"w": 0.5}, {"w": 0.5}),
+            "bravo": ContentSummary(100, {"w": 0.5}, {"w": 0.5}),
+        }
+        return {name: entries[name] for name in order}
+
+    @pytest.mark.parametrize(
+        "order",
+        [
+            ["delta", "alpha", "charlie", "bravo"],
+            ["alpha", "bravo", "charlie", "delta"],
+            ["charlie", "delta", "bravo", "alpha"],
+        ],
+    )
+    def test_ties_break_alphabetically_regardless_of_insertion(self, order):
+        for scorer in [BGlossScorer(), CoriScorer(), LanguageModelScorer({})]:
+            ranking = rank_databases(scorer, ["w"], self._tied_summaries(order))
+            assert [e.name for e in ranking] == [
+                "alpha", "bravo", "charlie", "delta"
+            ]
+
+    def test_tied_selection_caps_k_deterministically(self):
+        summaries = self._tied_summaries(["delta", "alpha", "charlie", "bravo"])
+        selected = select_databases(BGlossScorer(), ["w"], summaries, k=2)
+        assert selected == ["alpha", "bravo"]

@@ -1,7 +1,6 @@
 """Tests for repro.summaries.size (sample-resample)."""
 
 import numpy as np
-import pytest
 
 from repro.index.document import Document
 from repro.index.engine import SearchEngine

@@ -1,7 +1,5 @@
 """Tests for repro.evaluation.stats (paired t-tests)."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given

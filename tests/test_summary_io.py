@@ -3,8 +3,11 @@
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.shrinkage import ShrunkSummary
+from repro.core.vocab import Vocabulary
 from repro.summaries.io import (
     load_summaries,
     save_summaries,
@@ -74,6 +77,80 @@ class TestRoundTrip:
 
     def test_payload_is_json_serializable(self, shrunk):
         json.dumps(summary_to_dict(shrunk))
+
+
+_words = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\x00"),
+    min_size=1,
+    max_size=12,
+)
+_probs = st.dictionaries(
+    _words,
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    max_size=20,
+)
+
+
+class TestRoundTripProperties:
+    """Dict → columnar → JSON → columnar → mapping view, exactly.
+
+    The chain exercises every representation boundary of the refactor:
+    dict construction interns into a Vocabulary, serialization re-expresses
+    the arrays over a payload word list, and the mapping view reads them
+    back. Probabilities must survive *exactly* (no float tolerance): ids
+    are integers and JSON round-trips doubles losslessly.
+    """
+
+    @given(df=_probs, tf=_probs)
+    def test_plain_summary_probabilities_survive_exactly(self, df, tf):
+        summary = ContentSummary(1000, df, tf)
+        restored = summary_from_dict(
+            json.loads(json.dumps(summary_to_dict(summary)))
+        )
+        assert restored.probabilities("df") == summary.probabilities("df")
+        assert restored.probabilities("tf") == summary.probabilities("tf")
+        assert restored.size == summary.size
+
+    @given(df=_probs)
+    def test_shared_vocabulary_mode_round_trips(self, df):
+        built_vocab = Vocabulary()
+        summary = ContentSummary(10, df, None, vocab=built_vocab)
+        serialize_vocab = Vocabulary()
+        payload = json.loads(
+            json.dumps(summary_to_dict(summary, vocab=serialize_vocab))
+        )
+        restored = summary_from_dict(
+            payload, vocab=Vocabulary(serialize_vocab.to_list())
+        )
+        assert restored.probabilities("df") == summary.probabilities("df")
+
+    @given(df=_probs)
+    def test_standalone_payloads_are_canonical(self, df):
+        """Same probabilities, different vocab history → identical payloads."""
+        one = ContentSummary(10, df)
+        scrambled = Vocabulary(sorted(df, reverse=True))
+        other = ContentSummary(10, df, vocab=scrambled)
+        assert summary_to_dict(one) == summary_to_dict(other)
+
+    @given(df=_probs, sample_size=st.integers(min_value=1, max_value=100))
+    def test_sampled_summary_round_trip(self, df, sample_size):
+        sample_df = {w: max(1, int(p * sample_size)) for w, p in df.items()}
+        summary = SampledSummary(
+            size=500,
+            df_probs=df,
+            tf_probs=df,
+            sample_size=sample_size,
+            sample_df=sample_df,
+            alpha=-1.3,
+            sample_tf=sample_df,
+        )
+        restored = summary_from_dict(
+            json.loads(json.dumps(summary_to_dict(summary)))
+        )
+        assert isinstance(restored, SampledSummary)
+        assert restored.probabilities("df") == summary.probabilities("df")
+        assert restored.sample_df == summary.sample_df
+        assert restored.sample_size == summary.sample_size
 
 
 class TestValidation:
