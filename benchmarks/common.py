@@ -19,6 +19,14 @@ or set it to ``0``/``none``/``off`` to disable disk caching. Set
 Results are registered here and (a) written to ``benchmarks/results/`` and
 (b) echoed into pytest's terminal summary, so ``pytest benchmarks/
 --benchmark-only`` shows the regenerated tables without ``-s``.
+
+Every session that registered at least one report also appends a
+machine-readable performance record (timers, counters, histograms, wall
+time) to ``benchmarks/results/bench_record.json`` and to the bench
+trajectory — ``BENCH_trajectory.json`` at the repository root by default,
+relocatable via ``REPRO_BENCH_TRAJECTORY`` (``0``/``none``/``off``
+disables it) — and the terminal summary warns when a timer regressed
+>20% against the previous record with the same context.
 """
 
 from __future__ import annotations
@@ -54,6 +62,25 @@ CELL_MATRIX: list[tuple[str, str, bool]] = [
 ]
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Bench-trajectory file ("0"/"none"/"off" disables trajectory recording).
+TRAJECTORY = os.environ.get(
+    "REPRO_BENCH_TRAJECTORY",
+    str(Path(__file__).parent.parent / "BENCH_trajectory.json"),
+)
+
+
+def trajectory_path() -> Path | None:
+    """Where this session's trajectory record goes (None when disabled)."""
+    if TRAJECTORY.lower() in ("0", "none", "off", ""):
+        return None
+    return Path(TRAJECTORY)
+
+
+def trajectory_context() -> dict:
+    """The comparison context of a benchmark-suite session's record."""
+    return {"kind": "bench-suite", "scale": SCALE, "jobs": JOBS}
+
 
 #: (title, formatted table) pairs registered by benchmarks this session.
 _REGISTERED: list[tuple[str, str]] = []

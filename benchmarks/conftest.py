@@ -1,6 +1,64 @@
-"""Benchmark-suite pytest hooks: echo regenerated tables in the summary."""
+"""Benchmark-suite pytest hooks: echo regenerated tables in the summary,
+and append a machine-readable performance record to the bench trajectory
+(see :mod:`benchmarks.common`)."""
 
-from benchmarks.common import registered_reports
+import time
+
+from benchmarks.common import (
+    RESULTS_DIR,
+    registered_reports,
+    trajectory_context,
+    trajectory_path,
+)
+
+_SESSION_START: dict = {}
+
+
+def pytest_sessionstart(session):
+    _SESSION_START["t"] = time.perf_counter()
+
+
+def _record_trajectory(terminalreporter) -> None:
+    """Build this session's performance record; append + compare."""
+    import json
+
+    from repro.evaluation import trajectory
+
+    wall = time.perf_counter() - _SESSION_START.get("t", time.perf_counter())
+    record = trajectory.build_record(trajectory_context(), wall)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_record.json").write_text(
+        json.dumps(record, indent=1) + "\n", encoding="utf-8"
+    )
+
+    path = trajectory_path()
+    if path is None:
+        terminalreporter.write_line(
+            "bench record written to benchmarks/results/bench_record.json "
+            "(trajectory disabled)"
+        )
+        return
+    previous = trajectory.latest_comparable(
+        trajectory.load_records(path), record["context"]
+    )
+    total = trajectory.append_record(path, record)
+    terminalreporter.write_line(
+        f"bench record appended to {path} (record {total}; also at "
+        f"benchmarks/results/bench_record.json)"
+    )
+    if previous is None:
+        terminalreporter.write_line(
+            "trajectory: no previous comparable record"
+        )
+        return
+    warnings = trajectory.compare_records(previous, record)
+    for warning in warnings:
+        terminalreporter.write_line(f"trajectory: WARNING {warning}")
+    if not warnings:
+        terminalreporter.write_line(
+            "trajectory: no timer regressions vs previous comparable record"
+        )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -17,3 +75,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     terminalreporter.write_line(
         "Tables also written to benchmarks/results/*.txt"
     )
+    try:
+        _record_trajectory(terminalreporter)
+    except Exception as error:  # trajectory reporting must never fail a run
+        terminalreporter.write_line(f"trajectory: recording failed: {error}")

@@ -8,13 +8,23 @@ Exposes the experiment harness without writing Python:
   selection strategies.
 * ``lambdas`` — the EM mixture weights of a database's shrunk summary.
 * ``bench`` — end-to-end timed run of one cell (or the whole matrix with
-  ``--matrix``) with cache/parallelism instrumentation.
-* ``cache`` — inspect or clear an on-disk artifact store.
+  ``--matrix``) with cache/parallelism instrumentation; ``--json`` emits
+  the run's full JSONL trace on stdout, ``--trajectory FILE`` appends a
+  machine-readable record and warns about >20% timer regressions.
+* ``trace`` — summarize a JSONL trace file (or stdin) as an aggregated
+  top-down span tree plus metrics tables.
+* ``cache`` — inspect or clear an on-disk artifact store, including its
+  accumulated per-kind hit/miss/bytes traffic.
 * ``info`` — the library's layout and the experiment matrix.
 
 Every harness-backed command accepts ``--cache-dir`` (persist artifacts
-across invocations), ``--no-cache`` (force rebuilds), and ``--jobs``
-(fan per-database work out over worker processes).
+across invocations), ``--no-cache`` (force rebuilds), ``--jobs``
+(fan per-database work out over worker processes), and ``--trace-out
+FILE`` (record a hierarchical span trace of the run). With ``--trace-out``
+or ``--json``, :func:`main` installs a trace collector and wraps the
+command in a root span named ``repro.<command>``, so every span of the
+run — including those shipped back from worker processes — resolves to a
+single rooted tree.
 """
 
 from __future__ import annotations
@@ -54,6 +64,10 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="ignore any artifact store; rebuild everything",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a JSONL span trace of the run to FILE",
     )
 
 
@@ -147,7 +161,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import time
 
     from repro.evaluation import harness
-    from repro.evaluation.instrument import get_instrumentation
+    from repro.evaluation import trajectory as trajectory_mod
+    from repro.evaluation.instrument import get_collector, get_instrumentation
+
+    # With --json the human-readable tables are suppressed: stdout carries
+    # only the JSONL event stream (written by main) so the output can be
+    # piped straight into ``repro trace``.
+    json_mode = bool(getattr(args, "json", False))
+    emit = (lambda *a, **k: None) if json_mode else print
 
     _configure_harness(args)
     store = harness.get_config().store
@@ -186,11 +207,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                         },
                     }
                 )
-        print(
+        emit(
             f"Matrix bench — scale={args.scale} / {args.algorithm} / "
             f"jobs={args.jobs}"
         )
-        print(
+        emit(
             f"{'cell':<18} {'wrecall':>8} {'+shrunk':>8} "
             f"{'Rk plain':>9} {'Rk shrunk':>9}"
         )
@@ -201,7 +222,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             rk_plain = float(np.nanmean(result["rk"]["plain"]))
             rk_shrunk = float(np.nanmean(result["rk"]["shrinkage"]))
-            print(
+            emit(
                 f"{label:<18} {result['quality_plain'].weighted_recall:>8.3f} "
                 f"{result['quality_shrunk'].weighted_recall:>8.3f} "
                 f"{rk_plain:>9.3f} {rk_shrunk:>9.3f}"
@@ -217,23 +238,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             for strategy in ("plain", "shrinkage")
         }
-        print(
+        emit(
             f"Bench — {args.dataset} / {args.sampler.upper()} / "
             f"freq-est={'yes' if args.freq_est else 'no'} / "
             f"scale={args.scale} / {args.algorithm} / jobs={args.jobs}"
         )
-        print(
+        emit(
             f"mean Rk (k<={args.k}): plain "
             f"{float(np.nanmean(rk['plain'])):.3f}, shrinkage "
             f"{float(np.nanmean(rk['shrinkage'])):.3f}"
         )
 
     wall = time.perf_counter() - start
-    print(f"wall time: {wall:.3f} s")
+    emit(f"wall time: {wall:.3f} s")
     if store is not None:
-        print(f"artifact store: {store.root}")
-    print()
-    print(get_instrumentation().report())
+        emit(f"artifact store: {store.root}")
+    emit()
+    emit(get_instrumentation().report())
+
+    context = {
+        "kind": "bench-matrix" if args.matrix else "bench-cell",
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "algorithm": args.algorithm,
+        "k": args.k,
+    }
+    if not args.matrix:
+        context["dataset"] = args.dataset
+        context["sampler"] = args.sampler
+        context["frequency_estimation"] = args.freq_est
+    collector = get_collector()
+    record = trajectory_mod.build_record(
+        context, wall, run_id=collector.run_id if collector else None
+    )
+    # Picked up by main() so the record rides along in the trace output.
+    args.bench_record = record
+
+    if args.trajectory:
+        out = sys.stderr if json_mode else sys.stdout
+        previous = trajectory_mod.latest_comparable(
+            trajectory_mod.load_records(args.trajectory), context
+        )
+        total = trajectory_mod.append_record(args.trajectory, record)
+        print(
+            f"trajectory: appended record {total} to {args.trajectory}",
+            file=out,
+        )
+        if previous is None:
+            print("trajectory: no previous comparable record", file=out)
+        else:
+            warnings = trajectory_mod.compare_records(previous, record)
+            for warning in warnings:
+                print(f"trajectory: WARNING {warning}", file=out)
+            if not warnings:
+                print(
+                    "trajectory: no regressions vs previous comparable record",
+                    file=out,
+                )
     return 0
 
 
@@ -259,6 +320,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"versions: store={STORE_VERSION} pipeline={PIPELINE_VERSION} "
         f"representation={REPRESENTATION_VERSION}"
     )
+    stats = store.stats()
+    if stats:
+        print()
+        print(
+            f"{'traffic':<12} {'hits':>8} {'misses':>8} {'corrupt':>8} "
+            f"{'saves':>8} {'read B':>12} {'written B':>12}"
+        )
+        for kind, totals in stats.items():
+            print(
+                f"{kind:<12} {totals['hits']:>8d} {totals['misses']:>8d} "
+                f"{totals['corrupt']:>8d} {totals['saves']:>8d} "
+                f"{totals['bytes_read']:>12d} {totals['bytes_written']:>12d}"
+            )
+        print()
     if not entries:
         print("(empty)")
         return 0
@@ -273,6 +348,30 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print()
         for entry in entries:
             print(f"{entry.kind:<12} {entry.key} {entry.bytes:>12d}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.evaluation.traceview import load_trace, render_trace
+
+    if args.file in (None, "-"):
+        lines = sys.stdin.read().splitlines()
+    else:
+        path = Path(args.file)
+        if not path.is_file():
+            print(f"trace: no such file: {path}")
+            return 2
+        lines = path.read_text(encoding="utf-8").splitlines()
+    trace = load_trace(lines)
+    if trace.run is None and not trace.spans:
+        print("trace: no trace events found in input")
+        return 2
+    try:
+        print(render_trace(trace, max_depth=args.depth))
+    except BrokenPipeError:  # e.g. `repro trace file | head`
+        pass
     return 0
 
 
@@ -330,7 +429,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--matrix", action="store_true",
         help="run the full dataset x sampler x freq-est matrix",
     )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="emit the run's JSONL trace on stdout instead of tables "
+        "(pipe into `repro trace`)",
+    )
+    bench.add_argument(
+        "--trajectory", metavar="FILE",
+        help="append a machine-readable record to this trajectory file and "
+        "warn on >20%% timer regressions vs the previous comparable record",
+    )
     bench.set_defaults(handler=_cmd_bench)
+
+    trace = commands.add_parser(
+        "trace", help="summarize a JSONL trace as a top-down span tree"
+    )
+    trace.add_argument(
+        "file", nargs="?", default="-",
+        help="trace file from --trace-out (default: stdin)",
+    )
+    trace.add_argument(
+        "--depth", type=int, default=6, metavar="N",
+        help="maximum tree depth to print",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     cache = commands.add_parser(
         "cache", help="inspect or clear an on-disk artifact store"
@@ -350,9 +472,64 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When ``--trace-out`` or ``--json`` is given, the whole command runs
+    under an installed trace collector inside a root span named
+    ``repro.<command>``; the resulting event stream is written as JSONL
+    to the trace file and/or stdout. ``REPRO_TRACE_MEMORY=1`` adds
+    tracemalloc deltas to every span (slower; off by default).
+    """
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    trace_out = getattr(args, "trace_out", None)
+    json_mode = bool(getattr(args, "json", False))
+    if not trace_out and not json_mode:
+        return args.handler(args)
+
+    import json as json_module
+    import os
+
+    from repro.evaluation.instrument import (
+        TraceCollector,
+        get_instrumentation,
+        install_collector,
+        span,
+        trace_events,
+        uninstall_collector,
+    )
+
+    collector = install_collector(
+        TraceCollector(
+            track_memory=bool(os.environ.get("REPRO_TRACE_MEMORY"))
+        )
+    )
+    try:
+        with span(f"repro.{args.command}"):
+            code = args.handler(args)
+    finally:
+        uninstall_collector()
+
+    extras = []
+    record = getattr(args, "bench_record", None)
+    if record is not None:
+        extras.append({"type": "record", **record})
+    events = trace_events(collector, get_instrumentation(), extras)
+    if trace_out:
+        with open(trace_out, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(
+                    json_module.dumps(event, separators=(",", ":")) + "\n"
+                )
+        print(f"trace: {len(events)} events -> {trace_out}", file=sys.stderr)
+    if json_mode:
+        try:
+            for event in events:
+                sys.stdout.write(
+                    json_module.dumps(event, separators=(",", ":")) + "\n"
+                )
+        except BrokenPipeError:  # e.g. `repro bench --json | head`
+            pass
+    return code
 
 
 if __name__ == "__main__":

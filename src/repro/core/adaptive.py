@@ -317,6 +317,10 @@ def choose_summaries(
     config: AdaptiveConfig | None = None,
 ) -> tuple[dict[str, ContentSummary], dict[str, AdaptiveDecision]]:
     """Pick A(D) per database: R(D) when uncertain, S(D) otherwise."""
+    # Local import: repro.evaluation reaches back into repro.core at
+    # package-init time (see the note in shrinkage._em_core).
+    from repro.evaluation.instrument import count
+
     chosen: dict[str, ContentSummary] = {}
     decisions: dict[str, AdaptiveDecision] = {}
     for name, sampled in sampled_summaries.items():
@@ -326,4 +330,9 @@ def choose_summaries(
             chosen[name] = shrunk_summaries[name]
         else:
             chosen[name] = sampled
+    count("adaptive.decisions", len(decisions))
+    count(
+        "adaptive.use_shrinkage",
+        sum(1 for d in decisions.values() if d.use_shrinkage),
+    )
     return chosen, decisions

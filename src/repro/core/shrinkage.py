@@ -119,12 +119,18 @@ def _em_core(columns: np.ndarray, config: ShrinkageConfig) -> list[float]:
     The E step is one matrix-vector product plus a masked column-normalized
     sum; the M step a renormalization.
     """
+    # Imported here, not at module top: repro.evaluation would pull
+    # repro.summaries.io back into this partially initialized module.
+    from repro.evaluation.instrument import annotate, count, observe, tracing_active
+
     num_components, num_words = columns.shape
     if num_words == 0:
         # Degenerate: an empty sample gives EM nothing to fit. Uniform
         # weights keep the mixture well-defined.
         return [1.0 / num_components] * num_components
 
+    traced = tracing_active()
+    ll_trail: list[float] = []
     lambdas = np.full(num_components, 1.0 / num_components)
     iterations = 0
     for _iteration in range(config.max_iterations):
@@ -132,6 +138,8 @@ def _em_core(columns: np.ndarray, config: ShrinkageConfig) -> list[float]:
         mixture = lambdas @ columns
         positive = mixture > 0.0
         if positive.any():
+            if traced:
+                ll_trail.append(float(np.log(mixture[positive]).sum()))
             ratios = columns[:, positive] / mixture[positive]
             betas = lambdas * ratios.sum(axis=1)
         else:
@@ -145,12 +153,21 @@ def _em_core(columns: np.ndarray, config: ShrinkageConfig) -> list[float]:
         if delta < config.epsilon:
             break
 
-    # Imported here, not at module top: repro.evaluation would pull
-    # repro.summaries.io back into this partially initialized module.
-    from repro.evaluation.instrument import count
-
     count("em.runs")
     count("em.iterations", iterations)
+    observe("em.iterations", iterations)
+    if traced:
+        # Per-iteration log-likelihood deltas (capped) land on the
+        # enclosing "shrinkage.em_run" span for convergence forensics.
+        deltas = [
+            round(ll_trail[i] - ll_trail[i - 1], 6)
+            for i in range(1, len(ll_trail))
+        ]
+        annotate(
+            em_iterations=iterations,
+            log_likelihood=round(ll_trail[-1], 6) if ll_trail else None,
+            ll_deltas=deltas[:40],
+        )
     return lambdas.tolist()
 
 
@@ -283,6 +300,8 @@ def shrink_database_summary(
     into that id space once per regime if it was built against a different
     vocabulary instance.
     """
+    from repro.evaluation.instrument import span  # see note in _em_core
+
     config = config or ShrinkageConfig()
     path_summaries = builder.exclusive_path_summaries(db_name)
     uniform_probability = builder.uniform_probability()
@@ -295,13 +314,18 @@ def shrink_database_summary(
 
     regimes: dict[str, tuple[list[float], IdProbs]] = {}
     for regime in ("df", "tf"):
-        ids, values, em_values = _db_regime(db_summary, regime, vocab, config)
-        columns = np.empty((len(components) + 2, ids.size), dtype=np.float64)
-        columns[0] = uniform_probability
-        for j, summary in enumerate(components, start=1):
-            columns[j] = summary.lookup_ids(ids, regime)
-        columns[-1] = em_values
-        lambdas = _em_core(columns, config)
+        with span("shrinkage.em_run", db=db_name, regime=regime):
+            ids, values, em_values = _db_regime(
+                db_summary, regime, vocab, config
+            )
+            columns = np.empty(
+                (len(components) + 2, ids.size), dtype=np.float64
+            )
+            columns[0] = uniform_probability
+            for j, summary in enumerate(components, start=1):
+                columns[j] = summary.lookup_ids(ids, regime)
+            columns[-1] = em_values
+            lambdas = _em_core(columns, config)
         regimes[regime] = (
             lambdas,
             _mix_arrays(

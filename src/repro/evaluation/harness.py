@@ -31,6 +31,7 @@ parallel results are bit-identical to the serial path.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from collections.abc import Mapping, MutableMapping, Sequence
 
@@ -49,7 +50,13 @@ from repro.corpus.testbeds import (
     build_web_style_testbed,
 )
 from repro.evaluation import store as store_mod
-from repro.evaluation.instrument import count, get_instrumentation, timer
+from repro.evaluation.instrument import (
+    count,
+    get_collector,
+    get_instrumentation,
+    span,
+    uninstall_collector,
+)
 from repro.evaluation.selection_quality import mean_rk_curve, rk_curve
 from repro.evaluation.store import ArtifactStore, fingerprint
 from repro.evaluation.summary_quality import SummaryQuality, evaluate_summary
@@ -247,13 +254,15 @@ def clear_caches() -> None:
     """Drop every cached artifact and reset harness state (mainly for tests).
 
     Besides the in-memory artifact caches this also clears registered
-    external caches, zeroes the instrumentation counters/timers, and
-    reverts :func:`configure` to its defaults (no store, one job) — so no
-    state set up by one test can leak into the next.
+    external caches, zeroes the instrumentation counters/timers, removes
+    any installed trace collector, and reverts :func:`configure` to its
+    defaults (no store, one job) — so no state set up by one test can
+    leak into the next.
     """
     for cache in memory_caches():
         cache.clear()
     get_instrumentation().reset()
+    uninstall_collector()
     _CONFIG.store = None
     _CONFIG.jobs = 1
 
@@ -405,7 +414,7 @@ def get_testbed(dataset: str, scale: str = "bench") -> Testbed:
             _TESTBEDS[key] = Testbed(name, hierarchy, corpus_model, databases)
             return _TESTBEDS[key]
 
-    with timer("testbed.build"):
+    with span("testbed.build", dataset=dataset, scale=scale):
         testbed = _build_testbed(dataset, scale)
     count("testbed.synthesized")
     count("testbed.documents", testbed.total_documents)
@@ -500,6 +509,9 @@ def sample_one_database(
     count("sample.databases")
     count("sample.documents", sample.size)
     count("sample.queries", sample.num_queries)
+    instrumentation = get_instrumentation()
+    instrumentation.observe("sample.size", sample.size)
+    instrumentation.observe("sample.queries", sample.num_queries)
     return db.name, sample, classification, size
 
 
@@ -538,7 +550,14 @@ def _collect_samples(
     classifications: dict[str, tuple[str, ...]] = {}
     sizes: dict[str, float] = {}
 
-    with timer("sample.collect"):
+    with span(
+        "sample.collect",
+        dataset=dataset,
+        sampler=sampler,
+        scale=scale,
+        databases=len(testbed.databases),
+        jobs=_CONFIG.jobs,
+    ):
         if _CONFIG.jobs > 1:
             from repro.evaluation import parallel as parallel_mod
 
@@ -586,7 +605,11 @@ def _build_summaries(
     """
     summaries: dict[str, SampledSummary] = {}
     vocab = Vocabulary()
-    with timer("summaries.build"):
+    with span(
+        "summaries.build",
+        frequency_estimation=frequency_estimation,
+        databases=len(samples),
+    ):
         for name, sample in samples.items():
             if frequency_estimation:
                 summaries[name] = build_estimated_summary(
@@ -689,7 +712,14 @@ def ensure_shrunk(cell: ExperimentCell):
             metasearcher.set_shrunk_summaries(shrunk)
             return metasearcher.shrunk_summaries
 
-    with timer("shrinkage.em"):
+    with span(
+        "shrinkage.em",
+        dataset=cell.dataset,
+        sampler=cell.sampler,
+        frequency_estimation=cell.frequency_estimation,
+        scale=cell.scale,
+        jobs=_CONFIG.jobs,
+    ):
         if _CONFIG.jobs > 1:
             from repro.evaluation import parallel as parallel_mod
 
@@ -780,12 +810,33 @@ def rk_curves_per_query(
         ensure_shrunk(cell)
     workload = queries if queries is not None else get_workload(cell.dataset, cell.scale)
     judgments = get_judgments(cell.dataset, cell.scale)
+    instrumentation = get_instrumentation()
     curves = []
-    with timer("evaluate.rk"):
+    with span(
+        "evaluate.rk",
+        dataset=cell.dataset,
+        algorithm=algorithm,
+        strategy=str(SelectionStrategy(strategy).value),
+        k_max=k_max,
+    ):
+        collector = get_collector()
         for query in workload:
+            query_start = time.perf_counter()
             outcome = cell.metasearcher.select(
                 list(query.terms), algorithm=algorithm, strategy=strategy, k=k_max
             )
+            elapsed = time.perf_counter() - query_start
+            instrumentation.observe("select.query_seconds", elapsed)
+            if collector is not None:
+                collector.leaf(
+                    "select.query",
+                    elapsed,
+                    {
+                        "qid": query.qid,
+                        "algorithm": algorithm,
+                        "selected": len(outcome.names),
+                    },
+                )
             curves.append(
                 rk_curve(outcome.names, judgments.per_database(query.qid), k_max)
             )

@@ -21,7 +21,12 @@ artifact store is configured, the parent persists testbeds/samples before
 fanning out, and workers load them from disk instead of re-synthesizing.
 Worker-side instrumentation is shipped back as per-task snapshot deltas
 and merged into the parent's counters, so ``repro bench`` totals include
-work done in the pool.
+work done in the pool. When the parent is tracing, each worker installs a
+:class:`~repro.evaluation.instrument.TraceCollector` sharing the parent's
+run id; finished span events ride along in each task's delta under the
+``"spans"`` key and are re-parented under the dispatching span by
+:func:`~repro.evaluation.instrument.absorb_task_delta`, so a ``--jobs N``
+trace still forms a single rooted tree.
 """
 
 from __future__ import annotations
@@ -30,21 +35,34 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 from repro.core.shrinkage import ShrunkSummary, shrink_database_summary
-from repro.evaluation.instrument import get_instrumentation
+from repro.evaluation.instrument import (
+    TraceCollector,
+    absorb_task_delta,
+    get_collector,
+    get_instrumentation,
+    install_collector,
+    spans_since,
+    trace_mark,
+)
 from repro.summaries.sampling import DocumentSample
 
 # -- worker-side plumbing ---------------------------------------------------------
 
 
-def _worker_init(cache_dir: str | None) -> None:
+def _worker_init(cache_dir: str | None, trace: tuple | None) -> None:
     """Configure a worker process: same store as the parent, no nesting.
 
     ``jobs`` is pinned to 1 so a worker that rebuilds artifacts through
-    the harness never tries to open its own process pool.
+    the harness never tries to open its own process pool. ``trace`` is
+    ``(run_id, track_memory)`` when the parent has a collector installed;
+    the worker mirrors it so span events carry the parent's run id.
     """
     from repro.evaluation import harness
 
     harness.configure(cache_dir=cache_dir, jobs=1)
+    if trace is not None:
+        run_id, track_memory = trace
+        install_collector(TraceCollector(run_id=run_id, track_memory=track_memory))
 
 
 def _sample_task(task: tuple) -> tuple:
@@ -54,13 +72,13 @@ def _sample_task(task: tuple) -> tuple:
     dataset, sampler, scale, index = task
     instrumentation = get_instrumentation()
     before = instrumentation.snapshot()
+    mark = trace_mark()
     name, sample, classification, size = harness.sample_one_database(
         dataset, sampler, scale, index
     )
-    return (
-        index, name, sample, classification, size,
-        instrumentation.delta_since(before),
-    )
+    delta = instrumentation.delta_since(before)
+    delta["spans"] = spans_since(mark)
+    return index, name, sample, classification, size, delta
 
 
 def _shrink_task(task: tuple) -> tuple:
@@ -70,6 +88,7 @@ def _shrink_task(task: tuple) -> tuple:
     dataset, sampler, frequency_estimation, scale, index = task
     instrumentation = get_instrumentation()
     before = instrumentation.snapshot()
+    mark = trace_mark()
     cell = harness.get_cell(dataset, sampler, frequency_estimation, scale)
     name = list(cell.summaries)[index]
     shrunk = shrink_database_summary(
@@ -78,7 +97,9 @@ def _shrink_task(task: tuple) -> tuple:
         cell.metasearcher.builder,
         cell.metasearcher.shrinkage_config,
     )
-    return index, name, shrunk, instrumentation.delta_since(before)
+    delta = instrumentation.delta_since(before)
+    delta["spans"] = spans_since(mark)
+    return index, name, shrunk, delta
 
 
 def _evaluate_cell_task(task: tuple) -> tuple:
@@ -88,6 +109,7 @@ def _evaluate_cell_task(task: tuple) -> tuple:
     dataset, sampler, frequency_estimation, scale, algorithm, k_max = task
     instrumentation = get_instrumentation()
     before = instrumentation.snapshot()
+    mark = trace_mark()
     cell = harness.get_cell(dataset, sampler, frequency_estimation, scale)
     harness.ensure_shrunk(cell)
     result = {
@@ -101,7 +123,9 @@ def _evaluate_cell_task(task: tuple) -> tuple:
             for strategy in ("plain", "shrinkage")
         },
     }
-    return result, instrumentation.delta_since(before)
+    delta = instrumentation.delta_since(before)
+    delta["spans"] = spans_since(mark)
+    return result, delta
 
 
 # -- parent-side fan-out ----------------------------------------------------------
@@ -115,11 +139,19 @@ def _cache_dir_for_workers() -> str | None:
     return str(Path(store.root)) if store is not None else None
 
 
+def _trace_initarg() -> tuple | None:
+    """The parent collector's (run_id, track_memory), or None when off."""
+    collector = get_collector()
+    if collector is None:
+        return None
+    return (collector.run_id, collector.track_memory)
+
+
 def _executor(jobs: int, num_tasks: int) -> ProcessPoolExecutor:
     return ProcessPoolExecutor(
         max_workers=max(1, min(jobs, num_tasks)),
         initializer=_worker_init,
-        initargs=(_cache_dir_for_workers(),),
+        initargs=(_cache_dir_for_workers(), _trace_initarg()),
     )
 
 
@@ -138,13 +170,12 @@ def sample_databases_parallel(
     tasks = [
         (dataset, sampler, scale, index) for index in range(num_databases)
     ]
-    instrumentation = get_instrumentation()
     results = []
     with _executor(jobs, len(tasks)) as executor:
         for index, name, sample, classification, size, delta in executor.map(
             _sample_task, tasks
         ):
-            instrumentation.merge(delta)
+            absorb_task_delta(delta)
             results.append((index, name, sample, classification, size))
     results.sort(key=lambda item: item[0])
     return [(name, s, c, z) for _i, name, s, c, z in results]
@@ -169,11 +200,10 @@ def shrink_cell_parallel(
         (dataset, sampler, frequency_estimation, scale, index)
         for index in range(len(cell.summaries))
     ]
-    instrumentation = get_instrumentation()
     gathered: list[tuple[int, str, ShrunkSummary]] = []
     with _executor(jobs, len(tasks)) as executor:
         for index, name, shrunk, delta in executor.map(_shrink_task, tasks):
-            instrumentation.merge(delta)
+            absorb_task_delta(delta)
             gathered.append((index, name, shrunk))
     gathered.sort(key=lambda item: item[0])
     return {name: shrunk for _i, name, shrunk in gathered}
@@ -196,10 +226,9 @@ def evaluate_cells_parallel(
         (dataset, sampler, frequency_estimation, scale, algorithm, k_max)
         for dataset, sampler, frequency_estimation in cells
     ]
-    instrumentation = get_instrumentation()
     results = []
     with _executor(jobs, len(tasks)) as executor:
         for result, delta in executor.map(_evaluate_cell_task, tasks):
-            instrumentation.merge(delta)
+            absorb_task_delta(delta)
             results.append(result)
     return results

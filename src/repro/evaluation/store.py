@@ -20,6 +20,17 @@ Failure policy: a missing, truncated, or otherwise corrupted entry is a
 *cache miss*, never an error — the caller rebuilds and overwrites. Writes
 are atomic (temp file + ``os.replace``) so a crashed run cannot leave a
 half-written artifact behind.
+
+Observability: every load/save books per-kind hit/miss/bytes counters
+(``cache.hit.samples``, ``cache.bytes_read.samples``, …) on top of the
+aggregate ``cache.*`` ones, records its latency in the
+``store.load_seconds`` / ``store.save_seconds`` histograms, and — when a
+trace collector is installed — emits a leaf span carrying the kind, byte
+count, and hit/miss outcome. The same traffic is accumulated across runs
+in a ``stats.json`` sidecar at the store root, which ``repro cache``
+reports; sidecar updates are best-effort read-modify-write (concurrent
+workers may drop increments, never corrupt the file) and ``clear()``
+resets them.
 """
 
 from __future__ import annotations
@@ -29,11 +40,12 @@ import gzip
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from collections.abc import Mapping
 
 from repro.core.vocab import Vocabulary
-from repro.evaluation.instrument import count, timer
+from repro.evaluation.instrument import count, get_collector, get_instrumentation
 from repro.index.engine import TextDatabase
 from repro.summaries.io import (
     FORMAT_VERSION,
@@ -254,6 +266,27 @@ class StoreEntry:
     path: Path
 
 
+#: Sidecar file at the store root accumulating traffic across runs.
+STATS_FILENAME = "stats.json"
+
+#: Per-kind traffic fields tracked in the sidecar and per-kind counters.
+_STAT_FIELDS = ("hits", "misses", "corrupt", "saves", "bytes_read", "bytes_written")
+
+
+def _observe_io(operation: str, kind: str, seconds: float, nbytes: int,
+                hit: bool | None = None) -> None:
+    """Book one store I/O into timers, histograms, and the active trace."""
+    instrumentation = get_instrumentation()
+    instrumentation.add_time(f"store.{operation}", seconds)
+    instrumentation.observe(f"store.{operation}_seconds", seconds)
+    collector = get_collector()
+    if collector is not None:
+        attrs = {"kind": kind, "bytes": nbytes}
+        if hit is not None:
+            attrs["hit"] = hit
+        collector.leaf(f"store.{operation}", seconds, attrs)
+
+
 class ArtifactStore:
     """Gzip-JSON artifact cache rooted at one directory."""
 
@@ -281,15 +314,19 @@ class ArtifactStore:
         path = self.path_for(kind, key)
         if not path.exists():
             count("cache.miss")
+            count(f"cache.miss.{kind}")
+            self._record_traffic(kind, misses=1)
             return None
+        start = time.perf_counter()
         try:
-            with timer("store.load"):
-                raw = gzip.decompress(path.read_bytes())
-                document = json.loads(raw)
+            raw_bytes = path.read_bytes()
+            document = json.loads(gzip.decompress(raw_bytes))
         except (OSError, EOFError, ValueError):
             # gzip.BadGzipFile is an OSError; json errors are ValueErrors.
             count("cache.miss")
+            count(f"cache.miss.{kind}")
             count("cache.corrupt")
+            self._record_traffic(kind, misses=1, corrupt=1)
             return None
         if (
             not isinstance(document, dict)
@@ -298,9 +335,16 @@ class ArtifactStore:
             or "payload" not in document
         ):
             count("cache.miss")
+            count(f"cache.miss.{kind}")
             count("cache.corrupt")
+            self._record_traffic(kind, misses=1, corrupt=1)
             return None
+        elapsed = time.perf_counter() - start
         count("cache.hit")
+        count(f"cache.hit.{kind}")
+        count(f"cache.bytes_read.{kind}", len(raw_bytes))
+        self._record_traffic(kind, hits=1, bytes_read=len(raw_bytes))
+        _observe_io("load", kind, elapsed, len(raw_bytes), hit=True)
         return document["payload"]
 
     def load_artifact(self, kind: str, key: str, converter):
@@ -317,6 +361,7 @@ class ArtifactStore:
             return converter(payload)
         except (KeyError, TypeError, ValueError):
             count("cache.corrupt")
+            self._record_traffic(kind, corrupt=1)
             return None
 
     # -- write -----------------------------------------------------------------
@@ -334,16 +379,67 @@ class ArtifactStore:
         }
         if config is not None:
             document["config"] = _canonical(dict(config))
-        with timer("store.save"):
-            data = gzip.compress(
-                json.dumps(document, separators=(",", ":")).encode(),
-                compresslevel=5,
-            )
-            tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
-            tmp.write_bytes(data)
-            os.replace(tmp, path)
+        start = time.perf_counter()
+        data = gzip.compress(
+            json.dumps(document, separators=(",", ":")).encode(),
+            compresslevel=5,
+        )
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        elapsed = time.perf_counter() - start
         count("cache.store")
+        count(f"cache.store.{kind}")
+        count(f"cache.bytes_written.{kind}", len(data))
+        self._record_traffic(kind, saves=1, bytes_written=len(data))
+        _observe_io("save", kind, elapsed, len(data))
         return path
+
+    # -- persistent traffic stats ----------------------------------------------
+
+    @property
+    def stats_path(self) -> Path:
+        """Where the cross-run traffic sidecar lives."""
+        return self.root / STATS_FILENAME
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Accumulated per-kind traffic totals ({} for a fresh store)."""
+        try:
+            document = json.loads(self.stats_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        kinds = document.get("kinds") if isinstance(document, dict) else None
+        if not isinstance(kinds, dict):
+            return {}
+        totals: dict[str, dict[str, int]] = {}
+        for kind in ARTIFACT_KINDS:
+            entry = kinds.get(kind)
+            if isinstance(entry, dict):
+                totals[kind] = {
+                    field: int(entry.get(field, 0)) for field in _STAT_FIELDS
+                }
+        return totals
+
+    def _record_traffic(self, kind: str, **increments: int) -> None:
+        """Fold increments into the sidecar (best-effort, never raises)."""
+        try:
+            totals = self.stats()
+            entry = totals.setdefault(
+                kind, {field: 0 for field in _STAT_FIELDS}
+            )
+            for field, amount in increments.items():
+                entry[field] = entry.get(field, 0) + int(amount)
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self.stats_path.with_name(
+                f".{STATS_FILENAME}.tmp{os.getpid()}"
+            )
+            tmp.write_text(
+                json.dumps({"version": 1, "kinds": totals}, indent=0),
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.stats_path)
+        except OSError:  # pragma: no cover - stats must never break caching
+            pass
 
     # -- inspection / maintenance ----------------------------------------------
 
@@ -366,9 +462,11 @@ class ArtifactStore:
         return found
 
     def clear(self) -> int:
-        """Delete every artifact; returns how many were removed."""
+        """Delete every artifact (and the traffic sidecar); returns the
+        number of artifacts removed."""
         removed = 0
         for entry in self.entries():
             entry.path.unlink(missing_ok=True)
             removed += 1
+        self.stats_path.unlink(missing_ok=True)
         return removed

@@ -1,0 +1,179 @@
+"""Summarize a JSONL trace (``--trace-out`` / ``repro bench --json``).
+
+``repro trace`` feeds a trace's event stream through :func:`load_trace`
+and prints :func:`render_trace`: a top-down aggregated span tree (same
+shape a flame graph would show, collapsed by span name at each depth),
+followed by the run's metrics tables. Spans that share (parent aggregate,
+name) are merged — 36 ``shrinkage.em_run`` spans under one
+``shrinkage.em`` render as a single line with ``calls=36`` and summed
+time — because the interesting signal at terminal resolution is where
+the time went, not each span individually.
+
+Orphan detection: a span whose parent id is neither ``None`` nor a known
+span id is counted and promoted to a root, so a malformed or truncated
+trace is still renderable *and* visibly flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import json
+
+
+@dataclass
+class Trace:
+    """A parsed trace: header, span events, metrics, extra records."""
+
+    run: dict | None = None
+    spans: list[dict] = field(default_factory=list)
+    metrics: dict | None = None
+    records: list[dict] = field(default_factory=list)
+    #: Spans whose parent id did not resolve (should be 0 for a good trace).
+    orphans: int = 0
+
+
+def load_trace(lines) -> Trace:
+    """Parse JSONL lines into a :class:`Trace` (unknown types ignored)."""
+    trace = Trace()
+    known_ids = set()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(event, dict):
+            continue
+        kind = event.get("type")
+        if kind == "run" and trace.run is None:
+            trace.run = event
+        elif kind == "span":
+            trace.spans.append(event)
+            known_ids.add(event.get("id"))
+        elif kind == "metrics":
+            trace.metrics = event
+        elif kind == "record":
+            trace.records.append(event)
+    for span in trace.spans:
+        parent = span.get("parent")
+        if parent is not None and parent not in known_ids:
+            trace.orphans += 1
+    return trace
+
+
+def _aggregate(spans: list[dict], children: dict) -> list[dict]:
+    """Group sibling spans by name, summing time, preserving first-seen order."""
+    groups: dict[str, dict] = {}
+    for span in spans:
+        name = str(span.get("name", "?"))
+        group = groups.get(name)
+        if group is None:
+            group = groups[name] = {"name": name, "calls": 0, "seconds": 0.0,
+                                    "members": []}
+        group["calls"] += 1
+        group["seconds"] += float(span.get("dur_s", 0.0))
+        group["members"].append(span)
+    ordered = list(groups.values())
+    ordered.sort(key=lambda g: -g["seconds"])
+    for group in ordered:
+        child_spans = []
+        for member in group["members"]:
+            child_spans.extend(children.get(member.get("id"), ()))
+        group["children"] = child_spans
+    return ordered
+
+
+def render_tree(trace: Trace, max_depth: int = 6) -> list[str]:
+    """The aggregated top-down span tree, one line per (depth, name)."""
+    children: dict = {}
+    roots: list[dict] = []
+    known_ids = {span.get("id") for span in trace.spans}
+    for span in trace.spans:
+        parent = span.get("parent")
+        if parent is None or parent not in known_ids:
+            roots.append(span)
+        else:
+            children.setdefault(parent, []).append(span)
+
+    total = sum(float(span.get("dur_s", 0.0)) for span in roots) or 1.0
+    lines = [f"{'span':<44} {'calls':>7} {'total s':>10} {'self s':>10} {'%':>6}"]
+
+    def emit(groups: list[dict], depth: int) -> None:
+        if depth >= max_depth:
+            return
+        for group in groups:
+            child_groups = _aggregate(group["children"], children)
+            child_seconds = sum(g["seconds"] for g in child_groups)
+            label = "  " * depth + group["name"]
+            if len(label) > 44:
+                label = label[:41] + "..."
+            lines.append(
+                f"{label:<44} {group['calls']:>7d} {group['seconds']:>10.3f} "
+                f"{max(group['seconds'] - child_seconds, 0.0):>10.3f} "
+                f"{100.0 * group['seconds'] / total:>5.1f}%"
+            )
+            emit(child_groups, depth + 1)
+
+    emit(_aggregate(roots, children), 0)
+    return lines
+
+
+def render_trace(trace: Trace, max_depth: int = 6, top_timers: int = 12) -> str:
+    """Full human-readable summary of a parsed trace."""
+    lines: list[str] = []
+    if trace.run is not None:
+        started = trace.run.get("started")
+        lines.append(
+            f"run {trace.run.get('run_id', '?')}  "
+            f"schema {trace.run.get('schema', '?')}  "
+            f"python {trace.run.get('python', '?')}"
+            + (f"  started {started:.3f}" if isinstance(started, float) else "")
+        )
+    pids = {span.get("pid") for span in trace.spans if span.get("pid")}
+    lines.append(
+        f"{len(trace.spans)} spans across {len(pids) or 1} process(es), "
+        f"{trace.orphans} orphaned"
+    )
+    if trace.spans:
+        lines.append("")
+        lines.extend(render_tree(trace, max_depth=max_depth))
+    if trace.metrics:
+        timers = trace.metrics.get("timers", {})
+        if timers:
+            lines.append("")
+            lines.append(f"{'timer':<44} {'total s':>10} {'calls':>7}")
+            ranked = sorted(
+                timers.items(), key=lambda item: -item[1].get("seconds", 0.0)
+            )
+            for name, entry in ranked[:top_timers]:
+                lines.append(
+                    f"{name:<44} {entry.get('seconds', 0.0):>10.3f} "
+                    f"{entry.get('calls', 0):>7d}"
+                )
+            if len(ranked) > top_timers:
+                lines.append(f"... {len(ranked) - top_timers} more timers")
+        histograms = trace.metrics.get("histograms", {})
+        if histograms:
+            lines.append("")
+            lines.append(
+                f"{'histogram':<44} {'count':>7} {'mean':>10} {'p50':>10} "
+                f"{'p90':>10} {'max':>10}"
+            )
+            for name in sorted(histograms):
+                s = histograms[name]
+                lines.append(
+                    f"{name:<44} {s.get('count', 0):>7d} "
+                    f"{s.get('mean', 0.0):>10.4g} {s.get('p50', 0.0):>10.4g} "
+                    f"{s.get('p90', 0.0):>10.4g} {s.get('max', 0.0):>10.4g}"
+                )
+    for record in trace.records:
+        context = record.get("context", {})
+        lines.append("")
+        lines.append(
+            f"bench record {record.get('run_id', '?')}: "
+            + ", ".join(f"{k}={v}" for k, v in context.items())
+            + f", wall {record.get('wall_seconds', 0.0):.3f}s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Bench-trajectory records: machine-readable performance history.
+
+Every instrumented bench run can be distilled into one *record* — run id,
+timestamp, the configuration context that produced it, wall time, and the
+final timer/counter/histogram/gauge state — and appended to a trajectory
+file (``BENCH_trajectory.json`` at the repository root, or any path passed
+to ``repro bench --trajectory``). The file is a single JSON document::
+
+    {"schema": 1, "records": [ {...}, {...}, ... ]}
+
+Records are comparable only within the same *context* (same dataset,
+sampler, scale, jobs, …): :func:`latest_comparable` finds the most recent
+record whose context matches exactly, and :func:`compare_records` flags
+timers that regressed by more than ``threshold`` (default 20%) against
+it, ignoring timers below a noise floor. The comparison is advisory —
+callers print warnings, they do not fail runs — because absolute timings
+shift with machine speed; the value is the trend over a fixed machine
+(e.g. the committed trajectory updated by CI on its fixed runner class).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+
+from repro.evaluation.instrument import Instrumentation, get_instrumentation
+
+#: Version of the trajectory file/record schema.
+SCHEMA_VERSION = 1
+
+#: Timers totalling less than this many seconds in the baseline are too
+#: noisy for a percentage comparison and are skipped.
+DEFAULT_MIN_SECONDS = 0.05
+
+#: Relative slowdown beyond which a timer counts as regressed.
+DEFAULT_THRESHOLD = 0.20
+
+
+def build_record(
+    context: dict,
+    wall_seconds: float,
+    instrumentation: Instrumentation | None = None,
+    run_id: str | None = None,
+) -> dict:
+    """One trajectory record from the current instrumentation state."""
+    instrumentation = instrumentation or get_instrumentation()
+    return {
+        "schema": SCHEMA_VERSION,
+        "run_id": run_id or uuid.uuid4().hex[:16],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "context": dict(context),
+        "wall_seconds": round(float(wall_seconds), 6),
+        "timers": {
+            name: {
+                "seconds": round(instrumentation.timer_seconds[name], 6),
+                "calls": instrumentation.timer_calls.get(name, 0),
+            }
+            for name in sorted(instrumentation.timer_seconds)
+        },
+        "counters": dict(sorted(instrumentation.counters.items())),
+        "histograms": {
+            name: {
+                key: round(value, 6) if isinstance(value, float) else value
+                for key, value in summary.items()
+            }
+            for name, summary in instrumentation.histogram_summaries().items()
+        },
+        "gauges": dict(sorted(instrumentation.gauges.items())),
+    }
+
+
+def load_records(path: str | Path) -> list[dict]:
+    """All records in a trajectory file ([] when absent or unreadable)."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    if not isinstance(document, dict):
+        return []
+    records = document.get("records")
+    if not isinstance(records, list):
+        return []
+    return [record for record in records if isinstance(record, dict)]
+
+
+def append_record(path: str | Path, record: dict) -> int:
+    """Append ``record`` to the trajectory file; returns the new length.
+
+    The write is atomic (temp file + ``os.replace``) so a crashed run
+    cannot truncate the history.
+    """
+    path = Path(path)
+    records = load_records(path)
+    records.append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    tmp.write_text(
+        json.dumps({"schema": SCHEMA_VERSION, "records": records}, indent=1)
+        + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+    return len(records)
+
+
+def latest_comparable(records: list[dict], context: dict) -> dict | None:
+    """The most recent record whose context matches ``context`` exactly."""
+    for record in reversed(records):
+        if record.get("context") == dict(context):
+            return record
+    return None
+
+
+def compare_records(
+    previous: dict,
+    current: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> list[str]:
+    """Human-readable regression warnings for ``current`` vs ``previous``.
+
+    A timer regresses when it appears in both records, its baseline total
+    is at least ``min_seconds``, and the current total exceeds the
+    baseline by more than ``threshold``. Total wall time is compared by
+    the same rule. Returns [] when nothing regressed.
+    """
+    warnings: list[str] = []
+    previous_timers = previous.get("timers", {})
+    current_timers = current.get("timers", {})
+    for name in sorted(previous_timers):
+        if name not in current_timers:
+            continue
+        before = float(previous_timers[name].get("seconds", 0.0))
+        after = float(current_timers[name].get("seconds", 0.0))
+        if before < min_seconds:
+            continue
+        if after > before * (1.0 + threshold):
+            percent = (after / before - 1.0) * 100.0
+            warnings.append(
+                f"timer {name} regressed +{percent:.0f}%: "
+                f"{before:.3f}s -> {after:.3f}s"
+            )
+    before_wall = float(previous.get("wall_seconds", 0.0))
+    after_wall = float(current.get("wall_seconds", 0.0))
+    if before_wall >= min_seconds and after_wall > before_wall * (1.0 + threshold):
+        percent = (after_wall / before_wall - 1.0) * 100.0
+        warnings.append(
+            f"wall time regressed +{percent:.0f}%: "
+            f"{before_wall:.3f}s -> {after_wall:.3f}s"
+        )
+    return warnings

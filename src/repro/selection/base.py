@@ -13,6 +13,7 @@ selected, which can leave fewer than ``k`` databases selected for a query.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
@@ -170,6 +171,11 @@ def rank_databases(
     Databases at their floor score are marked unselected; ties break on
     database name so rankings are deterministic.
     """
+    # Local import: repro.evaluation reaches back into the selection
+    # package at init time (see the note in shrinkage._em_core).
+    from repro.evaluation.instrument import get_instrumentation
+
+    start = time.perf_counter()
     if prepare:
         scorer.prepare(summaries)
     ranking: list[RankedDatabase] = []
@@ -186,6 +192,9 @@ def rank_databases(
             RankedDatabase(name=name, score=score, selected=score > floor)
         )
     ranking.sort(key=lambda entry: (-entry.score, entry.name))
+    get_instrumentation().observe(
+        f"rank.seconds.{scorer.name}", time.perf_counter() - start
+    )
     return ranking
 
 

@@ -197,8 +197,16 @@ class Metasearcher:
         cache_key = (algorithm.lower(), key)
         scorer = self._prepared_scorers.get(cache_key)
         if scorer is None:
+            from repro.evaluation.instrument import span
+
             scorer = self.make_scorer(algorithm)
-            scorer.prepare(summaries)
+            with span(
+                "scorer.prepare",
+                algorithm=algorithm.lower(),
+                summary_set=key,
+                databases=len(summaries),
+            ):
+                scorer.prepare(summaries)
             self._prepared_scorers[cache_key] = scorer
         return scorer
 
@@ -211,6 +219,8 @@ class Metasearcher:
         uncertainty model scores hypothetical frequencies with the corpus
         statistics of the summaries actually observed.
         """
+        from repro.evaluation.instrument import count
+
         decisions: dict[str, AdaptiveDecision] = {}
         for name, sampled in self.sampled_summaries.items():
             cache = self._moment_caches.setdefault(name, {})
@@ -222,4 +232,9 @@ class Metasearcher:
             decisions[name] = AdaptiveDecision(
                 use_shrinkage=std > mean - floor, mean=mean, std=std, floor=floor
             )
+        count("adaptive.decisions", len(decisions))
+        count(
+            "adaptive.use_shrinkage",
+            sum(1 for d in decisions.values() if d.use_shrinkage),
+        )
         return decisions

@@ -11,6 +11,7 @@ FPS databases therefore never need a separate classification step.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.classify.rules import ProbeRuleSet
@@ -47,6 +48,11 @@ class FPSSampler:
 
     def sample(self, engine: SearchEngine) -> FocusedProbingResult:
         """Probe ``engine`` top-down, collecting documents and match counts."""
+        # Local import: repro.evaluation reaches back into this package at
+        # init time (see the note in repro.core.shrinkage._em_core).
+        from repro.evaluation.instrument import get_collector, get_instrumentation
+
+        start = time.perf_counter()
         config = self.config
         sample = DocumentSample()
         seen_ids: set[int] = set()
@@ -98,6 +104,19 @@ class FPSSampler:
 
         visit(self.rules.hierarchy.root)
         result.classification = self._derive_classification(result)
+        elapsed = time.perf_counter() - start
+        get_instrumentation().add_time("sampler.fps", elapsed)
+        collector = get_collector()
+        if collector is not None:
+            collector.leaf(
+                "sampler.fps",
+                elapsed,
+                {
+                    "documents": sample.size,
+                    "queries": sample.num_queries,
+                    "classification": list(result.classification),
+                },
+            )
         return result
 
     def _derive_classification(

@@ -14,6 +14,7 @@ top-k retrieval) — the paper's "uncooperative database" boundary.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -91,6 +92,11 @@ class QBSSampler:
         """
         if not seed_vocabulary:
             raise ValueError("seed_vocabulary must not be empty")
+        # Local import: repro.evaluation reaches back into this package at
+        # init time (see the note in repro.core.shrinkage._em_core).
+        from repro.evaluation.instrument import get_collector, get_instrumentation
+
+        start = time.perf_counter()
         config = self.config
         sample = DocumentSample()
         seen_ids: set[int] = set()
@@ -152,4 +158,13 @@ class QBSSampler:
                     if term not in issued and term not in candidate_set:
                         candidate_set.add(term)
                         candidate_words.append(term)
+        elapsed = time.perf_counter() - start
+        get_instrumentation().add_time("sampler.qbs", elapsed)
+        collector = get_collector()
+        if collector is not None:
+            collector.leaf(
+                "sampler.qbs",
+                elapsed,
+                {"documents": sample.size, "queries": sample.num_queries},
+            )
         return sample

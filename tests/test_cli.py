@@ -1,5 +1,8 @@
 """Tests for repro.cli."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -49,6 +52,27 @@ class TestParser:
     def test_bench_matrix_flag(self):
         args = build_parser().parse_args(["bench", "--matrix"])
         assert args.matrix
+
+    def test_trace_out_is_a_runtime_argument(self):
+        args = build_parser().parse_args(
+            ["bench", "--trace-out", "/tmp/t.jsonl"]
+        )
+        assert args.trace_out == "/tmp/t.jsonl"
+
+    def test_bench_json_and_trajectory_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--json", "--trajectory", "/tmp/traj.json"]
+        )
+        assert args.json
+        assert args.trajectory == "/tmp/traj.json"
+
+    def test_trace_subcommand_defaults_to_stdin(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.file == "-"
+        assert args.depth == 6
+        args = build_parser().parse_args(["trace", "t.jsonl", "--depth", "3"])
+        assert args.file == "t.jsonl"
+        assert args.depth == 3
 
     def test_cache_arguments(self):
         args = build_parser().parse_args(
@@ -160,3 +184,128 @@ class TestBenchAndCache:
         assert "removed 2" in capsys.readouterr().out
         assert main(["cache", "--cache-dir", cache_dir]) == 0
         assert "(empty)" in capsys.readouterr().out
+
+    def test_cache_reports_traffic(self, capsys, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("testbed", "aaa111", {"v": 1})
+        assert store.load("testbed", "aaa111") == {"v": 1}  # hit
+        assert store.load("testbed", "zzz999") is None  # miss
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out
+        traffic_line = next(
+            line
+            for line in out.splitlines()
+            if line.startswith("testbed") and "aaa" not in line
+        )
+        fields = traffic_line.split()
+        # kind, hits, misses, corrupt, saves, read B, written B
+        assert fields[1] == "1"  # one hit
+        assert fields[2] == "1"  # one miss
+        assert fields[4] == "1"  # one save
+        assert int(fields[5]) > 0 and int(fields[6]) > 0
+
+
+class TestTraceCli:
+    def test_bench_trace_out_forms_single_rooted_tree(
+        self, capsys, tmp_path, isolated_harness
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["bench", "--scale", "small", "--no-cache",
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert events[0]["type"] == "run"
+        spans = [e for e in events if e["type"] == "span"]
+        roots = [e for e in spans if e["parent"] is None]
+        assert len(roots) == 1 and roots[0]["name"] == "repro.bench"
+        ids = {e["id"] for e in spans}
+        assert all(
+            e["parent"] in ids for e in spans if e["parent"] is not None
+        )
+        metrics = next(e for e in events if e["type"] == "metrics")
+        assert metrics["run_id"] == events[0]["run_id"]
+        # the bench record rides along at the end of the stream
+        record = next(e for e in events if e["type"] == "record")
+        assert record["context"]["kind"] == "bench-cell"
+
+    def test_bench_json_pipes_into_trace(
+        self, capsys, monkeypatch, isolated_harness
+    ):
+        assert main(["bench", "--scale", "small", "--no-cache", "--json"]) == 0
+        out = capsys.readouterr().out
+        # stdout is pure JSONL, no human-readable tables
+        parsed = [json.loads(line) for line in out.splitlines()]
+        assert parsed[0]["type"] == "run"
+        assert any(e["type"] == "span" for e in parsed)
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(out))
+        assert main(["trace"]) == 0
+        rendered = capsys.readouterr().out
+        assert "repro.bench" in rendered
+        assert "0 orphaned" in rendered
+
+    def test_trace_reads_file(self, capsys, tmp_path, isolated_harness):
+        trace_path = tmp_path / "trace.jsonl"
+        main(
+            ["bench", "--scale", "small", "--no-cache",
+             "--trace-out", str(trace_path)]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        rendered = capsys.readouterr().out
+        assert "repro.bench" in rendered
+        assert "evaluate.rk" in rendered
+
+    def test_trace_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+        assert "no such file" in capsys.readouterr().out
+
+    def test_trace_empty_input(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["trace"]) == 2
+        assert "no trace events" in capsys.readouterr().out
+
+
+class TestTrajectoryCli:
+    def test_bench_trajectory_appends_and_compares(
+        self, capsys, tmp_path, isolated_harness
+    ):
+        traj = tmp_path / "traj.json"
+        args = ["bench", "--scale", "small", "--no-cache",
+                "--trajectory", str(traj)]
+
+        assert main(args) == 0
+        first_out = capsys.readouterr().out
+        assert f"appended record 1 to {traj}" in first_out
+        assert "no previous comparable record" in first_out
+
+        assert main(args) == 0
+        second_out = capsys.readouterr().out
+        assert f"appended record 2 to {traj}" in second_out
+        assert (
+            "no regressions" in second_out or "WARNING" in second_out
+        )
+
+        document = json.loads(traj.read_text())
+        assert len(document["records"]) == 2
+        context = document["records"][0]["context"]
+        assert context["kind"] == "bench-cell"
+        assert context["scale"] == "small"
+
+    def test_different_context_is_not_comparable(
+        self, capsys, tmp_path, isolated_harness
+    ):
+        traj = tmp_path / "traj.json"
+        base = ["bench", "--scale", "small", "--no-cache",
+                "--trajectory", str(traj)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "no previous comparable record" in out

@@ -1,15 +1,46 @@
-"""Counters, timers, and cross-process snapshot/delta/merge semantics."""
+"""Counters, timers, histograms, spans, and cross-process merge semantics."""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
 from repro.evaluation.instrument import (
     Instrumentation,
+    TraceCollector,
     count,
     get_instrumentation,
+    install_collector,
+    span,
     timer,
+    trace_events,
+    tracing_active,
+    uninstall_collector,
+    write_trace,
 )
+
+
+@pytest.fixture
+def clean_global():
+    """Snapshot the global Instrumentation; restore it after the test."""
+    inst = get_instrumentation()
+    saved = inst.snapshot()
+    try:
+        yield inst
+    finally:
+        inst.reset()
+        inst.merge(saved)
+
+
+@pytest.fixture
+def collector(clean_global):
+    """A trace collector installed for the duration of one test."""
+    installed = install_collector(TraceCollector(run_id="test-run"))
+    try:
+        yield installed
+    finally:
+        uninstall_collector()
 
 
 class TestCounters:
@@ -99,6 +130,25 @@ class TestSnapshots:
         assert parent.timer_seconds["em"] == pytest.approx(1.5)
         assert parent.timer_calls["em"] == 3
 
+    def test_merge_without_calls_does_not_invent_calls(self):
+        """Regression: seconds-only entries must not default to 1 call.
+
+        A delta can legitimately carry seconds for a timer whose call
+        count did not change; ``merge`` used to default the missing call
+        count to 1, inflating merged totals.
+        """
+        parent = Instrumentation()
+        parent.merge({"timer_seconds": {"em": 0.5}})
+        assert parent.timer_seconds["em"] == pytest.approx(0.5)
+        assert parent.timer_calls.get("em", 0) == 0
+
+    def test_merge_calls_only_entry(self):
+        """A delta with calls but no new seconds still merges the calls."""
+        parent = Instrumentation()
+        parent.merge({"timer_calls": {"fast": 4}})
+        assert parent.timer_calls["fast"] == 4
+        assert parent.timer_seconds.get("fast", 0.0) == 0.0
+
     def test_merge_roundtrip_matches_single_process(self):
         """worker-delta merging must equal doing the work in one process."""
         serial = Instrumentation()
@@ -151,3 +201,209 @@ class TestLifecycleAndReport:
         inst.counters.pop("test.shorthand", None)
         inst.timer_seconds.pop("test.shorthand.timer", None)
         inst.timer_calls.pop("test.shorthand.timer", None)
+
+
+class TestHistogramsAndGauges:
+    def test_observe_accumulates_raw_values(self):
+        inst = Instrumentation()
+        inst.observe("em.iterations", 12)
+        inst.observe("em.iterations", 30.0)
+        assert inst.histograms["em.iterations"] == [12.0, 30.0]
+
+    def test_summary_nearest_rank_percentiles(self):
+        inst = Instrumentation()
+        for value in range(1, 101):  # 1..100
+            inst.observe("lat", value)
+        summary = inst.histogram_summary("lat")
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["min"] == 1 and summary["max"] == 100
+        assert summary["p50"] == 50
+        assert summary["p90"] == 90
+        assert summary["p99"] == 99
+
+    def test_summary_single_value(self):
+        inst = Instrumentation()
+        inst.observe("x", 7.0)
+        summary = inst.histogram_summary("x")
+        assert summary["p50"] == summary["p90"] == summary["p99"] == 7.0
+
+    def test_summary_missing_histogram_is_none(self):
+        assert Instrumentation().histogram_summary("nope") is None
+
+    def test_gauge_last_write_wins(self):
+        inst = Instrumentation()
+        inst.set_gauge("scale", 1.0)
+        inst.set_gauge("scale", 4.0)
+        assert inst.gauges == {"scale": 4.0}
+
+    def test_delta_ships_only_new_observations_in_order(self):
+        inst = Instrumentation()
+        inst.observe("h", 1)
+        inst.observe("h", 2)
+        snap = inst.snapshot()
+        inst.observe("h", 3)
+        inst.observe("h", 4)
+        delta = inst.delta_since(snap)
+        assert delta["histograms"] == {"h": [3.0, 4.0]}
+
+    def test_merge_extends_histograms_and_sets_gauges(self):
+        parent = Instrumentation()
+        parent.observe("h", 1)
+        parent.merge({"histograms": {"h": [2, 3]}, "gauges": {"g": 9.0}})
+        assert parent.histograms["h"] == [1.0, 2.0, 3.0]
+        assert parent.gauges["g"] == 9.0
+
+    def test_worker_merge_matches_serial_percentiles(self):
+        """Shipped deltas merged in task order == serial observation order."""
+        serial = Instrumentation()
+        for value in (5, 1, 9, 3, 7, 2):
+            serial.observe("em.iterations", value)
+
+        parent = Instrumentation()
+        worker = Instrumentation()
+        for chunk in ((5, 1), (9, 3), (7, 2)):
+            snap = worker.snapshot()
+            for value in chunk:
+                worker.observe("em.iterations", value)
+            parent.merge(worker.delta_since(snap))
+        assert parent.histograms == serial.histograms
+        assert (
+            parent.histogram_summary("em.iterations")
+            == serial.histogram_summary("em.iterations")
+        )
+
+    def test_reset_clears_histograms_and_gauges(self):
+        inst = Instrumentation()
+        inst.observe("h", 1)
+        inst.set_gauge("g", 1)
+        inst.reset()
+        assert inst.histograms == {} and inst.gauges == {}
+
+
+class TestReportFormatting:
+    def test_long_names_widen_the_column(self):
+        """Regression: names longer than 28 chars used to collide with the
+        value column; the width now fits the longest recorded name."""
+        inst = Instrumentation()
+        long_name = "store.load_seconds.database_summaries_shrunk"
+        assert len(long_name) > 28
+        inst.add_time(long_name, 1.25)
+        inst.count("short", 2)
+        report = inst.report()
+        lines = report.splitlines()
+        timer_line = next(line for line in lines if long_name in line)
+        # the name must be followed by whitespace, not run into the value
+        assert timer_line.startswith(long_name + " ")
+        # every section aligns on the same (widened) column
+        header = next(line for line in lines if line.startswith("timer"))
+        assert header.index("total s") >= len(long_name)
+
+    def test_report_includes_histograms_and_gauges(self):
+        inst = Instrumentation()
+        inst.observe("em.iterations", 10)
+        inst.observe("em.iterations", 20)
+        inst.set_gauge("sample.rate", 0.5)
+        report = inst.report()
+        assert "histogram" in report
+        assert "em.iterations" in report
+        assert "gauge" in report
+        assert "sample.rate" in report
+
+
+class TestSpans:
+    def test_span_without_collector_is_the_plain_timer(self, clean_global):
+        assert not tracing_active()
+        snap = clean_global.snapshot()
+        with span("test.span.plain", attr="ignored"):
+            pass
+        delta = clean_global.delta_since(snap)
+        assert delta["timer_calls"]["test.span.plain"] == 1
+
+    def test_spans_nest_and_feed_timers(self, collector, clean_global):
+        snap = clean_global.snapshot()
+        with span("outer", stage="demo"):
+            with span("inner"):
+                pass
+        events = {event["name"]: event for event in collector.events}
+        assert events["inner"]["parent"] == events["outer"]["id"]
+        assert events["outer"]["parent"] is None
+        assert events["outer"]["attrs"] == {"stage": "demo"}
+        assert events["outer"]["dur_s"] >= events["inner"]["dur_s"]
+        # the span fed the flat timer of the same name
+        delta = clean_global.delta_since(snap)
+        assert delta["timer_calls"]["outer"] == 1
+        assert delta["timer_seconds"]["outer"] == pytest.approx(
+            events["outer"]["dur_s"]
+        )
+
+    def test_annotate_merges_into_open_span(self, collector):
+        from repro.evaluation.instrument import annotate
+
+        with span("annotated", a=1):
+            annotate(b=2)
+        (event,) = collector.events
+        assert event["attrs"] == {"a": 1, "b": 2}
+
+    def test_leaf_records_under_active_span(self, collector):
+        with span("parent"):
+            collector.leaf("store.load", 0.01, {"hit": True})
+        leaf = next(e for e in collector.events if e["name"] == "store.load")
+        parent = next(e for e in collector.events if e["name"] == "parent")
+        assert leaf["parent"] == parent["id"]
+        assert leaf["dur_s"] == 0.01
+        assert leaf["attrs"] == {"hit": True}
+
+    def test_adopt_reparents_worker_roots(self, collector):
+        worker = TraceCollector(run_id=collector.run_id)
+        with span("dispatch"):
+            worker_event = worker.begin("worker.task", {})
+            worker.end(worker_event)
+            collector.adopt(worker.events_since(0))
+        dispatch = next(e for e in collector.events if e["name"] == "dispatch")
+        adopted = next(e for e in collector.events if e["name"] == "worker.task")
+        assert adopted["parent"] == dispatch["id"]
+        assert adopted["pid"] == dispatch["pid"]  # same process in this test
+
+    def test_span_ids_are_pid_prefixed_and_unique(self, collector):
+        import os
+
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        ids = [event["id"] for event in collector.events]
+        assert len(set(ids)) == len(ids)
+        prefix = f"{os.getpid():x}-"
+        assert all(span_id.startswith(prefix) for span_id in ids)
+
+
+class TestTraceExport:
+    def test_trace_events_schema(self, collector):
+        with span("root"):
+            pass
+        inst = Instrumentation()
+        inst.count("cache.hit", 2)
+        inst.observe("em.iterations", 15)
+        events = trace_events(collector, inst, [{"type": "record", "x": 1}])
+        assert events[0]["type"] == "run"
+        assert events[0]["run_id"] == "test-run"
+        assert events[0]["schema"] == 1
+        span_events = [e for e in events if e["type"] == "span"]
+        assert [e["name"] for e in span_events] == ["root"]
+        metrics = next(e for e in events if e["type"] == "metrics")
+        assert metrics["counters"]["cache.hit"] == 2
+        assert metrics["histograms"]["em.iterations"]["count"] == 1
+        assert events[-1] == {"type": "record", "x": 1}
+
+    def test_write_trace_jsonl_roundtrip(self, collector, tmp_path):
+        with span("root"):
+            with span("child"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        written = write_trace(path, collector, Instrumentation())
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == written == 4  # run + 2 spans + metrics
+        parsed = [json.loads(line) for line in lines]
+        by_name = {e.get("name"): e for e in parsed if e["type"] == "span"}
+        assert by_name["child"]["parent"] == by_name["root"]["id"]

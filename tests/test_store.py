@@ -243,6 +243,52 @@ class TestArtifactStore:
         assert store.entries() == []
 
 
+class TestStoreTrafficStats:
+    def test_stats_accumulate_per_kind(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.stats() == {}
+        store.save("testbed", "t1", {"v": 1})
+        store.load("testbed", "t1")
+        store.load("testbed", "gone")
+        store.save("samples", "s1", {"v": 2})
+        stats = store.stats()
+        assert stats["testbed"]["hits"] == 1
+        assert stats["testbed"]["misses"] == 1
+        assert stats["testbed"]["saves"] == 1
+        assert stats["testbed"]["bytes_read"] > 0
+        assert stats["testbed"]["bytes_written"] > 0
+        assert stats["samples"]["saves"] == 1
+        assert stats["samples"]["hits"] == 0
+
+    def test_stats_survive_reopening_the_store(self, tmp_path):
+        ArtifactStore(tmp_path).save("testbed", "t1", {"v": 1})
+        reopened = ArtifactStore(tmp_path)
+        assert reopened.stats()["testbed"]["saves"] == 1
+
+    def test_corrupt_load_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("testbed", "k", {"v": 1})
+        store.path_for("testbed", "k").write_bytes(b"junk")
+        assert store.load("testbed", "k") is None
+        stats = store.stats()
+        assert stats["testbed"]["corrupt"] == 1
+        assert stats["testbed"]["misses"] == 1
+
+    def test_clear_removes_the_sidecar(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("testbed", "t1", {"v": 1})
+        assert store.stats_path.exists()
+        store.clear()
+        assert not store.stats_path.exists()
+        assert store.stats() == {}
+
+    def test_unreadable_sidecar_is_empty_stats(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("testbed", "t1", {"v": 1})
+        store.stats_path.write_text("not json")
+        assert store.stats() == {}
+
+
 # -- key invalidation through the harness ------------------------------------------
 
 

@@ -1,0 +1,208 @@
+"""Tracing under process fan-out, and the ``repro trace`` summarizer.
+
+The load-bearing guarantee: a ``--jobs N`` run's trace must be
+indistinguishable in structure from a serial run's — one rooted tree
+(worker spans re-parented under the dispatching span), and merged
+histograms bit-identical to serial because deltas arrive in task order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.shrinkage import shrink_database_summary
+from repro.evaluation import harness, parallel
+from repro.evaluation.instrument import (
+    TraceCollector,
+    get_instrumentation,
+    install_collector,
+    span,
+    uninstall_collector,
+    write_trace,
+)
+from repro.evaluation.traceview import load_trace, render_trace
+
+DATASET, SAMPLER = "trec4", "qbs"
+
+
+def _traced_shrink(micro_store, jobs: int):
+    """Run one cell's shrinkage EM under a collector; jobs=1 runs the
+    plain serial loop, jobs>1 fans out through the process pool."""
+    harness.clear_caches()
+    harness.configure(cache_dir=micro_store, jobs=1)
+    cell = harness.get_cell(DATASET, SAMPLER, False, scale="micro")
+    inst = get_instrumentation()
+    saved = inst.snapshot()
+    inst.reset()
+    collector = install_collector(TraceCollector(run_id=f"parity-{jobs}"))
+    try:
+        with span("repro.test", jobs=jobs):
+            if jobs == 1:
+                for name in cell.summaries:
+                    shrink_database_summary(
+                        name,
+                        cell.summaries[name],
+                        cell.metasearcher.builder,
+                        cell.metasearcher.shrinkage_config,
+                    )
+            else:
+                parallel.shrink_cell_parallel(
+                    DATASET, SAMPLER, False, "micro", jobs=jobs
+                )
+        return {
+            "collector": collector,
+            "histograms": {k: list(v) for k, v in inst.histograms.items()},
+            "timer_seconds": dict(inst.timer_seconds),
+            "timer_calls": dict(inst.timer_calls),
+        }
+    finally:
+        uninstall_collector()
+        inst.reset()
+        inst.merge(saved)
+
+
+@pytest.fixture(scope="module")
+def parity(micro_store):
+    """One serial and one jobs=2 traced run of the same EM workload."""
+    config = harness.get_config()
+    saved_store, saved_jobs = config.store, config.jobs
+    saved_caches = [dict(cache) for cache in harness.memory_caches()]
+    try:
+        serial = _traced_shrink(micro_store, jobs=1)
+        fanned = _traced_shrink(micro_store, jobs=2)
+    finally:
+        harness.clear_caches()
+        for cache, contents in zip(harness.memory_caches(), saved_caches):
+            cache.update(contents)
+        config.store, config.jobs = saved_store, saved_jobs
+    return serial, fanned
+
+
+class TestJobsParity:
+    def test_em_histogram_bit_identical_to_serial(self, parity):
+        """Worker deltas merge in task order, so the merged em.iterations
+        histogram is the serial one — raw values AND order."""
+        serial, fanned = parity
+        assert serial["histograms"]["em.iterations"]
+        assert (
+            fanned["histograms"]["em.iterations"]
+            == serial["histograms"]["em.iterations"]
+        )
+
+    def test_em_span_count_matches_serial(self, parity):
+        serial, fanned = parity
+        count = lambda run, name: sum(  # noqa: E731
+            1 for e in run["collector"].events if e["name"] == name
+        )
+        assert count(fanned, "shrinkage.em_run") == count(
+            serial, "shrinkage.em_run"
+        ) > 0
+
+    def test_parallel_trace_is_single_rooted_tree(self, parity):
+        """Every parent id resolves; exactly one root; several pids."""
+        _serial, fanned = parity
+        events = fanned["collector"].events
+        ids = {event["id"] for event in events}
+        roots = [event for event in events if event["parent"] is None]
+        assert len(roots) == 1 and roots[0]["name"] == "repro.test"
+        for event in events:
+            if event["parent"] is not None:
+                assert event["parent"] in ids, event
+        assert len({event["pid"] for event in events}) > 1
+
+    def test_worker_spans_land_under_dispatching_span(self, parity):
+        _serial, fanned = parity
+        events = fanned["collector"].events
+        root = next(e for e in events if e["parent"] is None)
+        parent_pid = root["pid"]
+        worker_em = [
+            e
+            for e in events
+            if e["name"] == "shrinkage.em_run" and e["pid"] != parent_pid
+        ]
+        assert worker_em  # the pool really did the EM work
+        for event in worker_em:
+            assert event["parent"] == root["id"]
+
+    def test_merged_timer_matches_span_durations(self, parity):
+        """Flat timer totals and the span tree are one measurement: the
+        summed shrinkage.em_run span durations equal the merged timer."""
+        _serial, fanned = parity
+        from_spans = sum(
+            e["dur_s"]
+            for e in fanned["collector"].events
+            if e["name"] == "shrinkage.em_run"
+        )
+        from_timer = fanned["timer_seconds"]["shrinkage.em_run"]
+        assert from_spans == pytest.approx(from_timer, rel=0.01)
+
+    def test_exported_trace_roundtrips_and_renders(self, parity, tmp_path):
+        _serial, fanned = parity
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, fanned["collector"])
+        with open(path, encoding="utf-8") as handle:
+            trace = load_trace(handle)
+        assert trace.run["run_id"] == "parity-2"
+        assert trace.orphans == 0
+        assert len(trace.spans) == len(fanned["collector"].events)
+        rendered = render_trace(trace)
+        assert "repro.test" in rendered
+        assert "shrinkage.em_run" in rendered
+        assert "0 orphaned" in rendered
+        assert "process(es)" in rendered
+
+
+class TestTraceview:
+    def _synthetic_lines(self):
+        return [
+            '{"type":"run","schema":1,"run_id":"r1","python":"3.11"}',
+            '{"type":"span","id":"a-1","parent":null,"name":"root",'
+            '"pid":10,"start":0.0,"dur_s":3.0}',
+            '{"type":"span","id":"a-2","parent":"a-1","name":"child",'
+            '"pid":10,"start":0.1,"dur_s":1.0}',
+            '{"type":"span","id":"a-3","parent":"a-1","name":"child",'
+            '"pid":11,"start":1.2,"dur_s":1.5}',
+            '{"type":"metrics","run_id":"r1","counters":{"c":1},'
+            '"timers":{"root":{"seconds":3.0,"calls":1}},'
+            '"histograms":{"h":{"count":2,"mean":1.5,"min":1,"max":2,'
+            '"p50":1,"p90":2,"p99":2}},"gauges":{}}',
+            '{"type":"record","run_id":"r1","context":{"kind":"bench-cell"},'
+            '"wall_seconds":3.5}',
+        ]
+
+    def test_load_trace_parses_all_event_types(self):
+        trace = load_trace(self._synthetic_lines())
+        assert trace.run["run_id"] == "r1"
+        assert len(trace.spans) == 3
+        assert trace.metrics["counters"] == {"c": 1}
+        assert len(trace.records) == 1
+        assert trace.orphans == 0
+
+    def test_load_trace_skips_garbage_and_counts_orphans(self):
+        lines = self._synthetic_lines() + [
+            "not json at all",
+            '{"type":"span","id":"b-9","parent":"missing","name":"lost",'
+            '"pid":12,"start":5.0,"dur_s":0.1}',
+        ]
+        trace = load_trace(lines)
+        assert trace.orphans == 1
+        assert len(trace.spans) == 4
+
+    def test_render_aggregates_sibling_spans_by_name(self):
+        trace = load_trace(self._synthetic_lines())
+        rendered = render_trace(trace)
+        # the two "child" spans collapse into one line with calls=2
+        child_lines = [
+            line for line in rendered.splitlines() if "child" in line
+        ]
+        assert len(child_lines) == 1
+        assert "2" in child_lines[0]
+        assert "2 process(es)" in rendered
+        assert "bench record r1" in rendered
+        assert "wall 3.500s" in rendered
+
+    def test_render_depth_limit(self):
+        trace = load_trace(self._synthetic_lines())
+        shallow = render_trace(trace, max_depth=1)
+        assert "root" in shallow
+        assert "child" not in shallow.split("\n\n")[1]  # tree section only

@@ -1,0 +1,128 @@
+"""Bench-trajectory records: build, persist, compare."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.evaluation.instrument import Instrumentation
+from repro.evaluation import trajectory
+
+
+def make_record(context=None, wall=10.0, timers=None):
+    inst = Instrumentation()
+    for name, (seconds, calls) in (timers or {}).items():
+        inst.add_time(name, seconds, calls)
+    return trajectory.build_record(
+        context or {"kind": "bench-cell", "scale": "small"}, wall, inst
+    )
+
+
+class TestBuildRecord:
+    def test_captures_instrumentation_state(self):
+        inst = Instrumentation()
+        inst.count("cache.hit", 3)
+        inst.add_time("shrinkage.em", 1.5, calls=2)
+        inst.observe("em.iterations", 10)
+        inst.observe("em.iterations", 30)
+        inst.set_gauge("jobs", 4)
+        record = trajectory.build_record({"scale": "small"}, 12.5, inst)
+        assert record["schema"] == trajectory.SCHEMA_VERSION
+        assert record["context"] == {"scale": "small"}
+        assert record["wall_seconds"] == 12.5
+        assert record["timers"]["shrinkage.em"] == {"seconds": 1.5, "calls": 2}
+        assert record["counters"]["cache.hit"] == 3
+        assert record["histograms"]["em.iterations"]["count"] == 2
+        assert record["histograms"]["em.iterations"]["mean"] == 20.0
+        assert record["gauges"]["jobs"] == 4
+        assert record["run_id"]
+        assert record["timestamp"].endswith("Z")
+
+    def test_explicit_run_id_is_kept(self):
+        record = trajectory.build_record({}, 1.0, Instrumentation(), run_id="abc")
+        assert record["run_id"] == "abc"
+
+    def test_record_is_json_serializable(self):
+        inst = Instrumentation()
+        inst.observe("h", 1.5)
+        record = trajectory.build_record({"k": 1}, 2.0, inst)
+        assert json.loads(json.dumps(record)) == record
+
+
+class TestPersistence:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "traj.json"
+        assert trajectory.load_records(path) == []
+        first = make_record(wall=1.0)
+        assert trajectory.append_record(path, first) == 1
+        second = make_record(wall=2.0)
+        assert trajectory.append_record(path, second) == 2
+        records = trajectory.load_records(path)
+        assert [r["wall_seconds"] for r in records] == [1.0, 2.0]
+        document = json.loads(path.read_text())
+        assert document["schema"] == trajectory.SCHEMA_VERSION
+
+    def test_load_tolerates_garbage(self, tmp_path):
+        path = tmp_path / "traj.json"
+        path.write_text("not json")
+        assert trajectory.load_records(path) == []
+        path.write_text('{"records": "nope"}')
+        assert trajectory.load_records(path) == []
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "traj.json"
+        trajectory.append_record(path, make_record())
+        assert len(trajectory.load_records(path)) == 1
+
+
+class TestComparison:
+    def test_latest_comparable_matches_context_exactly(self):
+        a1 = make_record(context={"scale": "small", "jobs": 1}, wall=1.0)
+        b = make_record(context={"scale": "bench", "jobs": 1}, wall=2.0)
+        a2 = make_record(context={"scale": "small", "jobs": 1}, wall=3.0)
+        records = [a1, b, a2]
+        found = trajectory.latest_comparable(records, {"scale": "small", "jobs": 1})
+        assert found is a2  # most recent, not first
+        assert trajectory.latest_comparable(records, {"scale": "small"}) is None
+        assert trajectory.latest_comparable([], {"scale": "small"}) is None
+
+    def test_regression_over_threshold_is_flagged(self):
+        before = make_record(timers={"shrinkage.em": (1.0, 5)})
+        after = make_record(timers={"shrinkage.em": (1.5, 5)})
+        warnings = trajectory.compare_records(before, after)
+        assert any("shrinkage.em" in w and "+50%" in w for w in warnings)
+
+    def test_within_threshold_passes(self):
+        before = make_record(wall=10.0, timers={"shrinkage.em": (1.0, 5)})
+        after = make_record(wall=10.0, timers={"shrinkage.em": (1.1, 5)})
+        assert trajectory.compare_records(before, after) == []
+
+    def test_noise_floor_skips_tiny_timers(self):
+        before = make_record(wall=10.0, timers={"tiny": (0.001, 1)})
+        after = make_record(wall=10.0, timers={"tiny": (0.01, 1)})  # 10x slower
+        assert trajectory.compare_records(before, after) == []
+
+    def test_wall_time_regression_is_flagged(self):
+        before = make_record(wall=10.0)
+        after = make_record(wall=15.0)
+        warnings = trajectory.compare_records(before, after)
+        assert any("wall time" in w for w in warnings)
+
+    def test_timer_missing_from_current_is_ignored(self):
+        before = make_record(timers={"gone": (5.0, 1)})
+        after = make_record(timers={})
+        assert trajectory.compare_records(before, after) == []
+
+    def test_custom_threshold(self):
+        before = make_record(wall=1.0, timers={"t": (1.0, 1)})
+        after = make_record(wall=1.0, timers={"t": (1.3, 1)})
+        assert trajectory.compare_records(before, after, threshold=0.5) == []
+        assert trajectory.compare_records(before, after, threshold=0.1) != []
+
+
+@pytest.mark.parametrize("wall", [0.0, 0.04])
+def test_wall_below_noise_floor_not_compared(wall):
+    before = make_record(wall=wall)
+    after = make_record(wall=wall * 10 + 1e-6)
+    assert trajectory.compare_records(before, after) == []
