@@ -11,6 +11,12 @@ Exposes the experiment harness without writing Python:
   ``--matrix``) with cache/parallelism instrumentation; ``--json`` emits
   the run's full JSONL trace on stdout, ``--trajectory FILE`` appends a
   machine-readable record and warns about >20% timer regressions.
+* ``serve`` — long-lived selection server: preload one cell, then answer
+  ``POST /select`` queries over HTTP from the batched score matrices.
+* ``query`` — one-shot client for a running ``serve`` process.
+* ``loadgen`` — replay a distinct-query stream (in-process or against
+  ``--url``) and record throughput/latency, optionally into the bench
+  trajectory.
 * ``trace`` — summarize a JSONL trace file (or stdin) as an aggregated
   top-down span tree plus metrics tables.
 * ``cache`` — inspect or clear an on-disk artifact store, including its
@@ -298,6 +304,184 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_config(args: argparse.Namespace):
+    from repro.serving.service import ServiceConfig
+
+    return ServiceConfig(
+        dataset=args.dataset,
+        sampler=args.sampler,
+        frequency_estimation=args.freq_est,
+        scale=args.scale,
+        default_k=args.k,
+        request_timeout_seconds=(
+            None if args.request_timeout <= 0 else args.request_timeout
+        ),
+        response_cache_size=args.response_cache,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.server import make_server
+    from repro.serving.service import SelectionService
+
+    _configure_harness(args)
+    print(
+        f"serve: preloading {args.dataset}/{args.sampler}"
+        f"{'/fe' if args.freq_est else ''} at scale={args.scale} ...",
+        flush=True,
+    )
+    service = SelectionService.from_harness(_service_config(args))
+    server = make_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serve: ready on http://{host}:{port} "
+        f"({len(service.metasearcher.sampled_summaries)} databases; "
+        f"POST /select, GET /healthz, GET /stats)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("serve: shutting down", flush=True)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serving.client import ServingClient, ServingError
+
+    client = ServingClient(args.url, timeout=args.timeout)
+    if args.wait:
+        client.wait_until_ready()
+    try:
+        response = client.select(
+            args.terms,
+            algorithm=args.algorithm,
+            strategy=args.strategy,
+            k=args.k,
+        )
+    except ServingError as error:
+        print(f"query: {error}")
+        return 2
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(response, indent=2))
+        return 0
+    flags = []
+    if response.get("degraded"):
+        flags.append("degraded to plain")
+    if response.get("cached"):
+        flags.append("cached")
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    print(
+        f"query: {' '.join(response['query'])} — "
+        f"{response['algorithm']}/{response['strategy']}, "
+        f"k={response['k']}{suffix}"
+    )
+    selected = set(response["selected"])
+    for rank, entry in enumerate(response["ranking"][: args.k], start=1):
+        marker = "*" if entry["name"] in selected else " "
+        print(f"  {rank:>3} {marker} {entry['name']:<12} {entry['score']:.6g}")
+    if not selected:
+        print("  (no database scored above its floor)")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.evaluation import trajectory as trajectory_mod
+    from repro.evaluation.instrument import get_instrumentation
+    from repro.serving import loadgen
+
+    start = time.perf_counter()
+    if args.url:
+        from repro.serving.client import ServingClient
+
+        client = ServingClient(args.url, timeout=args.timeout)
+        client.wait_until_ready()
+        health = client.healthz()
+        vocabulary = None
+        select = (
+            lambda terms, algorithm, strategy, k: client.select(
+                terms, algorithm=algorithm, strategy=strategy, k=k
+            )
+        )
+        label = args.url
+        databases = health.get("databases", 0)
+    else:
+        from repro.serving.service import SelectionService
+
+        _configure_harness(args)
+        service = SelectionService.from_harness(_service_config(args))
+        vocabulary = loadgen.service_vocabulary(service)
+        select = (
+            lambda terms, algorithm, strategy, k: service.select(
+                terms, algorithm=algorithm, strategy=strategy, k=k
+            )
+        )
+        label = "in-process"
+        databases = len(service.metasearcher.sampled_summaries)
+    if vocabulary is None:
+        # Remote server: generate from generic word shapes; the OOV and
+        # serial markers keep the stream distinct either way.
+        vocabulary = [f"word{i:04d}" for i in range(500)]
+    queries = loadgen.generate_queries(
+        vocabulary, args.requests, seed=args.seed
+    )
+    summary = loadgen.run_load(
+        select, queries, args.algorithm, args.strategy, args.k
+    )
+    wall = time.perf_counter() - start
+    print(f"target: {label} ({databases} databases)")
+    print(loadgen.format_summary(summary))
+
+    if args.trajectory:
+        context = {
+            "kind": "serve-load",
+            "target": "http" if args.url else "in-process",
+            "dataset": args.dataset,
+            "sampler": args.sampler,
+            "frequency_estimation": args.freq_est,
+            "scale": args.scale,
+            "algorithm": args.algorithm,
+            "strategy": args.strategy,
+            "requests": args.requests,
+            "k": args.k,
+        }
+        record = trajectory_mod.build_record(context, wall)
+        record["load"] = {
+            key: value
+            for key, value in summary.items()
+            if isinstance(value, (int, float))
+        }
+        previous = trajectory_mod.latest_comparable(
+            trajectory_mod.load_records(args.trajectory), context
+        )
+        total = trajectory_mod.append_record(args.trajectory, record)
+        print(f"trajectory: appended record {total} to {args.trajectory}")
+        if previous is None:
+            print("trajectory: no previous comparable record")
+        else:
+            warnings = trajectory_mod.compare_records(previous, record)
+            for warning in warnings:
+                print(f"trajectory: WARNING {warning}")
+            if not warnings:
+                print(
+                    "trajectory: no regressions vs previous comparable record"
+                )
+    # Keep the histograms visible when tracing is active.
+    report = get_instrumentation().report()
+    if "serve.request_seconds" in report:
+        print()
+        print(report)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.evaluation.store import (
         PIPELINE_VERSION,
@@ -440,6 +624,91 @@ def build_parser() -> argparse.ArgumentParser:
         "warn on >20%% timer regressions vs the previous comparable record",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived selection server over a preloaded cell",
+    )
+    _add_cell_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 picks a free one)",
+    )
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument(
+        "--request-timeout", type=float, default=0.5, metavar="SECONDS",
+        help="per-request budget before adaptive requests degrade to "
+        "plain scoring (<= 0 disables)",
+    )
+    serve.add_argument(
+        "--response-cache", type=int, default=1024, metavar="N",
+        help="bound on the response LRU cache",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="send one selection query to a running server"
+    )
+    query.add_argument("terms", nargs="+", help="query terms")
+    query.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="server base URL"
+    )
+    query.add_argument(
+        "--algorithm", choices=("bgloss", "cori", "lm"), default="cori"
+    )
+    query.add_argument(
+        "--strategy", choices=("plain", "shrinkage", "universal"),
+        default="shrinkage",
+    )
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--timeout", type=float, default=10.0)
+    query.add_argument(
+        "--wait", action="store_true",
+        help="poll /healthz until the server is ready first",
+    )
+    query.add_argument(
+        "--json", action="store_true", help="print the raw JSON response"
+    )
+    query.set_defaults(handler=_cmd_query)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="replay a distinct-query stream against the serving path",
+    )
+    _add_cell_arguments(loadgen)
+    loadgen.add_argument(
+        "--url", help="target a running server instead of in-process"
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=500, metavar="N",
+        help="number of distinct queries to issue",
+    )
+    loadgen.add_argument(
+        "--algorithm", choices=("bgloss", "cori", "lm"), default="cori"
+    )
+    loadgen.add_argument(
+        "--strategy", choices=("plain", "shrinkage", "universal"),
+        default="shrinkage",
+    )
+    loadgen.add_argument("--k", type=int, default=10)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--timeout", type=float, default=10.0)
+    loadgen.add_argument(
+        "--request-timeout", type=float, default=0.5, metavar="SECONDS",
+        help="per-request degradation budget for the in-process service",
+    )
+    loadgen.add_argument(
+        "--response-cache", type=int, default=1024, metavar="N"
+    )
+    loadgen.add_argument(
+        "--trajectory", metavar="FILE",
+        help="append a serve-load record and warn on latency regressions",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     trace = commands.add_parser(
         "trace", help="summarize a JSONL trace as a top-down span tree"

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -251,7 +251,16 @@ class ScoreDistributionModel:
         query_terms: Sequence[str],
         rng: np.random.Generator | None = None,
     ) -> tuple[float, float]:
-        """Random d_1..d_n combinations until mean and variance stabilize."""
+        """Random d_1..d_n combinations until mean and variance stabilize.
+
+        Draws are batched per word — one vectorized ``rng.choice`` and one
+        ``word_score_vector`` call per word per convergence round — instead
+        of one scalar draw per (sample, word). The rng therefore consumes
+        draws word-blocked rather than sample-interleaved: the sample set
+        differs from the scalar formulation's for the same seed, but it is
+        the same posterior product distribution, and the moments agree
+        within Monte-Carlo tolerance (asserted by the regression test).
+        """
         rng = rng or np.random.default_rng(0)
         config = self.config
         database_size = max(self.summary.size, 1.0)
@@ -261,18 +270,24 @@ class ScoreDistributionModel:
         samples: list[float] = []
         previous: tuple[float, float] | None = None
         while len(samples) < config.mc_max_combinations:
-            for _ in range(config.mc_batch):
-                word_scores = []
-                for word, (support, probabilities) in zip(query_terms, posteriors):
-                    d_value = support[
-                        int(rng.choice(len(support), p=probabilities))
-                    ]
-                    word_scores.append(
-                        scorer.word_score(
-                            d_value * scale / database_size, self.summary, word
-                        )
-                    )
-                samples.append(scorer.combine(word_scores, self.summary))
+            batch = config.mc_batch
+            columns = [
+                scorer.word_score_vector(
+                    support[rng.choice(support.size, size=batch, p=probabilities)]
+                    * scale
+                    / database_size,
+                    self.summary,
+                    word,
+                )
+                for word, (support, probabilities) in zip(query_terms, posteriors)
+            ]
+            if columns:
+                rows = np.stack(columns, axis=1).tolist()
+            else:
+                rows = [[] for _ in range(batch)]
+            samples.extend(
+                scorer.combine(word_scores, self.summary) for word_scores in rows
+            )
             mean = float(np.mean(samples))
             std = float(np.std(samples))
             if previous is not None:
@@ -294,16 +309,21 @@ def decide_summary(
     query_terms: Sequence[str],
     sampled_summary: SampledSummary,
     config: AdaptiveConfig | None = None,
+    floor: float | None = None,
 ) -> AdaptiveDecision:
     """The content-summary-selection step of Figure 3 for one database.
 
     Returns the decision to use the shrunk summary (score distribution has
     standard deviation larger than its mean in excess of the floor score)
-    together with the computed moments.
+    together with the computed moments. ``floor`` short-circuits the floor
+    computation when the caller already has it (the batched engine computes
+    floors for all databases at once); it must equal
+    ``scorer.floor_score(query_terms, sampled_summary)`` bit-for-bit.
     """
     model = ScoreDistributionModel(sampled_summary, config)
     mean, std = model.score_moments(scorer, query_terms)
-    floor = scorer.floor_score(query_terms, sampled_summary)
+    if floor is None:
+        floor = scorer.floor_score(query_terms, sampled_summary)
     return AdaptiveDecision(
         use_shrinkage=std > mean - floor, mean=mean, std=std, floor=floor
     )
@@ -315,16 +335,34 @@ def choose_summaries(
     sampled_summaries: dict[str, SampledSummary],
     shrunk_summaries: dict[str, ContentSummary],
     config: AdaptiveConfig | None = None,
+    floors: Mapping[str, float] | None = None,
 ) -> tuple[dict[str, ContentSummary], dict[str, AdaptiveDecision]]:
-    """Pick A(D) per database: R(D) when uncertain, S(D) otherwise."""
-    # Local import: repro.evaluation reaches back into repro.core at
-    # package-init time (see the note in shrinkage._em_core).
+    """Pick A(D) per database: R(D) when uncertain, S(D) otherwise.
+
+    Floor scores are computed for all databases in one batched pass when
+    the summaries stack into a score matrix (the common shared-vocabulary
+    case); pass ``floors`` to reuse floors the caller already computed.
+    """
+    # Local imports: repro.evaluation (and repro.selection.batch, which
+    # reaches into repro.core) would cycle at package-init time — see the
+    # note in shrinkage._em_core.
     from repro.evaluation.instrument import count
+
+    if floors is None:
+        from repro.selection.batch import batch_floor_map
+
+        floors = batch_floor_map(scorer, query_terms, sampled_summaries)
 
     chosen: dict[str, ContentSummary] = {}
     decisions: dict[str, AdaptiveDecision] = {}
     for name, sampled in sampled_summaries.items():
-        decision = decide_summary(scorer, query_terms, sampled, config)
+        decision = decide_summary(
+            scorer,
+            query_terms,
+            sampled,
+            config,
+            floor=None if floors is None else floors.get(name),
+        )
         decisions[name] = decision
         if decision.use_shrinkage and name in shrunk_summaries:
             chosen[name] = shrunk_summaries[name]

@@ -1,0 +1,64 @@
+"""A small bounded LRU mapping used by per-scorer and serving caches.
+
+Several scorer-side caches are keyed by query tuples (resolved query ids,
+CORI's per-query I factors, LM's per-query global vectors). In batch
+evaluation those caches are naturally bounded by the workload, but inside
+a long-running ``repro serve`` process a stream of distinct queries would
+grow them without bound. Every such cache is an :class:`LruCache` with a
+small capacity: hits refresh recency, inserts beyond capacity evict the
+least recently used entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class LruCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Not thread-safe by itself; the serving layer guards shared instances
+    with a lock. ``maxsize <= 0`` disables caching entirely (every lookup
+    misses, every insert is dropped), which keeps callers branch-free.
+    """
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value (refreshing its recency), or ``default``."""
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return default
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key``, evicting the oldest entry beyond capacity."""
+        if self.maxsize <= 0:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        while len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={len(self._data)}, "
+            f"maxsize={self.maxsize})"
+        )

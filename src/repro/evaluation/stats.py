@@ -38,7 +38,11 @@ def paired_t_test(
 
     Pairs where either observation is NaN are dropped (queries with no
     relevant documents produce NaN Rk values). Degenerate inputs — fewer
-    than two valid pairs, or identical samples — return p = 1.
+    than two valid pairs, or identical samples — return p = 1. A *constant
+    nonzero* difference (one side beats the other by the same margin on
+    every pair) has zero variance too, but it is the opposite of "no
+    effect": the t statistic diverges, so it is reported as p = 0 with an
+    infinite statistic carrying the difference's sign.
     """
     a = np.asarray(first, dtype=float)
     b = np.asarray(second, dtype=float)
@@ -51,6 +55,18 @@ def paired_t_test(
             statistic=0.0,
             p_value=1.0,
             mean_difference=float(np.mean(a - b)) if a.size else 0.0,
+            num_pairs=int(a.size),
+        )
+    differences = a - b
+    mean_difference = float(np.mean(differences))
+    if float(np.ptp(differences)) == 0.0:
+        # Zero-variance, nonzero mean (the identical-samples case returned
+        # above): scipy yields NaN here, which the NaN→1 mapping below
+        # would mislabel "not significant".
+        return PairedTestResult(
+            statistic=math.copysign(math.inf, mean_difference),
+            p_value=0.0,
+            mean_difference=mean_difference,
             num_pairs=int(a.size),
         )
     with warnings.catch_warnings():

@@ -17,10 +17,21 @@ import time
 from abc import ABC, abstractmethod
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.lru import LruCache
 from repro.summaries.summary import ContentSummary
+
+if TYPE_CHECKING:
+    from repro.selection.batch import AdaptiveBatchEngine, SummarySetMatrix
+
+#: Bound on the per-scorer resolved-query-id cache. Large enough that a
+#: batch evaluation's query set stays resident; small enough that a
+#: long-running serve process cannot grow it without bound (each entry is
+#: a query tuple plus a small id array).
+QUERY_IDS_CACHE_SIZE = 512
 
 
 @dataclass(frozen=True)
@@ -64,14 +75,14 @@ class DatabaseScorer(ABC):
         """
         cache = getattr(self, "_query_ids_cache", None)
         if cache is None:
-            cache = self._query_ids_cache = {}
+            cache = self._query_ids_cache = LruCache(QUERY_IDS_CACHE_SIZE)
         key = (id(summary.vocab), tuple(query_terms))
         entry = cache.get(key)
         if entry is not None and entry[0] is summary.vocab:
             ids = entry[1]
         else:
             ids = summary.vocab.ids_of(query_terms)
-            cache[key] = (summary.vocab, ids)
+            cache.put(key, (summary.vocab, ids))
         return summary.scored_lookup(ids, regime)
 
     @abstractmethod
@@ -157,6 +168,56 @@ class DatabaseScorer(ABC):
             return self.scale(summary) * value
         raise NotImplementedError(
             "scorers without word decomposition must override floor_score"
+        )
+
+    def batch_scores(
+        self, query_terms: Sequence[str], matrix: SummarySetMatrix
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(scores, floors) for one query against every database at once.
+
+        Arrays align with ``matrix.names``. The default delegates to the
+        scalar :meth:`score`/:meth:`floor_score` per row — trivially
+        bit-identical, no speedup; the production scorers override it with
+        vectorized arithmetic that keeps the word-sequential fold order
+        (see :mod:`repro.selection.batch` for the bit-identity contract).
+        """
+        scores = np.array(
+            [self.score(query_terms, s) for s in matrix.summaries],
+            dtype=np.float64,
+        )
+        floors = np.array(
+            [self.floor_score(query_terms, s) for s in matrix.summaries],
+            dtype=np.float64,
+        )
+        return scores, floors
+
+    def batch_floor_scores(
+        self, query_terms: Sequence[str], matrix: SummarySetMatrix
+    ) -> np.ndarray:
+        """Floor scores for every database at once (aligned with
+        ``matrix.names``); same bit-identity contract as
+        :meth:`batch_scores`."""
+        return np.array(
+            [self.floor_score(query_terms, s) for s in matrix.summaries],
+            dtype=np.float64,
+        )
+
+    def batch_scores_mixed(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(scores, floors) against a per-query plain/shrunk row mix.
+
+        ``mask`` selects the shrunk row per database. Corpus statistics
+        must reflect the *mixed* set (the serial path re-prepares on the
+        mixed dict per query), so there is no generic fallback — scorers
+        whose prepare state depends on the summary set override this;
+        the engine wiring falls back to the serial path otherwise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support mixed batch scoring"
         )
 
 

@@ -1,0 +1,370 @@
+"""Batched all-databases scoring engine (DESIGN.md §5c).
+
+Database selection is inherently a per-query, all-databases operation:
+every query is scored against every candidate content summary before the
+top-k databases are picked. :func:`repro.selection.base.rank_databases`
+does that one database at a time; here the candidate set's columnar
+arrays (one shared :class:`~repro.core.vocab.Vocabulary` per testbed
+cell, PR 2) are stacked into per-set *score matrices*, so one query — and
+batches of queries — scores against all databases in a handful of numpy
+operations. This is the layout a metasearcher front end serves queries
+from (see :mod:`repro.serving`).
+
+Bit-identity contract: the batched path must reproduce the serial fold
+exactly. All three scorers reduce per-word components with sequential
+Python folds (see the reduction notes in bgloss/cori/lm — the strict
+``score > floor`` selected-rule depends on exact equality); the engine
+keeps that word-sequential order while vectorizing across the *database*
+axis, and elementwise IEEE-754 arithmetic does not depend on array shape,
+so every database's score comes out bit-for-bit equal to
+:func:`~repro.selection.base.rank_databases`. The equivalence suite
+(``tests/test_batch_equivalence.py``) enforces this with exact ``==``
+comparisons for every scorer across plain, shrunk, and adaptive-mixed
+summary sets.
+
+Summary sets that mix vocabulary instances, or summary types with custom
+``scored_lookup`` semantics the engine does not know, raise
+:class:`UnsupportedSummarySet`; callers fall back to the serial path.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.lru import LruCache
+from repro.core.shrinkage import ShrunkSummary
+from repro.selection.base import DatabaseScorer, RankedDatabase
+from repro.summaries.summary import ContentSummary, SampledSummary
+
+#: Resolved query-id arrays cached per matrix (bounded for serve).
+_QUERY_IDS_CACHE_SIZE = 512
+
+
+class UnsupportedSummarySet(ValueError):
+    """The summary set cannot be stacked into a score matrix."""
+
+
+def _missing_probability(summary: ContentSummary, regime: str) -> float:
+    """What ``scored_lookup`` returns for ids outside the summary entirely."""
+    if isinstance(summary, ShrunkSummary):
+        floor_lambda = (
+            summary.lambdas[0] if regime == "df" else summary.tf_lambdas[0]
+        )
+        return floor_lambda * summary.uniform_probability
+    return 0.0
+
+
+_KNOWN_LOOKUPS = (
+    ContentSummary.scored_lookup,
+    ShrunkSummary.scored_lookup,
+)
+
+
+class SummarySetMatrix:
+    """Stacked columnar probabilities for one fixed summary set.
+
+    Rows follow sorted database-name order (the iteration order of
+    :func:`~repro.selection.base.rank_databases`); columns are vocabulary
+    ids, frozen at build time. Each row reproduces the summary's
+    ``scored_lookup`` semantics exactly: plain summaries default missing
+    ids to 0, shrunk summaries to their uniform-component floor, and ids
+    inside the df support but without regime mass stay 0 (not floor) —
+    mirroring :meth:`ShrunkSummary.scored_lookup`'s support mask.
+    """
+
+    def __init__(self, summaries: Mapping[str, ContentSummary]) -> None:
+        if not summaries:
+            raise UnsupportedSummarySet("empty summary set")
+        names = sorted(summaries)
+        ordered = [summaries[name] for name in names]
+        vocabs = {id(s.vocab): s.vocab for s in ordered}
+        if len(vocabs) != 1:
+            raise UnsupportedSummarySet(
+                "summary set spans multiple vocabulary instances"
+            )
+        for summary in ordered:
+            if type(summary).scored_lookup not in _KNOWN_LOOKUPS:
+                raise UnsupportedSummarySet(
+                    f"{type(summary).__name__} overrides scored_lookup"
+                )
+        self.names: tuple[str, ...] = tuple(names)
+        self.summaries: tuple[ContentSummary, ...] = tuple(ordered)
+        self.vocab = next(iter(vocabs.values()))
+        self.sizes = np.array([s.size for s in ordered], dtype=np.float64)
+        self._width = len(self.vocab)
+        self._dense: dict[str, np.ndarray] = {}
+        self._defaults: dict[str, np.ndarray] = {}
+        self._present: np.ndarray | None = None
+        self._cw: np.ndarray | None = None
+        self._ids_cache = LruCache(_QUERY_IDS_CACHE_SIZE)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    # -- dense construction ---------------------------------------------------
+
+    def _build(self, regime: str) -> None:
+        n = len(self.summaries)
+        dense = np.zeros((n, self._width), dtype=np.float64)
+        defaults = np.zeros(n, dtype=np.float64)
+        for row, summary in enumerate(self.summaries):
+            default = _missing_probability(summary, regime)
+            defaults[row] = default
+            if default != 0.0:
+                dense[row].fill(default)
+                # Ids in the df support but without regime mass score 0,
+                # not the floor (ShrunkSummary's support mask).
+                dense[row, summary.regime_arrays("df")[0]] = 0.0
+            ids, values = summary.regime_arrays(regime)
+            positive = values > 0.0
+            if positive.all():
+                dense[row, ids] = values
+            else:
+                dense[row, ids[positive]] = values[positive]
+                if default == 0.0:
+                    dense[row, ids[~positive]] = values[~positive]
+        self._dense[regime] = dense
+        self._defaults[regime] = defaults
+
+    def dense(self, regime: str = "df") -> np.ndarray:
+        """The (databases, vocabulary) score-matrix for ``regime``."""
+        if regime not in self._dense:
+            self._build(regime)
+        return self._dense[regime]
+
+    # -- query resolution and gathering ---------------------------------------
+
+    def query_ids(self, query_terms: Sequence[str]) -> np.ndarray:
+        """Vocabulary ids of the query's words (−1 when unknown), cached."""
+        key = tuple(query_terms)
+        ids = self._ids_cache.get(key)
+        if ids is None:
+            ids = self.vocab.ids_of(key)
+            self._ids_cache.put(key, ids)
+        return ids
+
+    def gather(self, ids: np.ndarray, regime: str = "df") -> np.ndarray:
+        """Per-word probabilities for all databases: a (databases, words)
+        matrix whose row ``i`` equals ``summaries[i].scored_lookup(ids)``."""
+        dense = self.dense(regime)
+        ids = np.asarray(ids, dtype=np.int64)
+        valid = (ids >= 0) & (ids < self._width)
+        if valid.all():
+            return dense[:, ids]
+        safe = np.where(valid, ids, 0)
+        out = dense[:, safe]
+        out[:, ~valid] = self._defaults[regime][:, None]
+        return out
+
+    # -- CORI corpus statistics ------------------------------------------------
+
+    def present(self) -> np.ndarray:
+        """Boolean (databases, vocabulary) word-presence matrix for cf(w):
+        the round rule's effective ids for shrunk summaries, the df support
+        otherwise (mirrors ``cori._present_ids``)."""
+        if self._present is None:
+            present = np.zeros(
+                (len(self.summaries), self._width), dtype=bool
+            )
+            for row, summary in enumerate(self.summaries):
+                if isinstance(summary, ShrunkSummary):
+                    ids = summary.effective_ids()
+                else:
+                    ids = summary.regime_arrays("df")[0]
+                present[row, ids] = True
+            self._present = present
+        return self._present
+
+    def present_at(self, ids: np.ndarray) -> np.ndarray:
+        """Presence columns for ``ids`` (False for unknown/out-of-range)."""
+        present = self.present()
+        ids = np.asarray(ids, dtype=np.int64)
+        valid = (ids >= 0) & (ids < self._width)
+        safe = np.where(valid, ids, 0)
+        out = present[:, safe]
+        if not valid.all():
+            out[:, ~valid] = False
+        return out
+
+    def cw(self) -> np.ndarray:
+        """Per-database cw(D) proxy (df mass), CORI's collection size."""
+        if self._cw is None:
+            self._cw = np.array(
+                [s.df_mass() for s in self.summaries], dtype=np.float64
+            )
+        return self._cw
+
+
+def batch_floor_map(
+    scorer: DatabaseScorer,
+    query_terms: Sequence[str],
+    summaries: Mapping[str, ContentSummary],
+) -> dict[str, float] | None:
+    """Floor scores for every database in one batched pass, or ``None``
+    when the set does not stack (the caller falls back to per-database
+    ``floor_score`` calls)."""
+    try:
+        matrix = SummarySetMatrix(summaries)
+    except UnsupportedSummarySet:
+        return None
+    floors = scorer.batch_floor_scores(query_terms, matrix)
+    return dict(zip(matrix.names, floors.tolist()))
+
+
+def ranked_from_arrays(
+    names: Sequence[str], scores: np.ndarray, floors: np.ndarray
+) -> list[RankedDatabase]:
+    """Assemble the final ranking exactly as ``rank_databases`` does:
+    strict ``score > floor`` for the selected flag, ties broken on name."""
+    ranking = [
+        RankedDatabase(name=name, score=score, selected=score > floor)
+        for name, score, floor in zip(
+            names, scores.tolist(), floors.tolist()
+        )
+    ]
+    ranking.sort(key=lambda entry: (-entry.score, entry.name))
+    return ranking
+
+
+class BatchSelectionEngine:
+    """Batched counterpart of ``rank_databases`` for a fixed summary set.
+
+    The scorer must already be (or is here) prepared on exactly this
+    summary set — corpus-level statistics (CORI's cf/mcw) are part of the
+    score. One engine instance serves any number of queries.
+    """
+
+    def __init__(
+        self,
+        scorer: DatabaseScorer,
+        summaries: Mapping[str, ContentSummary],
+        prepare: bool = True,
+    ) -> None:
+        if prepare:
+            scorer.prepare(summaries)
+        self.scorer = scorer
+        self.matrix = SummarySetMatrix(summaries)
+        self.names = self.matrix.names
+
+    def score_arrays(
+        self, query_terms: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(scores, floors) aligned to :attr:`names`."""
+        return self.scorer.batch_scores(list(query_terms), self.matrix)
+
+    def rank(self, query_terms: Sequence[str]) -> list[RankedDatabase]:
+        """Score and rank all databases for one query (highest first)."""
+        from repro.evaluation.instrument import get_instrumentation
+
+        start = time.perf_counter()
+        scores, floors = self.score_arrays(query_terms)
+        ranking = ranked_from_arrays(self.names, scores, floors)
+        get_instrumentation().observe(
+            f"rank.seconds.{self.scorer.name}", time.perf_counter() - start
+        )
+        return ranking
+
+    def rank_batch(
+        self, queries: Sequence[Sequence[str]]
+    ) -> list[list[RankedDatabase]]:
+        """Rankings for a batch of queries (one matrix pass per query)."""
+        return [self.rank(query) for query in queries]
+
+
+class AdaptiveBatchEngine:
+    """Batched scoring of per-query mixed plain/shrunk summary sets.
+
+    The SHRINKAGE strategy picks, per query and database, either the
+    sampled summary S(D) or the shrunk summary R(D) (Figure 3). The
+    serial path materializes that mixed dict and re-runs ``prepare`` on
+    it for every query; here both candidate sets are stacked once, and a
+    per-query boolean mask (aligned to :attr:`names`) selects rows.
+    Set-level CORI statistics (cf, mcw) are recomputed per query from
+    precomputed presence matrices and cw vectors — bit-identical to a
+    fresh ``prepare`` on the mixed dict, including its insertion-order
+    mean-cw fold.
+    """
+
+    def __init__(
+        self,
+        scorer: DatabaseScorer,
+        sampled: Mapping[str, SampledSummary],
+        shrunk: Mapping[str, ContentSummary],
+    ) -> None:
+        if set(sampled) != set(shrunk):
+            raise UnsupportedSummarySet(
+                "sampled and shrunk sets name different databases"
+            )
+        self.scorer = scorer
+        self.plain = SummarySetMatrix(sampled)
+        self.shrunk = SummarySetMatrix(shrunk)
+        if self.plain.vocab is not self.shrunk.vocab:
+            raise UnsupportedSummarySet(
+                "sampled and shrunk sets use different vocabularies"
+            )
+        if not np.array_equal(self.plain.sizes, self.shrunk.sizes):
+            raise UnsupportedSummarySet(
+                "shrunk summaries changed database sizes"
+            )
+        self.names = self.plain.names
+        self.sizes = self.plain.sizes
+        # The serial path folds CORI's total cw in the *insertion* order
+        # of the mixed dict, which follows the sampled-summaries mapping;
+        # row order is sorted-name. Keep the permutation for exact folds.
+        row_of = {name: row for row, name in enumerate(self.names)}
+        self._prepare_rows = [row_of[name] for name in sampled]
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def query_ids(self, query_terms: Sequence[str]) -> np.ndarray:
+        return self.plain.query_ids(query_terms)
+
+    def gather_mixed(
+        self, ids: np.ndarray, regime: str, mask: np.ndarray
+    ) -> np.ndarray:
+        """Per-word probabilities with shrunk rows where ``mask`` is set."""
+        plain = self.plain.gather(ids, regime)
+        shrunk = self.shrunk.gather(ids, regime)
+        return np.where(mask[:, None], shrunk, plain)
+
+    def cw_mixed(self, mask: np.ndarray) -> np.ndarray:
+        """Per-database cw(D) of the chosen summaries."""
+        return np.where(mask, self.shrunk.cw(), self.plain.cw())
+
+    def mean_cw(self, mask: np.ndarray) -> float:
+        """mcw over the mixed set, folded exactly like CORI's prepare."""
+        cw = self.cw_mixed(mask).tolist()
+        total_cw = 0.0
+        for row in self._prepare_rows:
+            total_cw += cw[row]
+        count = len(self.names)
+        mean = total_cw / count if count else 1.0
+        return mean if mean > 0 else 1.0
+
+    def cf_at(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """cf(w) for the query's ids over the chosen summaries."""
+        plain = self.plain.present_at(ids)
+        shrunk = self.shrunk.present_at(ids)
+        chosen = np.where(mask[:, None], shrunk, plain)
+        return chosen.sum(axis=0, dtype=np.int64)
+
+    def rank(
+        self, query_terms: Sequence[str], mask: np.ndarray
+    ) -> list[RankedDatabase]:
+        """Rank the mixed set selected by ``mask`` for one query."""
+        from repro.evaluation.instrument import get_instrumentation
+
+        start = time.perf_counter()
+        mask = np.asarray(mask, dtype=bool)
+        scores, floors = self.scorer.batch_scores_mixed(
+            list(query_terms), self, mask
+        )
+        ranking = ranked_from_arrays(self.names, scores, floors)
+        get_instrumentation().observe(
+            f"rank.seconds.{self.scorer.name}", time.perf_counter() - start
+        )
+        return ranking

@@ -14,11 +14,23 @@ summary zeroes the whole score. This is exactly why the paper finds that
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.selection.base import DatabaseScorer
 from repro.summaries.summary import ContentSummary
+
+if TYPE_CHECKING:
+    from repro.selection.batch import AdaptiveBatchEngine, SummarySetMatrix
+
+
+def _fold_product(scales: np.ndarray, word_scores: np.ndarray) -> np.ndarray:
+    """Per-database product fold, word-sequential like the scalar loop."""
+    scores = scales.copy()
+    for column in word_scores.T:
+        scores = scores * column
+    return scores
 
 
 class BGlossScorer(DatabaseScorer):
@@ -51,3 +63,34 @@ class BGlossScorer(DatabaseScorer):
 
     def scale(self, summary: ContentSummary) -> float:
         return summary.size
+
+    def _floors(self, query_terms: Sequence[str], sizes: np.ndarray) -> np.ndarray:
+        # The scalar floor fold is |D| * 0.0 * ... * 0.0 — exactly +0.0
+        # after the first word — and just |D| for the empty query.
+        if query_terms:
+            return np.zeros(sizes.size, dtype=np.float64)
+        return sizes.copy()
+
+    def batch_scores(
+        self, query_terms: Sequence[str], matrix: SummarySetMatrix
+    ) -> tuple[np.ndarray, np.ndarray]:
+        ids = matrix.query_ids(query_terms)
+        word_scores = matrix.gather(ids, "df")
+        scores = _fold_product(matrix.sizes, word_scores)
+        return scores, self._floors(query_terms, matrix.sizes)
+
+    def batch_floor_scores(
+        self, query_terms: Sequence[str], matrix: SummarySetMatrix
+    ) -> np.ndarray:
+        return self._floors(query_terms, matrix.sizes)
+
+    def batch_scores_mixed(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        ids = engine.query_ids(query_terms)
+        word_scores = engine.gather_mixed(ids, "df", mask)
+        scores = _fold_product(engine.sizes, word_scores)
+        return scores, self._floors(query_terms, engine.sizes)

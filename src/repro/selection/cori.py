@@ -32,13 +32,21 @@ from __future__ import annotations
 
 import math
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.lru import LruCache
 from repro.core.shrinkage import ShrunkSummary
 from repro.core.vocab import Vocabulary
 from repro.selection.base import DatabaseScorer
 from repro.summaries.summary import ContentSummary
+
+if TYPE_CHECKING:
+    from repro.selection.batch import AdaptiveBatchEngine, SummarySetMatrix
+
+#: Bound on the per-query I-factor cache (see base.QUERY_IDS_CACHE_SIZE).
+_I_CACHE_SIZE = 512
 
 
 def _present_ids(summary: ContentSummary) -> np.ndarray:
@@ -70,7 +78,7 @@ class CoriScorer(DatabaseScorer):
         self._num_databases = 0
         self._mean_cw = 1.0
         self._cw: dict[int, float] = {}
-        self._i_cache: dict[tuple[str, ...], np.ndarray] = {}
+        self._i_cache = LruCache(_I_CACHE_SIZE)
 
     def prepare(self, summaries: Mapping[str, ContentSummary]) -> None:
         """Compute cf(w), m and mcw over the candidate summaries."""
@@ -79,7 +87,7 @@ class CoriScorer(DatabaseScorer):
         self._cf_counts = None
         self._num_databases = len(summaries)
         self._cw = {}
-        self._i_cache = {}
+        self._i_cache = LruCache(_I_CACHE_SIZE)
         total_cw = 0.0
         vocabs = {id(s.vocab): s.vocab for s in summaries.values()}
         shared = next(iter(vocabs.values())) if len(vocabs) == 1 else None
@@ -134,7 +142,7 @@ class CoriScorer(DatabaseScorer):
                 ],
                 dtype=np.float64,
             )
-            self._i_cache[query_terms] = cached
+            self._i_cache.put(query_terms, cached)
         return cached
 
     def _database_cw(self, summary: ContentSummary) -> float:
@@ -229,3 +237,92 @@ class CoriScorer(DatabaseScorer):
         for _word in query_terms:
             total += 0.4
         return total / len(query_terms)
+
+    def _floor_array(
+        self, query_terms: Sequence[str], count: int
+    ) -> np.ndarray:
+        """The (database-independent) floor, replicated across ``count``."""
+        total = 0.0
+        for _word in query_terms:
+            total += 0.4
+        return np.full(count, total / len(query_terms), dtype=np.float64)
+
+    @staticmethod
+    def _fold_mean(word_scores: np.ndarray, query_length: int) -> np.ndarray:
+        """Word-sequential sum fold, then the / |q| normalization."""
+        totals = np.zeros(word_scores.shape[0], dtype=np.float64)
+        for column in word_scores.T:
+            totals = totals + column
+        return totals / query_length
+
+    def _t_matrix(
+        self,
+        probabilities: np.ndarray,
+        sizes: np.ndarray,
+        cw: np.ndarray,
+        mean_cw: float,
+    ) -> np.ndarray:
+        """T over a (databases, words) probability matrix, with the scalar
+        path's exact operation order (df + base, then + factor*cw/mcw)."""
+        document_frequency = probabilities * sizes[:, None]
+        return document_frequency / (
+            document_frequency
+            + self.df_base
+            + (self.df_factor * cw / mean_cw)[:, None]
+        )
+
+    def batch_floor_scores(
+        self, query_terms: Sequence[str], matrix: SummarySetMatrix
+    ) -> np.ndarray:
+        if not query_terms:
+            return np.zeros(len(matrix))
+        return self._floor_array(query_terms, len(matrix))
+
+    def batch_scores(
+        self, query_terms: Sequence[str], matrix: SummarySetMatrix
+    ) -> tuple[np.ndarray, np.ndarray]:
+        count = len(matrix)
+        if not query_terms:
+            return np.zeros(count), np.zeros(count)
+        if self._num_databases == 0:
+            raise RuntimeError("CoriScorer.prepare must run before scoring")
+        ids = matrix.query_ids(query_terms)
+        probabilities = matrix.gather(ids, "df")
+        cw = np.array(
+            [self._database_cw(s) for s in matrix.summaries],
+            dtype=np.float64,
+        )
+        t_values = self._t_matrix(probabilities, matrix.sizes, cw, self._mean_cw)
+        i_values = self._i_values(tuple(query_terms))
+        word_scores = 0.4 + 0.6 * t_values * i_values
+        scores = self._fold_mean(word_scores, len(query_terms))
+        return scores, self._floor_array(query_terms, count)
+
+    def batch_scores_mixed(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mixed-set CORI: cf, cw and mcw are recomputed for the per-query
+        plain/shrunk row choice, exactly as a fresh ``prepare`` on the
+        materialized mixed dict would produce them."""
+        count = len(engine)
+        if not query_terms:
+            return np.zeros(count), np.zeros(count)
+        ids = engine.query_ids(query_terms)
+        probabilities = engine.gather_mixed(ids, "df", mask)
+        cw = engine.cw_mixed(mask)
+        mean_cw = engine.mean_cw(mask)
+        t_values = self._t_matrix(probabilities, engine.sizes, cw, mean_cw)
+        denominator = math.log(count + 1.0)
+        i_values = np.array(
+            [
+                math.log((count + 0.5) / max(cf, 1)) / denominator
+                for cf in engine.cf_at(ids, mask).tolist()
+            ],
+            dtype=np.float64,
+        )
+        word_scores = 0.4 + 0.6 * t_values * i_values
+        scores = self._fold_mean(word_scores, len(query_terms))
+        return scores, self._floor_array(query_terms, count)

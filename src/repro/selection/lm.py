@@ -19,11 +19,19 @@ one id-array gather per query instead of per-word dict probes.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.lru import LruCache
 from repro.selection.base import DatabaseScorer
 from repro.summaries.summary import ContentSummary
+
+if TYPE_CHECKING:
+    from repro.selection.batch import AdaptiveBatchEngine, SummarySetMatrix
+
+#: Bound on the per-query p(w|G) vector cache (see base.QUERY_IDS_CACHE_SIZE).
+_GLOBAL_CACHE_SIZE = 512
 
 
 class LanguageModelScorer(DatabaseScorer):
@@ -42,7 +50,7 @@ class LanguageModelScorer(DatabaseScorer):
         self.smoothing_lambda = smoothing_lambda
         self._global: dict[str, float] = {}
         self._global_summary: ContentSummary | None = None
-        self._global_cache: dict[tuple[str, ...], np.ndarray] = {}
+        self._global_cache = LruCache(_GLOBAL_CACHE_SIZE)
         if global_probabilities is not None:
             self.set_global_probabilities(global_probabilities)
 
@@ -56,7 +64,7 @@ class LanguageModelScorer(DatabaseScorer):
         else:
             self._global_summary = None
             self._global = dict(global_probabilities)
-        self._global_cache = {}
+        self._global_cache = LruCache(_GLOBAL_CACHE_SIZE)
 
     def global_probability(self, word: str) -> float:
         """p(w|G) for ``word`` (0 when the word is unknown globally)."""
@@ -77,7 +85,7 @@ class LanguageModelScorer(DatabaseScorer):
                 cached = np.array(
                     [get(word, 0.0) for word in query_terms], dtype=np.float64
                 )
-            self._global_cache[query_terms] = cached
+            self._global_cache.put(query_terms, cached)
         return cached
 
     def score(
@@ -129,3 +137,58 @@ class LanguageModelScorer(DatabaseScorer):
 
     def scale(self, summary: ContentSummary) -> float:
         return 1.0
+
+    def _batch_from_probabilities(
+        self, query_terms: Sequence[str], probabilities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Smooth, fold and floor a (databases, words) probability matrix."""
+        count = probabilities.shape[0]
+        word_scores = (
+            self.smoothing_lambda * probabilities
+            + (1.0 - self.smoothing_lambda)
+            * self._global_vector(tuple(query_terms))
+        )
+        scores = np.ones(count, dtype=np.float64)
+        for column in word_scores.T:
+            scores = scores * column
+        return scores, np.full(
+            count, self._floor_value(query_terms), dtype=np.float64
+        )
+
+    def _floor_value(self, query_terms: Sequence[str]) -> float:
+        # The floor is database-independent: lambda * 0 + (1-lambda) * p(w|G)
+        # per word, folded in the same order as the scalar path.
+        floor = 1.0
+        for word in query_terms:
+            floor *= (
+                self.smoothing_lambda * 0.0
+                + (1.0 - self.smoothing_lambda) * self.global_probability(word)
+            )
+        return floor
+
+    def batch_floor_scores(
+        self, query_terms: Sequence[str], matrix: SummarySetMatrix
+    ) -> np.ndarray:
+        return np.full(len(matrix), self._floor_value(query_terms), dtype=np.float64)
+
+    def batch_scores(
+        self, query_terms: Sequence[str], matrix: SummarySetMatrix
+    ) -> tuple[np.ndarray, np.ndarray]:
+        ids = matrix.query_ids(query_terms)
+        return self._batch_from_probabilities(
+            query_terms, matrix.gather(ids, "tf")
+        )
+
+    def batch_scores_mixed(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # LM's only corpus-level input, p(w|G), is the Root category model
+        # — independent of the per-query summary choice — so the mixed
+        # path differs from batch_scores only in the gathered rows.
+        ids = engine.query_ids(query_terms)
+        return self._batch_from_probabilities(
+            query_terms, engine.gather_mixed(ids, "tf", mask)
+        )

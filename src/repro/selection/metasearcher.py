@@ -17,20 +17,37 @@ sampling method, one frequency-estimation setting):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from collections.abc import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.adaptive import AdaptiveConfig, AdaptiveDecision, ScoreDistributionModel
 from repro.core.category import CategorySummaryBuilder
 from repro.core.shrinkage import ShrinkageConfig, ShrunkSummary, shrink_all_summaries
 from repro.corpus.hierarchy import Hierarchy
 from repro.selection.base import DatabaseScorer, rank_databases
+from repro.selection.batch import (
+    AdaptiveBatchEngine,
+    BatchSelectionEngine,
+    UnsupportedSummarySet,
+)
 from repro.selection.bgloss import BGlossScorer
 from repro.selection.cori import CoriScorer
 from repro.selection.hierarchical import HierarchicalSelector
 from repro.selection.lm import LanguageModelScorer
 from repro.summaries.summary import ContentSummary, SampledSummary
+
+
+class SelectionDeadlineExceeded(RuntimeError):
+    """A deadline-bounded selection ran out of time mid-computation.
+
+    Raised between per-database steps of the adaptive strategy (the only
+    per-query phase with meaningful compute); the serving layer catches it
+    and degrades to plain sampled-summary scoring.
+    """
 
 
 class SelectionStrategy(str, Enum):
@@ -88,6 +105,12 @@ class Metasearcher:
         self._shrunk: dict[str, ShrunkSummary] | None = None
         self._moment_caches: dict[str, dict] = {}
         self._prepared_scorers: dict[tuple[str, str], DatabaseScorer] = {}
+        #: Batched scoring is the default; ``use_batched = False`` forces
+        #: the serial rank_databases path (the engines are bit-identical,
+        #: so this is a debugging escape hatch, not a semantic switch).
+        self.use_batched = True
+        self._engines: dict[tuple[str, str], BatchSelectionEngine | None] = {}
+        self._adaptive_engines: dict[str, AdaptiveBatchEngine | None] = {}
 
     @property
     def shrunk_summaries(self) -> dict[str, ShrunkSummary]:
@@ -119,6 +142,18 @@ class Metasearcher:
         self._shrunk = {
             name: shrunk[name] for name in self.sampled_summaries
         }
+        # Anything prepared or stacked over the previous R(D) set is stale.
+        self._prepared_scorers = {
+            key: scorer
+            for key, scorer in self._prepared_scorers.items()
+            if key[1] != "universal"
+        }
+        self._engines = {
+            key: engine
+            for key, engine in self._engines.items()
+            if key[1] != "universal"
+        }
+        self._adaptive_engines = {}
 
     def make_scorer(self, algorithm: str) -> DatabaseScorer:
         """A fresh scorer instance for ``algorithm`` (bgloss/cori/lm)."""
@@ -144,8 +179,15 @@ class Metasearcher:
         algorithm: str = "cori",
         strategy: SelectionStrategy | str = SelectionStrategy.SHRINKAGE,
         k: int = 10,
+        deadline: float | None = None,
     ) -> SelectionOutcome:
-        """Run one query through the chosen algorithm and strategy."""
+        """Run one query through the chosen algorithm and strategy.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; when the
+        adaptive strategy's per-database decision loop runs past it,
+        :class:`SelectionDeadlineExceeded` is raised (other strategies are
+        a single batched matrix pass and ignore the deadline).
+        """
         strategy = SelectionStrategy(strategy)
 
         if strategy is SelectionStrategy.HIERARCHICAL:
@@ -155,37 +197,148 @@ class Metasearcher:
             return SelectionOutcome(names=selector.select(query_terms, k))
 
         if strategy is SelectionStrategy.PLAIN:
-            summaries: Mapping[str, ContentSummary] = self.sampled_summaries
-            scorer = self._prepared_scorer(algorithm, "plain", summaries)
-            ranking = rank_databases(scorer, query_terms, summaries, prepare=False)
+            ranking = self._fixed_set_ranking(
+                algorithm, "plain", self.sampled_summaries, query_terms
+            )
             decisions = None
         elif strategy is SelectionStrategy.UNIVERSAL:
-            summaries = self.shrunk_summaries
-            scorer = self._prepared_scorer(algorithm, "universal", summaries)
-            ranking = rank_databases(scorer, query_terms, summaries, prepare=False)
+            ranking = self._fixed_set_ranking(
+                algorithm, "universal", self.shrunk_summaries, query_terms
+            )
             decisions = None
         else:  # SHRINKAGE: the adaptive algorithm of Figure 3
             decision_scorer = self._prepared_scorer(
                 algorithm, "plain", self.sampled_summaries
             )
-            decisions = self._adaptive_decisions(decision_scorer, query_terms)
-            summaries = {
-                name: (
-                    self.shrunk_summaries[name]
-                    if decisions[name].use_shrinkage
-                    else sampled
-                )
-                for name, sampled in self.sampled_summaries.items()
-            }
-            # The mixed summary set changes per query, so corpus-level
-            # statistics (CORI's cf/mcw) must be recomputed here.
-            ranking = rank_databases(
-                self.make_scorer(algorithm), query_terms, summaries
+            decisions = self._adaptive_decisions(
+                decision_scorer,
+                query_terms,
+                self._batched_floors(algorithm, decision_scorer, query_terms),
+                deadline=deadline,
             )
+            ranking = self._mixed_set_ranking(algorithm, query_terms, decisions)
 
         names = [entry.name for entry in ranking if entry.selected][:k]
         scores = {entry.name: entry.score for entry in ranking}
         return SelectionOutcome(names=names, scores=scores, decisions=decisions)
+
+    # -- batched engines ---------------------------------------------------------
+
+    def _fixed_set_ranking(
+        self,
+        algorithm: str,
+        key: str,
+        summaries: Mapping[str, ContentSummary],
+        query_terms: Sequence[str],
+    ):
+        """Rank a fixed summary set, batched when the set stacks."""
+        scorer = self._prepared_scorer(algorithm, key, summaries)
+        engine = self._batched_engine(algorithm, key, summaries)
+        if engine is not None:
+            return engine.rank(query_terms)
+        return rank_databases(scorer, query_terms, summaries, prepare=False)
+
+    def _mixed_set_ranking(
+        self,
+        algorithm: str,
+        query_terms: Sequence[str],
+        decisions: Mapping[str, AdaptiveDecision],
+    ):
+        """Rank the per-query plain/shrunk mix chosen by ``decisions``."""
+        engine = self._adaptive_engine(algorithm)
+        if engine is not None:
+            mask = np.array(
+                [decisions[name].use_shrinkage for name in engine.names],
+                dtype=bool,
+            )
+            try:
+                return engine.rank(query_terms, mask)
+            except NotImplementedError:
+                self._adaptive_engines[algorithm.lower()] = None
+        summaries = {
+            name: (
+                self.shrunk_summaries[name]
+                if decisions[name].use_shrinkage
+                else sampled
+            )
+            for name, sampled in self.sampled_summaries.items()
+        }
+        # The mixed summary set changes per query, so corpus-level
+        # statistics (CORI's cf/mcw) must be recomputed here.
+        return rank_databases(
+            self.make_scorer(algorithm), query_terms, summaries
+        )
+
+    def _batched_engine(
+        self,
+        algorithm: str,
+        key: str,
+        summaries: Mapping[str, ContentSummary],
+    ) -> BatchSelectionEngine | None:
+        """The cached score-matrix engine for a fixed summary set, or
+        ``None`` when batching is off or the set does not stack (mixed
+        vocabularies, unknown summary types)."""
+        if not self.use_batched:
+            return None
+        cache_key = (algorithm.lower(), key)
+        if cache_key not in self._engines:
+            from repro.evaluation.instrument import span
+
+            scorer = self._prepared_scorer(algorithm, key, summaries)
+            try:
+                with span(
+                    "engine.build",
+                    algorithm=algorithm.lower(),
+                    summary_set=key,
+                    databases=len(summaries),
+                ):
+                    engine = BatchSelectionEngine(
+                        scorer, summaries, prepare=False
+                    )
+            except UnsupportedSummarySet:
+                engine = None
+            self._engines[cache_key] = engine
+        return self._engines[cache_key]
+
+    def _adaptive_engine(self, algorithm: str) -> AdaptiveBatchEngine | None:
+        """The cached mixed-set engine (plain + shrunk matrices), or None."""
+        if not self.use_batched:
+            return None
+        key = algorithm.lower()
+        if key not in self._adaptive_engines:
+            from repro.evaluation.instrument import span
+
+            try:
+                with span(
+                    "engine.build",
+                    algorithm=key,
+                    summary_set="adaptive",
+                    databases=len(self.sampled_summaries),
+                ):
+                    engine = AdaptiveBatchEngine(
+                        self.make_scorer(algorithm),
+                        self.sampled_summaries,
+                        self.shrunk_summaries,
+                    )
+            except UnsupportedSummarySet:
+                engine = None
+            self._adaptive_engines[key] = engine
+        return self._adaptive_engines[key]
+
+    def _batched_floors(
+        self,
+        algorithm: str,
+        scorer: DatabaseScorer,
+        query_terms: Sequence[str],
+    ) -> dict[str, float] | None:
+        """Per-database floor scores in one batched pass (or None)."""
+        engine = self._batched_engine(
+            algorithm, "plain", self.sampled_summaries
+        )
+        if engine is None:
+            return None
+        floors = scorer.batch_floor_scores(query_terms, engine.matrix)
+        return dict(zip(engine.names, floors.tolist()))
 
     def _prepared_scorer(
         self,
@@ -211,24 +364,38 @@ class Metasearcher:
         return scorer
 
     def _adaptive_decisions(
-        self, scorer: DatabaseScorer, query_terms: Sequence[str]
+        self,
+        scorer: DatabaseScorer,
+        query_terms: Sequence[str],
+        floors: Mapping[str, float] | None = None,
+        deadline: float | None = None,
     ) -> dict[str, AdaptiveDecision]:
         """Content-summary-selection step of Figure 3 for every database.
 
         ``scorer`` must already be prepared on the unshrunk summaries: the
         uncertainty model scores hypothetical frequencies with the corpus
-        statistics of the summaries actually observed.
+        statistics of the summaries actually observed. ``floors`` carries
+        batched-computed floor scores when available (bit-identical to the
+        per-database computation, see base.batch_floor_scores).
         """
         from repro.evaluation.instrument import count
 
         decisions: dict[str, AdaptiveDecision] = {}
         for name, sampled in self.sampled_summaries.items():
+            if deadline is not None and time.monotonic() > deadline:
+                raise SelectionDeadlineExceeded(
+                    f"adaptive decisions for {len(self.sampled_summaries)} "
+                    f"databases exceeded the deadline after {len(decisions)}"
+                )
             cache = self._moment_caches.setdefault(name, {})
             model = ScoreDistributionModel(
                 sampled, self.adaptive_config, moment_cache=cache
             )
             mean, std = model.score_moments(scorer, query_terms)
-            floor = scorer.floor_score(query_terms, sampled)
+            if floors is not None:
+                floor = floors[name]
+            else:
+                floor = scorer.floor_score(query_terms, sampled)
             decisions[name] = AdaptiveDecision(
                 use_shrinkage=std > mean - floor, mean=mean, std=std, floor=floor
             )

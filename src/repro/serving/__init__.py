@@ -1,0 +1,23 @@
+"""Long-lived query front-end over the batched selection engine.
+
+The ROADMAP north star is a metasearcher that serves heavy query traffic,
+not a batch experiment runner. This package adds that serving shape:
+
+* :mod:`repro.serving.service` — :class:`SelectionService`: preloads one
+  experiment cell (summaries, shrunk summaries, batched score matrices)
+  once at startup and answers select requests from memory, with a bounded
+  response cache and deadline-based degradation (an adaptive request that
+  runs past its per-request budget is re-served from the always-fast
+  plain batched path and marked ``degraded``).
+* :mod:`repro.serving.server` — a stdlib ``ThreadingHTTPServer`` exposing
+  the service as JSON over HTTP (``POST /select``, ``GET /healthz``,
+  ``GET /stats``) for ``repro serve``.
+* :mod:`repro.serving.client` — a urllib-based client for ``repro query``
+  and CI smoke checks.
+* :mod:`repro.serving.loadgen` — a load generator measuring
+  throughput/latency percentiles, feeding ``BENCH_trajectory.json``.
+"""
+
+from repro.serving.service import SelectionService, ServiceConfig
+
+__all__ = ["SelectionService", "ServiceConfig"]

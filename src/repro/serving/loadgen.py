@@ -1,0 +1,129 @@
+"""Load generator for the selection service.
+
+Replays a synthetic stream of *distinct* queries — drawn from the cell's
+own vocabulary plus out-of-vocabulary terms, so both the hit and miss
+paths are exercised and the bounded caches see genuinely new keys — and
+summarizes throughput and latency percentiles. ``repro loadgen`` feeds
+the summary into the bench trajectory (kind ``serve-load``) so query
+latency regressions get the same warn-only comparator treatment as the
+batch benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.serving.service import SelectionService
+
+#: A select callable: (query_terms, algorithm, strategy, k) -> response.
+SelectFn = Callable[[Sequence[str], str, str, int], dict]
+
+
+def generate_queries(
+    vocabulary: Sequence[str],
+    count: int,
+    seed: int = 0,
+    min_terms: int = 1,
+    max_terms: int = 4,
+    oov_rate: float = 0.2,
+) -> list[list[str]]:
+    """``count`` distinct queries over ``vocabulary`` plus OOV terms.
+
+    Distinctness matters: repeated queries would be answered from the
+    response cache and measure nothing but dict lookups. A trailing
+    per-query serial term guarantees uniqueness even when the vocabulary
+    is tiny.
+    """
+    if not vocabulary:
+        raise ValueError("cannot generate queries from an empty vocabulary")
+    rng = np.random.default_rng(seed)
+    words = list(vocabulary)
+    queries: list[list[str]] = []
+    for index in range(count):
+        length = int(rng.integers(min_terms, max_terms + 1))
+        terms = [
+            words[int(rng.integers(0, len(words)))] for _ in range(length)
+        ]
+        if rng.random() < oov_rate:
+            terms.append(f"oov-{index:06d}")
+        else:
+            # Serial marker keeps every query distinct without leaving
+            # the in-vocabulary scoring path for the other terms.
+            terms.append(f"q{index:06d}")
+        queries.append(terms)
+    return queries
+
+
+def service_vocabulary(service: SelectionService, limit: int = 5000) -> list[str]:
+    """A word pool for query generation: the cell's interned vocabulary."""
+    summaries = service.metasearcher.sampled_summaries
+    first = next(iter(summaries.values()))
+    words = first.vocab.to_list()
+    return words[:limit] if len(words) > limit else words
+
+
+def run_load(
+    select: SelectFn,
+    queries: Sequence[Sequence[str]],
+    algorithm: str = "cori",
+    strategy: str = "shrinkage",
+    k: int = 10,
+) -> dict:
+    """Issue every query and summarize throughput/latency.
+
+    Works against either an in-process service (``service.select``) or an
+    HTTP client (``client.select``) — anything matching :data:`SelectFn`.
+    """
+    latencies: list[float] = []
+    degraded = 0
+    selected_total = 0
+    start = time.perf_counter()
+    for query in queries:
+        request_start = time.perf_counter()
+        response = select(list(query), algorithm, strategy, k)
+        latencies.append(time.perf_counter() - request_start)
+        if response.get("degraded"):
+            degraded += 1
+        selected_total += len(response.get("selected", ()))
+    wall = time.perf_counter() - start
+
+    array = np.array(latencies, dtype=np.float64)
+    requests = len(latencies)
+    return {
+        "requests": requests,
+        "algorithm": algorithm,
+        "strategy": strategy,
+        "k": k,
+        "wall_seconds": wall,
+        "qps": requests / wall if wall > 0 else 0.0,
+        "latency_mean_ms": float(array.mean()) * 1000.0 if requests else 0.0,
+        "latency_p50_ms": float(np.percentile(array, 50)) * 1000.0
+        if requests
+        else 0.0,
+        "latency_p90_ms": float(np.percentile(array, 90)) * 1000.0
+        if requests
+        else 0.0,
+        "latency_p99_ms": float(np.percentile(array, 99)) * 1000.0
+        if requests
+        else 0.0,
+        "degraded": degraded,
+        "mean_selected": selected_total / requests if requests else 0.0,
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """Human-readable one-block report of a load run."""
+    return (
+        f"load: {summary['requests']} requests "
+        f"({summary['algorithm']}/{summary['strategy']}, k={summary['k']}) "
+        f"in {summary['wall_seconds']:.2f}s = {summary['qps']:.0f} qps\n"
+        f"latency ms: mean {summary['latency_mean_ms']:.2f}  "
+        f"p50 {summary['latency_p50_ms']:.2f}  "
+        f"p90 {summary['latency_p90_ms']:.2f}  "
+        f"p99 {summary['latency_p99_ms']:.2f}\n"
+        f"degraded: {summary['degraded']}  "
+        f"mean selected: {summary['mean_selected']:.1f}"
+    )

@@ -1,0 +1,112 @@
+"""Stdlib HTTP front end for :class:`~repro.serving.service.SelectionService`.
+
+Endpoints (all JSON):
+
+* ``POST /select`` — body ``{"query": "breast cancer" | ["breast", ...],
+  "algorithm": "cori", "strategy": "shrinkage", "k": 10}``; responds with
+  the full ranking, the selected prefix, and degradation/caching flags.
+* ``GET /healthz`` — static service description; 200 once preloading is
+  done (the socket only starts listening after preload, so a successful
+  connect already implies readiness).
+* ``GET /stats`` — request counters and current bounded-cache sizes.
+
+``ThreadingHTTPServer`` gives one thread per connection; the service
+serializes scoring internally (see service.py), so handlers stay simple.
+No third-party web framework — the container's stdlib is the dependency
+budget.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serving.service import SelectionService, parse_request
+
+#: Cap on accepted request bodies; a select request is a few hundred bytes.
+MAX_BODY_BYTES = 1 << 20
+
+
+class SelectionRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto the service; one instance per request."""
+
+    #: Installed by :func:`make_server`.
+    service: SelectionService
+
+    protocol_version = "HTTP/1.1"
+    #: Quiet by default; ``repro serve --verbose`` re-enables logging.
+    verbose = False
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.verbose:
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server's naming)
+        if self.path == "/healthz":
+            self._respond(200, self.service.describe())
+        elif self.path == "/stats":
+            self._respond(200, self.service.stats_snapshot())
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/select":
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._respond(411, {"error": "invalid Content-Length"})
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._respond(413, {"error": "request body missing or too large"})
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+            kwargs = parse_request(payload)
+        except (ValueError, UnicodeDecodeError) as error:
+            self.service.stats.errors += 1
+            self._respond(400, {"error": str(error)})
+            return
+        try:
+            response = self.service.select(**kwargs)
+        except ValueError as error:
+            self.service.stats.errors += 1
+            self._respond(400, {"error": str(error)})
+            return
+        except Exception as error:  # pragma: no cover - defensive
+            self.service.stats.errors += 1
+            self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._respond(200, response)
+
+
+def make_server(
+    service: SelectionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-run server bound to ``host:port`` (0 picks a free port).
+
+    The caller owns the lifecycle: ``serve_forever()`` to block (as
+    ``repro serve`` does), or run it on a thread and ``shutdown()`` when
+    done (as the tests and the in-process load generator do).
+    """
+    handler = type(
+        "BoundSelectionRequestHandler",
+        (SelectionRequestHandler,),
+        {"service": service, "verbose": verbose},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

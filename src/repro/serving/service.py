@@ -1,0 +1,321 @@
+"""The in-process selection service behind ``repro serve``.
+
+Design constraints (DESIGN.md §5c):
+
+* **Preload once, serve many.** The cell's sampled and shrunk summaries —
+  and the batched score matrices stacked from them — are built (or loaded
+  from the artifact store) at startup. A request never triggers testbed
+  synthesis, sampling, or EM.
+* **Bounded memory.** Every per-query cache in the request path is a
+  bounded :class:`~repro.core.lru.LruCache`: the service's response
+  cache here, the resolved-query-id and per-query factor caches inside
+  the scorers and matrices. A stream of millions of distinct queries
+  holds steady-state memory flat.
+* **Graceful degradation.** The adaptive strategy's per-database decision
+  loop is the only per-query phase whose cost scales with the database
+  count; when it exceeds the per-request budget, the request is re-served
+  from the plain batched path — one matrix pass, microseconds — and the
+  response is marked ``degraded`` so callers can tell.
+
+The service itself is synchronous and guarded by one lock: scoring is a
+few numpy passes over preloaded matrices, so requests are answered faster
+than handler threads can queue them, and the lock keeps the LRU caches
+and lazily-built matrices safe under the threading HTTP front end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+from repro.core.lru import LruCache
+from repro.selection.metasearcher import (
+    Metasearcher,
+    SelectionDeadlineExceeded,
+    SelectionStrategy,
+)
+
+_ALGORITHMS = ("bgloss", "cori", "lm")
+_STRATEGIES = ("plain", "shrinkage", "universal")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """What to preload and how to bound the request path."""
+
+    dataset: str = "trec4"
+    sampler: str = "qbs"
+    frequency_estimation: bool = False
+    scale: str = "small"
+    #: Default number of databases to return.
+    default_k: int = 10
+    #: Per-request budget in seconds before an adaptive request degrades
+    #: to plain scoring. ``None`` disables degradation.
+    request_timeout_seconds: float | None = 0.5
+    #: Bound on the (algorithm, strategy, query, k) response cache.
+    response_cache_size: int = 1024
+
+
+@dataclass
+class ServiceStats:
+    """Mutable request counters (returned by ``GET /stats``)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    degraded: int = 0
+    errors: int = 0
+    started_at: float = field(default_factory=time.time)
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+
+def normalize_query(query: str | Sequence[str]) -> tuple[str, ...]:
+    """Lower-cased query terms from a string or a term sequence."""
+    if isinstance(query, str):
+        terms = query.split()
+    else:
+        terms = list(query)
+    return tuple(str(term).lower() for term in terms)
+
+
+class SelectionService:
+    """Answer database-selection queries from a preloaded cell."""
+
+    def __init__(
+        self,
+        metasearcher: Metasearcher,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metasearcher = metasearcher
+        self.stats = ServiceStats()
+        self._cache = LruCache(self.config.response_cache_size)
+        self._lock = threading.Lock()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_harness(
+        cls, config: ServiceConfig | None = None
+    ) -> SelectionService:
+        """Build a service by preloading a cell through the harness.
+
+        Uses whatever harness configuration (artifact store, jobs) the
+        caller has applied; with a warm store this is load-only.
+        """
+        from repro.evaluation import harness
+        from repro.evaluation.instrument import span
+
+        config = config or ServiceConfig()
+        with span(
+            "serve.preload",
+            dataset=config.dataset,
+            sampler=config.sampler,
+            scale=config.scale,
+        ):
+            cell = harness.get_cell(
+                config.dataset,
+                config.sampler,
+                config.frequency_estimation,
+                config.scale,
+            )
+            harness.ensure_shrunk(cell)
+            service = cls(cell.metasearcher, config)
+            service.warmup()
+        return service
+
+    def warmup(self) -> None:
+        """Build every engine and score matrix before the first request.
+
+        One throwaway query per (algorithm, strategy) forces scorer
+        prepare, matrix stacking, and the dense-regime builds, so request
+        latency never includes one-time construction.
+        """
+        for algorithm in _ALGORITHMS:
+            for strategy in _STRATEGIES:
+                self.metasearcher.select(
+                    ["warmup"], algorithm=algorithm, strategy=strategy, k=1
+                )
+
+    # -- request path ----------------------------------------------------------
+
+    def select(
+        self,
+        query: str | Sequence[str],
+        algorithm: str = "cori",
+        strategy: str = "shrinkage",
+        k: int | None = None,
+        timeout_seconds: float | None = None,
+    ) -> dict:
+        """Answer one selection request as a JSON-ready dict.
+
+        Raises ``ValueError`` for malformed requests (unknown algorithm or
+        strategy, non-positive k) — the HTTP layer maps that to a 400.
+        """
+        from repro.evaluation.instrument import get_instrumentation
+
+        algorithm = str(algorithm).lower()
+        strategy = str(strategy).lower()
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; pick from {_ALGORITHMS}"
+            )
+        if strategy not in _STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; pick from {_STRATEGIES}"
+            )
+        terms = normalize_query(query)
+        if k is None:
+            k = self.config.default_k
+        k = int(k)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if timeout_seconds is None:
+            timeout_seconds = self.config.request_timeout_seconds
+
+        start = time.perf_counter()
+        cache_key = (algorithm, strategy, terms, k)
+        with self._lock:
+            self.stats.requests += 1
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                response = dict(cached)
+                response["cached"] = True
+                return response
+            response = self._compute(
+                terms, algorithm, strategy, k, timeout_seconds
+            )
+            self._cache.put(cache_key, response)
+        elapsed = time.perf_counter() - start
+        instrumentation = get_instrumentation()
+        instrumentation.count("serve.requests")
+        instrumentation.observe("serve.request_seconds", elapsed)
+        if response["degraded"]:
+            instrumentation.count("serve.degraded")
+        response = dict(response)
+        response["elapsed_seconds"] = elapsed
+        return response
+
+    def _compute(
+        self,
+        terms: tuple[str, ...],
+        algorithm: str,
+        strategy: str,
+        k: int,
+        timeout_seconds: float | None,
+    ) -> dict:
+        degraded = False
+        deadline = (
+            time.monotonic() + timeout_seconds
+            if timeout_seconds is not None
+            else None
+        )
+        try:
+            outcome = self.metasearcher.select(
+                list(terms),
+                algorithm=algorithm,
+                strategy=strategy,
+                k=k,
+                deadline=deadline,
+            )
+        except SelectionDeadlineExceeded:
+            self.stats.degraded += 1
+            degraded = True
+            outcome = self.metasearcher.select(
+                list(terms),
+                algorithm=algorithm,
+                strategy=SelectionStrategy.PLAIN,
+                k=k,
+            )
+        ranking = sorted(
+            outcome.scores.items(), key=lambda item: (-item[1], item[0])
+        )
+        selected = set(outcome.names)
+        return {
+            "query": list(terms),
+            "algorithm": algorithm,
+            "strategy": strategy,
+            "k": k,
+            "degraded": degraded,
+            "cached": False,
+            "selected": list(outcome.names),
+            "ranking": [
+                {
+                    "name": name,
+                    "score": score,
+                    "selected": name in selected,
+                }
+                for name, score in ranking
+            ],
+            "shrinkage_applications": outcome.shrinkage_applications,
+        }
+
+    # -- introspection ---------------------------------------------------------
+
+    def cache_sizes(self) -> dict[str, int]:
+        """Current sizes of every bounded cache on the request path."""
+        sizes = {"responses": len(self._cache)}
+        for key, scorer in self.metasearcher._prepared_scorers.items():
+            cache = getattr(scorer, "_query_ids_cache", None)
+            if cache is not None:
+                sizes[f"query_ids.{key[0]}.{key[1]}"] = len(cache)
+        return sizes
+
+    def describe(self) -> dict:
+        """Static service description (returned by ``GET /healthz``)."""
+        return {
+            "status": "ok",
+            "dataset": self.config.dataset,
+            "sampler": self.config.sampler,
+            "frequency_estimation": self.config.frequency_estimation,
+            "scale": self.config.scale,
+            "databases": len(self.metasearcher.sampled_summaries),
+            "algorithms": list(_ALGORITHMS),
+            "strategies": list(_STRATEGIES),
+        }
+
+    def stats_snapshot(self) -> dict:
+        with self._lock:
+            snapshot = self.stats.snapshot()
+            snapshot["cache_sizes"] = self.cache_sizes()
+            snapshot["response_cache_maxsize"] = self._cache.maxsize
+        return snapshot
+
+
+def parse_request(payload: Mapping) -> dict:
+    """Validate a raw /select JSON payload into select() keyword args."""
+    if not isinstance(payload, Mapping):
+        raise ValueError("request body must be a JSON object")
+    query = payload.get("query")
+    if query is None or (not isinstance(query, (str, list))):
+        raise ValueError('"query" must be a string or a list of terms')
+    if isinstance(query, list) and not all(
+        isinstance(term, str) for term in query
+    ):
+        raise ValueError('"query" list entries must be strings')
+    kwargs: dict = {"query": query}
+    if "algorithm" in payload:
+        kwargs["algorithm"] = str(payload["algorithm"])
+    if "strategy" in payload:
+        kwargs["strategy"] = str(payload["strategy"])
+    if "k" in payload:
+        try:
+            kwargs["k"] = int(payload["k"])
+        except (TypeError, ValueError) as error:
+            raise ValueError('"k" must be an integer') from error
+    if "timeout_seconds" in payload and payload["timeout_seconds"] is not None:
+        try:
+            kwargs["timeout_seconds"] = float(payload["timeout_seconds"])
+        except (TypeError, ValueError) as error:
+            raise ValueError('"timeout_seconds" must be a number') from error
+    return kwargs

@@ -184,3 +184,91 @@ class TestDecision:
         assert chosen["uncertain"] is shrunk_marker
         assert not decisions["certain"].use_shrinkage
         assert decisions["uncertain"].use_shrinkage
+
+
+class TestMonteCarloVectorized:
+    """The batched Monte-Carlo fallback (one rng.choice per word per round).
+
+    Vectorization changes the rng consumption order (word-blocked instead
+    of sample-interleaved), so these tests pin the *distributional*
+    contract: the batched sampler must agree with a straightforward
+    per-sample scalar reference within Monte-Carlo tolerance, and must be
+    deterministic for a fixed seed.
+    """
+
+    def _scalar_reference(self, model, scorer, query_terms, rng, samples):
+        """The pre-vectorization formulation: one draw per (sample, word)."""
+        database_size = max(model.summary.size, 1.0)
+        scale = scorer.hypothetical_probability_scale(model.summary)
+        posteriors = [model.word_posterior(word) for word in query_terms]
+        scores = []
+        for _ in range(samples):
+            word_scores = [
+                float(
+                    scorer.word_score_vector(
+                        np.array(
+                            [
+                                support[
+                                    rng.choice(support.size, p=probabilities)
+                                ]
+                            ]
+                        )
+                        * scale
+                        / database_size,
+                        model.summary,
+                        word,
+                    )[0]
+                )
+                for word, (support, probabilities) in zip(
+                    query_terms, posteriors
+                )
+            ]
+            scores.append(scorer.combine(word_scores, model.summary))
+        return float(np.mean(scores)), float(np.std(scores))
+
+    @pytest.mark.parametrize(
+        "make_scorer",
+        [
+            BGlossScorer,
+            CoriScorer,
+            lambda: LanguageModelScorer({"mid": 0.01, "rare": 0.001}),
+        ],
+        ids=["bgloss", "cori", "lm"],
+    )
+    def test_matches_scalar_reference(self, make_scorer):
+        config = AdaptiveConfig(mc_max_combinations=6000, mc_batch=2000)
+        model = ScoreDistributionModel(make_summary(), config)
+        scorer = make_scorer()
+        scorer.prepare({"d": model.summary})
+        query = ["mid", "rare"]
+        v_mean, v_std = model._monte_carlo_moments(
+            scorer, query, rng=np.random.default_rng(42)
+        )
+        r_mean, r_std = self._scalar_reference(
+            model, scorer, query, np.random.default_rng(43), samples=6000
+        )
+        assert v_mean == pytest.approx(r_mean, rel=0.2)
+        assert v_std == pytest.approx(r_std, rel=0.35)
+
+    def test_deterministic_for_fixed_seed(self):
+        model = ScoreDistributionModel(
+            make_summary(), AdaptiveConfig(mc_max_combinations=2000)
+        )
+        scorer = BGlossScorer()
+        first = model._monte_carlo_moments(
+            scorer, ["mid", "rare"], rng=np.random.default_rng(9)
+        )
+        second = model._monte_carlo_moments(
+            scorer, ["mid", "rare"], rng=np.random.default_rng(9)
+        )
+        assert first == second
+
+    def test_empty_query(self):
+        model = ScoreDistributionModel(
+            make_summary(), AdaptiveConfig(mc_max_combinations=2000)
+        )
+        mean, std = model._monte_carlo_moments(
+            BGlossScorer(), [], rng=np.random.default_rng(0)
+        )
+        assert std == 0.0
+        assert np.isfinite(mean)

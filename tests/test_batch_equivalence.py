@@ -1,0 +1,225 @@
+"""Bit-identity of the batched selection engine vs the serial path.
+
+The batched engine (selection/batch.py) stacks a summary set's columnar
+arrays into score matrices and vectorizes across the *database* axis
+while keeping the per-word fold order of the serial scorers.  Because
+elementwise IEEE-754 arithmetic does not depend on array shape, every
+score, floor, and selected flag must equal the serial
+``rank_databases`` output **bit for bit** — no tolerance anywhere in
+this file.  The strict ``score > floor`` selection rule depends on that.
+
+Covered: all three scorers (bGlOSS, CORI, LM) across plain sampled,
+universal shrunk, and adaptive mixed summary choices; empty queries;
+out-of-vocabulary terms; plus a hypothesis property over random queries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selection.base import rank_databases
+from repro.selection.batch import (
+    AdaptiveBatchEngine,
+    BatchSelectionEngine,
+    SummarySetMatrix,
+    UnsupportedSummarySet,
+    batch_floor_map,
+)
+from repro.selection.metasearcher import Metasearcher
+from tests.test_columnar_equivalence import _synthetic_cell
+
+ALGORITHMS = ("bgloss", "cori", "lm")
+STRATEGIES = ("plain", "universal", "shrinkage")
+
+#: Queries mixing in-vocabulary, out-of-vocabulary, and boundary shapes.
+QUERIES = [
+    [],
+    ["gen000"],
+    ["gen001", "gen005", "cancer003"],
+    ["java000", "databases004", "gen010", "gen011"],
+    ["nosuchword"],
+    ["gen002", "totally-oov", "aids001"],
+    ["gen000", "gen000", "gen003"],
+]
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return _synthetic_cell(shared_vocab=True)
+
+
+@pytest.fixture(scope="module")
+def pair(cell):
+    """Two metasearchers over the same cell: batched and forced-serial."""
+    hierarchy, summaries, classifications = cell
+    batched = Metasearcher(hierarchy, summaries, classifications)
+    serial = Metasearcher(hierarchy, summaries, classifications)
+    serial.use_batched = False
+    # Share the shrunk summaries so both paths score the same objects
+    # (the EM is deterministic, but sharing removes any doubt).
+    serial.set_shrunk_summaries(batched.shrunk_summaries)
+    return batched, serial
+
+
+def assert_outcomes_identical(batched_outcome, serial_outcome):
+    assert batched_outcome.names == serial_outcome.names
+    assert set(batched_outcome.scores) == set(serial_outcome.scores)
+    for name, score in batched_outcome.scores.items():
+        other = serial_outcome.scores[name]
+        assert score == other, (
+            f"{name}: batched {score!r} != serial {other!r}"
+        )
+
+
+class TestMetasearcherBitIdentity:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_select_identical(self, pair, algorithm, strategy):
+        batched, serial = pair
+        for query in QUERIES:
+            b = batched.select(
+                query, algorithm=algorithm, strategy=strategy, k=5
+            )
+            s = serial.select(
+                query, algorithm=algorithm, strategy=strategy, k=5
+            )
+            assert_outcomes_identical(b, s)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_adaptive_decisions_identical(self, pair, algorithm):
+        batched, serial = pair
+        for query in QUERIES:
+            b = batched.select(
+                query, algorithm=algorithm, strategy="shrinkage", k=5
+            )
+            s = serial.select(
+                query, algorithm=algorithm, strategy="shrinkage", k=5
+            )
+            assert b.decisions is not None and s.decisions is not None
+            assert {
+                name: d.use_shrinkage for name, d in b.decisions.items()
+            } == {name: d.use_shrinkage for name, d in s.decisions.items()}
+
+
+class TestEngineVsRankDatabases:
+    @pytest.mark.parametrize("regime", ["plain", "universal"])
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_fixed_set_identical(self, pair, algorithm, regime):
+        batched, _ = pair
+        summaries = (
+            batched.sampled_summaries
+            if regime == "plain"
+            else batched.shrunk_summaries
+        )
+        scorer = batched.make_scorer(algorithm)
+        scorer.prepare(summaries)
+        engine = BatchSelectionEngine(scorer, summaries, prepare=False)
+        for query in QUERIES:
+            serial = rank_databases(scorer, query, summaries, prepare=False)
+            fast = engine.rank(query)
+            assert [e.name for e in fast] == [e.name for e in serial]
+            for fast_entry, serial_entry in zip(fast, serial):
+                assert fast_entry.score == serial_entry.score
+                assert fast_entry.selected == serial_entry.selected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_floor_map_identical(self, pair, algorithm):
+        batched, _ = pair
+        summaries = batched.sampled_summaries
+        scorer = batched.make_scorer(algorithm)
+        scorer.prepare(summaries)
+        for query in QUERIES:
+            floors = batch_floor_map(scorer, query, summaries)
+            assert floors is not None
+            for name, summary in summaries.items():
+                assert floors[name] == scorer.floor_score(query, summary)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_mixed_set_identical(self, pair, algorithm):
+        batched, _ = pair
+        sampled = batched.sampled_summaries
+        shrunk = batched.shrunk_summaries
+        names = sorted(sampled)
+        masks = [
+            np.zeros(len(names), dtype=bool),
+            np.ones(len(names), dtype=bool),
+            np.array([i % 2 == 0 for i in range(len(names))]),
+            np.array([i % 3 == 0 for i in range(len(names))]),
+        ]
+        for mask in masks:
+            chosen_by_name = dict(zip(names, mask.tolist()))
+            # Same insertion order as the metasearcher's serial fallback.
+            chosen = {
+                name: (shrunk[name] if chosen_by_name[name] else summary)
+                for name, summary in sampled.items()
+            }
+            engine_scorer = batched.make_scorer(algorithm)
+            engine = AdaptiveBatchEngine(engine_scorer, sampled, shrunk)
+            serial_scorer = batched.make_scorer(algorithm)
+            for query in QUERIES:
+                serial = rank_databases(serial_scorer, query, chosen)
+                fast = engine.rank(query, mask)
+                assert [e.name for e in fast] == [e.name for e in serial]
+                for fast_entry, serial_entry in zip(fast, serial):
+                    assert fast_entry.score == serial_entry.score
+                    assert fast_entry.selected == serial_entry.selected
+
+
+class TestUnsupportedSets:
+    def test_per_summary_vocabs_rejected(self):
+        _, summaries, _ = _synthetic_cell(shared_vocab=False)
+        with pytest.raises(UnsupportedSummarySet):
+            SummarySetMatrix(summaries)
+
+    def test_floor_map_returns_none(self, pair):
+        batched, _ = pair
+        _, summaries, _ = _synthetic_cell(shared_vocab=False)
+        scorer = batched.make_scorer("cori")
+        scorer.prepare(summaries)
+        assert batch_floor_map(scorer, ["gen000"], summaries) is None
+
+    def test_metasearcher_falls_back_to_serial(self):
+        hierarchy, summaries, classifications = _synthetic_cell(
+            shared_vocab=False
+        )
+        own_vocab = Metasearcher(hierarchy, summaries, classifications)
+        serial = Metasearcher(hierarchy, summaries, classifications)
+        serial.use_batched = False
+        serial.set_shrunk_summaries(own_vocab.shrunk_summaries)
+        for algorithm in ALGORITHMS:
+            for strategy in STRATEGIES:
+                b = own_vocab.select(
+                    ["gen000", "gen004"], algorithm=algorithm,
+                    strategy=strategy, k=4,
+                )
+                s = serial.select(
+                    ["gen000", "gen004"], algorithm=algorithm,
+                    strategy=strategy, k=4,
+                )
+                assert_outcomes_identical(b, s)
+
+
+def _word_pool(summaries):
+    first = next(iter(summaries.values()))
+    return first.vocab.to_list()
+
+
+class TestRandomQueriesProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_query_identical(self, pair, data):
+        batched, serial = pair
+        pool = _word_pool(batched.sampled_summaries)
+        term = st.one_of(
+            st.sampled_from(pool),
+            st.text(
+                alphabet="abcxyz-", min_size=1, max_size=8
+            ),  # mostly OOV
+        )
+        query = data.draw(st.lists(term, min_size=0, max_size=5))
+        algorithm = data.draw(st.sampled_from(ALGORITHMS))
+        strategy = data.draw(st.sampled_from(STRATEGIES))
+        b = batched.select(query, algorithm=algorithm, strategy=strategy, k=4)
+        s = serial.select(query, algorithm=algorithm, strategy=strategy, k=4)
+        assert_outcomes_identical(b, s)

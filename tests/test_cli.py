@@ -83,6 +83,41 @@ class TestParser:
         assert args.verbose
 
 
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--scale", "small", "--port", "0",
+             "--request-timeout", "0.1", "--response-cache", "32"]
+        )
+        assert args.port == 0
+        assert args.host == "127.0.0.1"
+        assert args.request_timeout == 0.1
+        assert args.response_cache == 32
+
+    def test_query_arguments(self):
+        args = build_parser().parse_args(
+            ["query", "breast", "cancer", "--algorithm", "lm",
+             "--strategy", "plain", "--k", "3", "--wait", "--json"]
+        )
+        assert args.terms == ["breast", "cancer"]
+        assert args.algorithm == "lm"
+        assert args.strategy == "plain"
+        assert args.wait and args.json
+
+    def test_query_requires_terms(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+    def test_loadgen_arguments(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--requests", "50", "--seed", "3",
+             "--trajectory", "t.json"]
+        )
+        assert args.requests == 50
+        assert args.seed == 3
+        assert args.trajectory == "t.json"
+        assert args.url is None
+
+
 class TestCommands:
     def test_info(self, capsys):
         assert main(["info"]) == 0
@@ -309,3 +344,28 @@ class TestTrajectoryCli:
         assert main(base + ["--k", "5"]) == 0
         out = capsys.readouterr().out
         assert "no previous comparable record" in out
+
+    def test_loadgen_runs_in_process(self, capsys):
+        code = main(
+            ["loadgen", "--scale", "small", "--requests", "15",
+             "--algorithm", "cori", "--strategy", "plain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load: 15 requests" in out
+        assert "latency ms:" in out
+
+    def test_loadgen_trajectory_record(self, capsys, tmp_path):
+        traj = tmp_path / "serve.json"
+        args = ["loadgen", "--scale", "small", "--requests", "10",
+                "--strategy", "plain", "--trajectory", str(traj)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert f"appended record 2 to {traj}" in out
+        document = json.loads(traj.read_text())
+        assert len(document["records"]) == 2
+        record = document["records"][0]
+        assert record["context"]["kind"] == "serve-load"
+        assert record["load"]["requests"] == 10

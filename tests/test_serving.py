@@ -1,0 +1,349 @@
+"""Serving layer: bounded caches, degradation, HTTP round trips.
+
+The acceptance bar from DESIGN.md §5c: a long stream of *distinct*
+queries must leave every per-query cache at or under its bound (memory
+stays flat), adaptive requests that blow the per-request budget must
+degrade to plain scoring rather than fail, and the stdlib HTTP front end
+must answer concurrent clients. The service under test is built from the
+synthetic cell (fast) rather than a harness cell; ``from_harness`` is
+covered by the CLI smoke tests.
+"""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.lru import LruCache
+from repro.selection.base import QUERY_IDS_CACHE_SIZE
+from repro.selection.metasearcher import Metasearcher
+from repro.serving.client import ServingClient, ServingError
+from repro.serving.loadgen import (
+    generate_queries,
+    run_load,
+    service_vocabulary,
+)
+from repro.serving.server import make_server
+from repro.serving.service import (
+    SelectionService,
+    ServiceConfig,
+    normalize_query,
+    parse_request,
+)
+from tests.test_columnar_equivalence import _synthetic_cell
+
+
+class TestLruCache:
+    def test_put_get_roundtrip(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert cache.get("missing") is None
+        assert cache.get("missing", 0) == 0
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" so "b" is the eviction victim
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_size_never_exceeds_maxsize(self):
+        cache = LruCache(8)
+        for index in range(1000):
+            cache.put(index, index)
+            assert len(cache) <= 8
+        assert len(cache) == 8
+
+    def test_zero_maxsize_disables(self):
+        cache = LruCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_overwrite_updates_value(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+def _make_service(**config_kwargs) -> SelectionService:
+    hierarchy, summaries, classifications = _synthetic_cell(
+        shared_vocab=True
+    )
+    metasearcher = Metasearcher(hierarchy, summaries, classifications)
+    defaults = dict(
+        scale="synthetic", request_timeout_seconds=None, default_k=5
+    )
+    defaults.update(config_kwargs)
+    service = SelectionService(metasearcher, ServiceConfig(**defaults))
+    service.warmup()
+    return service
+
+
+@pytest.fixture(scope="module")
+def service():
+    return _make_service()
+
+
+class TestNormalizeAndParse:
+    def test_string_query_splits_and_lowercases(self):
+        assert normalize_query("Breast Cancer") == ("breast", "cancer")
+
+    def test_list_query(self):
+        assert normalize_query(["AIDS", "care"]) == ("aids", "care")
+
+    def test_parse_request_minimal(self):
+        assert parse_request({"query": "a b"}) == {"query": "a b"}
+
+    def test_parse_request_full(self):
+        kwargs = parse_request(
+            {
+                "query": ["a"],
+                "algorithm": "lm",
+                "strategy": "plain",
+                "k": "3",
+                "timeout_seconds": 0.25,
+            }
+        )
+        assert kwargs == {
+            "query": ["a"],
+            "algorithm": "lm",
+            "strategy": "plain",
+            "k": 3,
+            "timeout_seconds": 0.25,
+        }
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {},
+            {"query": 7},
+            {"query": ["ok", 3]},
+            {"query": "a", "k": "three"},
+            {"query": "a", "timeout_seconds": "soon"},
+        ],
+    )
+    def test_parse_request_rejects(self, payload):
+        with pytest.raises(ValueError):
+            parse_request(payload)
+
+
+class TestSelectionService:
+    def test_basic_select_shape(self, service):
+        response = service.select(
+            "gen000 gen004", algorithm="cori", strategy="shrinkage", k=3
+        )
+        assert response["algorithm"] == "cori"
+        assert response["query"] == ["gen000", "gen004"]
+        assert not response["degraded"]
+        assert not response["cached"]
+        assert len(response["ranking"]) == len(
+            service.metasearcher.sampled_summaries
+        )
+        assert len(response["selected"]) <= 3
+        scores = [entry["score"] for entry in response["ranking"]]
+        assert scores == sorted(scores, reverse=True)
+        selected_names = {
+            entry["name"]
+            for entry in response["ranking"]
+            if entry["selected"]
+        }
+        assert set(response["selected"]) == selected_names
+
+    def test_repeat_query_served_from_cache(self):
+        service = _make_service()
+        before = service.stats.cache_hits
+        first = service.select(["gen001"], algorithm="lm", strategy="plain")
+        second = service.select(["gen001"], algorithm="lm", strategy="plain")
+        assert not first["cached"]
+        assert second["cached"]
+        assert second["selected"] == first["selected"]
+        assert service.stats.cache_hits == before + 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"algorithm": "pagerank"},
+            {"strategy": "magic"},
+            {"k": 0},
+            {"k": -2},
+        ],
+    )
+    def test_invalid_requests_rejected(self, service, kwargs):
+        with pytest.raises(ValueError):
+            service.select(["gen000"], **kwargs)
+
+    def test_zero_timeout_degrades_adaptive_request(self):
+        service = _make_service(request_timeout_seconds=0.0)
+        response = service.select(
+            ["gen000", "gen003"], algorithm="cori", strategy="shrinkage"
+        )
+        assert response["degraded"]
+        assert response["ranking"]  # still answered, from the plain path
+        assert service.stats.degraded == 1
+
+    def test_plain_requests_never_degrade(self):
+        service = _make_service(request_timeout_seconds=0.0)
+        response = service.select(
+            ["gen000"], algorithm="cori", strategy="plain"
+        )
+        assert not response["degraded"]
+
+    def test_caches_stay_bounded_under_distinct_query_stream(self):
+        service = _make_service(response_cache_size=64)
+        queries = generate_queries(
+            service_vocabulary(service), count=1100, seed=7
+        )
+        for index, query in enumerate(queries):
+            strategy = "shrinkage" if index % 10 == 0 else "plain"
+            service.select(query, algorithm="cori", strategy=strategy)
+        sizes = service.cache_sizes()
+        assert sizes["responses"] <= 64
+        for key, size in sizes.items():
+            if key.startswith("query_ids."):
+                assert size <= QUERY_IDS_CACHE_SIZE, (key, size)
+        # The batched matrices' resolved-id caches are bounded too.
+        for engine in service.metasearcher._engines.values():
+            if engine is not None:
+                assert (
+                    len(engine.matrix._ids_cache)
+                    <= engine.matrix._ids_cache.maxsize
+                )
+        assert service.stats.requests == len(queries)
+
+    def test_concurrent_in_process_requests(self, service):
+        queries = generate_queries(
+            service_vocabulary(service), count=40, seed=3
+        )
+
+        def issue(query):
+            return service.select(query, algorithm="lm", strategy="plain")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(issue, queries))
+        assert len(responses) == len(queries)
+        assert all(response["ranking"] for response in responses)
+
+
+class TestHttpRoundTrip:
+    @pytest.fixture(scope="class")
+    def server_and_client(self):
+        service = _make_service()
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServingClient(f"http://{host}:{port}", timeout=10.0)
+        yield service, server, client
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+    def test_healthz(self, server_and_client):
+        service, _, client = server_and_client
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["databases"] == len(
+            service.metasearcher.sampled_summaries
+        )
+
+    def test_select_round_trip(self, server_and_client):
+        _, _, client = server_and_client
+        response = client.select(
+            ["gen000", "gen002"], algorithm="bgloss", strategy="universal"
+        )
+        assert response["algorithm"] == "bgloss"
+        assert response["ranking"]
+
+    def test_bad_algorithm_is_http_400(self, server_and_client):
+        _, _, client = server_and_client
+        with pytest.raises(ServingError) as excinfo:
+            client.select(["gen000"], algorithm="pagerank")
+        assert excinfo.value.status == 400
+
+    def test_malformed_body_is_http_400(self, server_and_client):
+        _, _, client = server_and_client
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{client.base_url}/select",
+            data=b"not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_http_404(self, server_and_client):
+        _, _, client = server_and_client
+        with pytest.raises(ServingError) as excinfo:
+            client._request("/nope")
+        assert excinfo.value.status == 404
+
+    def test_stats_reports_bounded_caches(self, server_and_client):
+        _, _, client = server_and_client
+        stats = client.stats()
+        assert stats["requests"] >= 1
+        assert (
+            stats["cache_sizes"]["responses"]
+            <= stats["response_cache_maxsize"]
+        )
+
+    def test_concurrent_http_clients(self, server_and_client):
+        service, _, client = server_and_client
+        queries = generate_queries(
+            service_vocabulary(service), count=24, seed=11
+        )
+
+        def issue(query):
+            return client.select(query, algorithm="cori", strategy="plain")
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            responses = list(pool.map(issue, queries))
+        assert all(response["ranking"] for response in responses)
+
+
+class TestLoadGenerator:
+    def test_generated_queries_are_distinct(self):
+        queries = generate_queries(["alpha", "beta"], count=300, seed=0)
+        assert len(queries) == 300
+        assert len({tuple(query) for query in queries}) == 300
+
+    def test_generation_is_deterministic(self):
+        first = generate_queries(["alpha", "beta"], count=20, seed=5)
+        second = generate_queries(["alpha", "beta"], count=20, seed=5)
+        assert first == second
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            generate_queries([], count=5)
+
+    def test_run_load_summary(self, service):
+        queries = generate_queries(
+            service_vocabulary(service), count=25, seed=1
+        )
+        summary = run_load(
+            service.select, queries, algorithm="lm", strategy="plain", k=3
+        )
+        assert summary["requests"] == 25
+        assert summary["qps"] > 0
+        assert summary["latency_p99_ms"] >= summary["latency_p50_ms"]
+        assert summary["degraded"] == 0
+        assert json.dumps(summary)  # JSON-serializable for the trajectory

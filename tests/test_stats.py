@@ -73,3 +73,41 @@ class TestPairedTTest:
         )
         # Shrinkage dominates plain bGlOSS on this testbed.
         assert result.mean_difference > 0
+
+
+class TestZeroVarianceNonzeroMean:
+    """Regression: a constant nonzero difference used to divide by a zero
+    standard error and come out non-significant. A uniform shift across
+    every pair is the strongest possible paired evidence — the fixed code
+    reports p = 0 with an infinite statistic of the right sign."""
+
+    def test_constant_improvement_is_maximally_significant(self):
+        # Exactly representable values so the difference is bit-constant.
+        baseline = [0.5, 1.5, 2.5, 3.5]
+        improved = [v + 0.25 for v in baseline]
+        result = paired_t_test(improved, baseline)
+        assert result.p_value == 0.0
+        assert result.statistic == float("inf")
+        assert result.mean_difference == pytest.approx(0.25)
+        assert result.significant(0.001)
+
+    def test_constant_regression_has_negative_statistic(self):
+        baseline = [0.5, 1.5, 2.5]
+        worse = [v - 0.25 for v in baseline]
+        result = paired_t_test(worse, baseline)
+        assert result.p_value == 0.0
+        assert result.statistic == float("-inf")
+        assert result.mean_difference < 0
+
+    def test_identical_samples_still_not_significant(self):
+        # The zero-variance branch must not swallow the zero-difference
+        # case: identical samples stay at p = 1.
+        values = [0.2, 0.4, 0.8, 0.9]
+        result = paired_t_test(values, values)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_two_pairs_suffice(self):
+        result = paired_t_test([1.0, 2.0], [0.5, 1.5])
+        assert result.p_value == 0.0
+        assert result.num_pairs == 2
