@@ -14,6 +14,8 @@ Exposes the experiment harness without writing Python:
 * ``serve`` — long-lived selection server: preload one cell, then answer
   ``POST /select`` queries over HTTP from the batched score matrices.
 * ``query`` — one-shot client for a running ``serve`` process.
+* ``update`` — apply a lifecycle op (add/remove/replace/resample/
+  restore) to a running server; the cell is hot-swapped copy-on-write.
 * ``loadgen`` — replay a distinct-query stream (in-process or against
   ``--url``) and record throughput/latency, optionally into the bench
   trajectory.
@@ -338,7 +340,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serve: ready on http://{host}:{port} "
         f"({len(service.metasearcher.sampled_summaries)} databases; "
-        f"POST /select, GET /healthz, GET /stats)",
+        f"POST /select, POST /admin/update, GET /healthz, GET /stats)",
         flush=True,
     )
     try:
@@ -388,6 +390,104 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"  {rank:>3} {marker} {entry['name']:<12} {entry['score']:.6g}")
     if not selected:
         print("  (no database scored above its floor)")
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.serving.client import ServingClient, ServingError
+
+    op: dict = {"op": args.operation, "name": args.name}
+    if args.operation in ("add", "replace"):
+        if not args.summary_file:
+            print(f"update: {args.operation} requires --summary-file")
+            return 2
+        with open(args.summary_file, encoding="utf-8") as handle:
+            op["summary"] = json_module.load(handle)
+    if args.operation == "add":
+        if not args.path:
+            print("update: add requires --path (e.g. Root/Health/Diseases)")
+            return 2
+        op["path"] = args.path.split("/")
+    if args.operation == "resample":
+        op["seed"] = args.seed
+
+    client = ServingClient(args.url, timeout=args.timeout)
+    if args.wait:
+        client.wait_until_ready()
+    try:
+        response = client.update(
+            [op], verify=args.verify, timeout=args.timeout
+        )
+    except ServingError as error:
+        print(f"update: {error}")
+        return 2
+    if args.json:
+        print(json_module.dumps(response, indent=2))
+    else:
+        print(
+            f"update: {args.operation} {args.name} — snapshot "
+            f"v{response['snapshot_version']}, "
+            f"{response['databases']} databases"
+        )
+        print(
+            f"update: em recomputed {response['em_recomputed']}, "
+            f"shrunk reused {response['shrunk_reused']}, "
+            f"changed paths {response['changed_paths']}, "
+            f"build {response['build_seconds']:.3f}s, "
+            f"swap {response['swap_seconds'] * 1000:.2f}ms"
+            + (
+                " [lifecycle cache hit]"
+                if response.get("lifecycle_cache_hit")
+                else ""
+            )
+        )
+    verification = response.get("verification")
+    if verification is not None and not args.json:
+        if verification["verified"]:
+            print(
+                "update: verification PASSED — bit-identical to a "
+                f"from-scratch rebuild ({verification['selections_checked']} "
+                "selections checked, max lambda delta "
+                f"{verification['max_lambda_delta']:g})"
+            )
+        else:
+            print("update: verification FAILED:")
+            for mismatch in verification["mismatches"]:
+                print(f"  - {mismatch}")
+
+    if args.trajectory:
+        from repro.evaluation import trajectory as trajectory_mod
+
+        context = {
+            "kind": "serve-update",
+            "operation": args.operation,
+            "verify": args.verify,
+        }
+        record = trajectory_mod.build_record(
+            context, response["build_seconds"]
+        )
+        record["update"] = {
+            key: value
+            for key, value in response.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        previous = trajectory_mod.latest_comparable(
+            trajectory_mod.load_records(args.trajectory), context
+        )
+        total = trajectory_mod.append_record(args.trajectory, record)
+        print(f"trajectory: appended record {total} to {args.trajectory}")
+        if previous is not None:
+            warnings = trajectory_mod.compare_records(previous, record)
+            for warning in warnings:
+                print(f"trajectory: WARNING {warning}")
+            if not warnings:
+                print(
+                    "trajectory: no regressions vs previous comparable record"
+                )
+    if verification is not None and not verification["verified"]:
+        return 1
     return 0
 
 
@@ -674,6 +774,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the raw JSON response"
     )
     query.set_defaults(handler=_cmd_query)
+
+    update = commands.add_parser(
+        "update",
+        help="apply a lifecycle op to a running server (hot swap)",
+    )
+    update.add_argument(
+        "operation",
+        choices=("add", "remove", "replace", "resample", "restore"),
+        help="lifecycle operation to apply",
+    )
+    update.add_argument("name", help="database name the op targets")
+    update.add_argument(
+        "--path", metavar="A/B/C",
+        help="category path for add, '/'-separated (e.g. Root/Health)",
+    )
+    update.add_argument(
+        "--summary-file", metavar="FILE",
+        help="standalone summary JSON payload for add/replace",
+    )
+    update.add_argument(
+        "--seed", type=int, default=1,
+        help="resample seed (varies the fresh sample's query stream)",
+    )
+    update.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="server base URL"
+    )
+    update.add_argument(
+        "--verify", action="store_true",
+        help="ask the server to prove bit-identity against a rebuild "
+        "before publishing the swap",
+    )
+    update.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="HTTP timeout (updates rebuild engines; verify adds more)",
+    )
+    update.add_argument(
+        "--wait", action="store_true",
+        help="poll /healthz until the server is ready first",
+    )
+    update.add_argument(
+        "--json", action="store_true", help="print the raw JSON response"
+    )
+    update.add_argument(
+        "--trajectory", metavar="FILE",
+        help="append a serve-update record with the swap latency",
+    )
+    update.set_defaults(handler=_cmd_update)
 
     loadgen = commands.add_parser(
         "loadgen",

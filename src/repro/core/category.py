@@ -35,6 +35,22 @@ from repro.summaries.summary import ContentSummary
 _EXCLUSION_EPSILON = 1e-12
 
 
+def _padded(array: np.ndarray, width: int) -> np.ndarray:
+    """``array`` zero-extended to ``width`` (aliased when already there).
+
+    Aggregates built before a vocabulary grew keep their original width;
+    the tail they lack is genuinely zero (interning is append-only, so a
+    summary folded at width ``w`` cannot carry mass at ids ``>= w``).
+    Zero-padding is therefore bit-identical to having built the aggregate
+    at the wider width in the first place.
+    """
+    if array.size >= width:
+        return array
+    out = np.zeros(width, dtype=np.float64)
+    out[: array.size] = array
+    return out
+
+
 class _Aggregate:
     """Weighted dense sums of probabilities for one category subtree.
 
@@ -78,15 +94,25 @@ class _Aggregate:
         self.total_weight += other.total_weight
         self.total_size += other.total_size
         self.database_names.extend(other.database_names)
-        self.df_sums += other.df_sums
-        self.tf_sums += other.tf_sums
+        if other.df_sums.size > self.df_sums.size:
+            self.df_sums = _padded(self.df_sums, other.df_sums.size)
+            self.tf_sums = _padded(self.tf_sums, other.tf_sums.size)
+        if other.df_sums.size == self.df_sums.size:
+            self.df_sums += other.df_sums
+            self.tf_sums += other.tf_sums
+        else:
+            self.df_sums[: other.df_sums.size] += other.df_sums
+            self.tf_sums[: other.tf_sums.size] += other.tf_sums
 
     def minus(self, other: "_Aggregate | None") -> "_Aggregate":
         """A new aggregate with ``other``'s contribution removed."""
-        result = _Aggregate(self.vocab, self.df_sums.size)
+        width = self.df_sums.size
+        if other is not None:
+            width = max(width, other.df_sums.size)
+        result = _Aggregate(self.vocab, width)
         if other is None:
-            result.df_sums = self.df_sums.copy()
-            result.tf_sums = self.tf_sums.copy()
+            result.df_sums = _padded(self.df_sums, width).copy()
+            result.tf_sums = _padded(self.tf_sums, width).copy()
             result.total_weight = self.total_weight
             result.total_size = self.total_size
             result.database_names = list(self.database_names)
@@ -97,8 +123,12 @@ class _Aggregate:
         ]
         result.total_weight = max(self.total_weight - other.total_weight, 0.0)
         result.total_size = max(self.total_size - other.total_size, 0.0)
-        df_remaining = self.df_sums - other.df_sums
-        tf_remaining = self.tf_sums - other.tf_sums
+        df_remaining = _padded(self.df_sums, width) - _padded(
+            other.df_sums, width
+        )
+        tf_remaining = _padded(self.tf_sums, width) - _padded(
+            other.tf_sums, width
+        )
         result.df_sums = np.where(
             df_remaining > _EXCLUSION_EPSILON, df_remaining, 0.0
         )
@@ -106,6 +136,21 @@ class _Aggregate:
             tf_remaining > _EXCLUSION_EPSILON, tf_remaining, 0.0
         )
         return result
+
+    def same_as(self, other: "_Aggregate") -> bool:
+        """Bitwise equality (width-tolerant; missing tails are zero)."""
+        width = max(self.df_sums.size, other.df_sums.size)
+        return (
+            self.total_weight == other.total_weight
+            and self.total_size == other.total_size
+            and self.database_names == other.database_names
+            and np.array_equal(
+                _padded(self.df_sums, width), _padded(other.df_sums, width)
+            )
+            and np.array_equal(
+                _padded(self.tf_sums, width), _padded(other.tf_sums, width)
+            )
+        )
 
     def to_summary(self) -> ContentSummary:
         if self.total_weight <= 0:
@@ -202,13 +247,20 @@ class CategorySummaryBuilder:
         aggregate.add_summary_arrays(name, summary.size, weight, df, tf)
 
     def _build_aggregates(self) -> dict[tuple[str, ...], _Aggregate]:
-        """Per-category subtree aggregates, computed bottom-up."""
+        """Per-category subtree aggregates, computed bottom-up.
+
+        The per-path *direct* aggregates (databases classified exactly at
+        a node, before the subtree fold) are kept on ``self._direct`` so
+        the incremental mutation API can refold a single category path
+        without touching the rest of the tree.
+        """
         direct: dict[tuple[str, ...], _Aggregate] = {}
         for name, path in self._classifications.items():
             aggregate = direct.get(path)
             if aggregate is None:
                 aggregate = direct[path] = self._new_aggregate()
             self._add_database(aggregate, name)
+        self._direct = direct
 
         aggregates: dict[tuple[str, ...], _Aggregate] = {}
 
@@ -230,6 +282,20 @@ class CategorySummaryBuilder:
     def classification(self, db_name: str) -> tuple[str, ...]:
         """The category path ``db_name`` is classified under."""
         return self._classifications[db_name]
+
+    def database_summaries(self) -> dict[str, ContentSummary]:
+        """Classified database summaries, in canonical fold order.
+
+        The returned dict iterates in classification insertion order — the
+        order :meth:`_build_aggregates` (and :meth:`_patch_path`) folds
+        floats in, so handing it to a fresh builder reproduces this
+        builder's aggregates bitwise.
+        """
+        return {name: self._summaries[name] for name in self._classifications}
+
+    def database_classifications(self) -> dict[str, tuple[str, ...]]:
+        """Category path of every classified database (insertion order)."""
+        return dict(self._classifications)
 
     def databases_under(self, path: tuple[str, ...]) -> list[str]:
         """db(C): names of databases classified at ``path`` or below."""
@@ -284,3 +350,133 @@ class CategorySummaryBuilder:
         """p(w|C0) of the dummy uniform category: 1 / |global vocabulary|."""
         vocabulary_size = int(self.global_ids().size)
         return 1.0 / vocabulary_size if vocabulary_size else 0.0
+
+    # -- incremental mutation (copy-on-write lifecycle) -----------------------
+
+    def copy_for_update(self) -> "CategorySummaryBuilder":
+        """A mutable clone sharing this builder's immutable pieces.
+
+        The clone shares the :class:`Vocabulary` instance, every
+        :class:`_Aggregate`, and every cached category summary by
+        reference; the dicts holding them are shallow-copied. The mutation
+        methods below replace entries in the clone's dicts rather than
+        mutating shared objects, so the original builder — and any
+        snapshot still serving from it — is never perturbed.
+        """
+        clone = type(self).__new__(type(self))
+        clone.weighting = self.weighting
+        clone.hierarchy = self.hierarchy
+        clone._summaries = dict(self._summaries)
+        clone._classifications = dict(self._classifications)
+        clone.vocab = self.vocab
+        clone._regimes = dict(self._regimes)
+        clone._direct = dict(self._direct)
+        clone._aggregates = dict(self._aggregates)
+        clone._summary_cache = dict(self._summary_cache)
+        return clone
+
+    def add_database(
+        self,
+        name: str,
+        summary: ContentSummary,
+        path: tuple[str, ...],
+    ) -> set[tuple[str, ...]]:
+        """Classify a new database and patch its category path.
+
+        ``summary`` must already live in this builder's vocabulary
+        instance (re-home it first — see the serving lifecycle); a foreign
+        vocabulary would make a later from-scratch rebuild intern a
+        different id order and break the bit-identity contract. Returns
+        the set of category paths whose aggregate actually changed.
+        """
+        if name in self._classifications:
+            raise ValueError(f"database {name!r} is already classified")
+        if summary.vocab is not self.vocab:
+            raise ValueError(
+                f"summary for {name!r} must share the builder vocabulary "
+                "(re-home it before adding)"
+            )
+        path = tuple(path)
+        if path not in self.hierarchy:
+            raise ValueError(f"{name!r} classified under unknown path {path}")
+        self._summaries[name] = summary
+        self._classifications[name] = path
+        self._regimes[name] = (
+            summary.regime_arrays("df"),
+            summary.regime_arrays("tf"),
+        )
+        return self._patch_path(path)
+
+    def remove_database(self, name: str) -> set[tuple[str, ...]]:
+        """Drop a database and patch its category path."""
+        if name not in self._classifications:
+            raise ValueError(f"unknown database {name!r}")
+        path = self._classifications.pop(name)
+        del self._summaries[name]
+        del self._regimes[name]
+        return self._patch_path(path)
+
+    def replace_database(
+        self, name: str, summary: ContentSummary
+    ) -> set[tuple[str, ...]]:
+        """Swap a database's summary in place (same classification)."""
+        if name not in self._classifications:
+            raise ValueError(f"unknown database {name!r}")
+        if summary.vocab is not self.vocab:
+            raise ValueError(
+                f"summary for {name!r} must share the builder vocabulary "
+                "(re-home it before replacing)"
+            )
+        self._summaries[name] = summary
+        self._regimes[name] = (
+            summary.regime_arrays("df"),
+            summary.regime_arrays("tf"),
+        )
+        return self._patch_path(self._classifications[name])
+
+    def _patch_path(self, path: tuple[str, ...]) -> set[tuple[str, ...]]:
+        """Refold the direct aggregate at ``path`` and its ancestor chain.
+
+        Bit-identity contract: the refolds replay exactly the fold order
+        of :meth:`_build_aggregates` on the *final* state — the direct
+        aggregate over members in classification insertion order, then
+        each chain node as own-direct plus children in child order —
+        while reusing the untouched sibling subtree aggregates, which are
+        bitwise what a from-scratch rebuild would recompute. Returns the
+        chain paths whose aggregate changed bitwise; unchanged nodes keep
+        their previous aggregate object (and cached summary), so summary
+        identity survives cancelling update sequences.
+        """
+        path = tuple(path)
+        members = [
+            name
+            for name, classified in self._classifications.items()
+            if classified == path
+        ]
+        if members:
+            direct = self._new_aggregate()
+            for name in members:
+                self._add_database(direct, name)
+            previous_direct = self._direct.get(path)
+            if previous_direct is not None and direct.same_as(previous_direct):
+                direct = previous_direct
+            self._direct[path] = direct
+        else:
+            self._direct.pop(path, None)
+
+        changed: set[tuple[str, ...]] = set()
+        chain = self.hierarchy.path_to_root(path)
+        for node in reversed(chain):
+            aggregate = self._new_aggregate()
+            own = self._direct.get(node.path)
+            if own is not None:
+                aggregate.add_aggregate(own)
+            for child in node.children:
+                aggregate.add_aggregate(self._aggregates[child.path])
+            previous = self._aggregates[node.path]
+            if aggregate.same_as(previous):
+                continue
+            self._aggregates[node.path] = aggregate
+            self._summary_cache.pop(node.path, None)
+            changed.add(node.path)
+        return changed

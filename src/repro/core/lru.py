@@ -11,6 +11,7 @@ least recently used entry.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -18,44 +19,55 @@ from typing import Any, Hashable
 class LruCache:
     """Bounded mapping with least-recently-used eviction.
 
-    Not thread-safe by itself; the serving layer guards shared instances
-    with a lock. ``maxsize <= 0`` disables caching entirely (every lookup
-    misses, every insert is dropped), which keeps callers branch-free.
+    Thread-safe: every operation holds a private lock, so instances can be
+    shared by the serving layer's handler threads without external
+    coordination (the lock is held only for the dict update, never across
+    any caller computation). ``maxsize <= 0`` disables caching entirely
+    (every lookup misses, every insert is dropped), which keeps callers
+    branch-free.
     """
 
-    __slots__ = ("maxsize", "_data")
+    __slots__ = ("maxsize", "_data", "_lock")
 
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = int(maxsize)
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value (refreshing its recency), or ``default``."""
-        try:
-            self._data.move_to_end(key)
-        except KeyError:
-            return default
-        return self._data[key]
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return default
+            return self._data[key]
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``key``, evicting the oldest entry beyond capacity."""
         if self.maxsize <= 0:
             return
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        data[key] = value
-        while len(data) > self.maxsize:
-            data.popitem(last=False)
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+            data[key] = value
+            while len(data) > self.maxsize:
+                data.popitem(last=False)
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self.put(key, value)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
         return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __repr__(self) -> str:
         return (

@@ -21,8 +21,9 @@ original mapping-based signature as a thin wrapper over the array core.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -285,11 +286,31 @@ def _mix_arrays(
     return ids, np.minimum(values, 1.0)
 
 
+def em_input_digest(columns: np.ndarray, config: ShrinkageConfig) -> tuple:
+    """A cache key identifying an EM problem exactly.
+
+    :func:`_em_core` is a pure function of its column matrix and config,
+    so two runs whose inputs digest identically produce bitwise-identical
+    lambdas. The serving lifecycle keys a lambda cache on this to skip EM
+    re-runs for databases whose mixture components survived an update
+    unchanged (and for cancelling op sequences that restore them).
+    """
+    return (
+        columns.shape,
+        hashlib.blake2b(
+            np.ascontiguousarray(columns).tobytes(), digest_size=16
+        ).hexdigest(),
+        config.epsilon,
+        config.max_iterations,
+    )
+
+
 def shrink_database_summary(
     db_name: str,
     db_summary: ContentSummary,
     builder: CategorySummaryBuilder,
     config: ShrinkageConfig | None = None,
+    em_cache: MutableMapping | None = None,
 ) -> ShrunkSummary:
     """Compute R(D) for one database (Definition 4 + Figure 2).
 
@@ -299,8 +320,12 @@ def shrink_database_summary(
     builder's shared vocabulary ids; the database summary is translated
     into that id space once per regime if it was built against a different
     vocabulary instance.
+
+    ``em_cache``, when given, memoizes lambdas by an exact digest of the
+    EM input columns (:func:`em_input_digest`); hits return the cached
+    lambdas without iterating — bitwise what EM would recompute.
     """
-    from repro.evaluation.instrument import span  # see note in _em_core
+    from repro.evaluation.instrument import count, span  # see _em_core note
 
     config = config or ShrinkageConfig()
     path_summaries = builder.exclusive_path_summaries(db_name)
@@ -325,7 +350,17 @@ def shrink_database_summary(
             for j, summary in enumerate(components, start=1):
                 columns[j] = summary.lookup_ids(ids, regime)
             columns[-1] = em_values
-            lambdas = _em_core(columns, config)
+            lambdas = None
+            digest = None
+            if em_cache is not None:
+                digest = em_input_digest(columns, config)
+                lambdas = em_cache.get(digest)
+                if lambdas is not None:
+                    count("em.cache_hit")
+            if lambdas is None:
+                lambdas = _em_core(columns, config)
+                if em_cache is not None:
+                    em_cache[digest] = lambdas
         regimes[regime] = (
             lambdas,
             _mix_arrays(
@@ -352,9 +387,12 @@ def shrink_all_summaries(
     builder: CategorySummaryBuilder,
     summaries: Mapping[str, ContentSummary],
     config: ShrinkageConfig | None = None,
+    em_cache: MutableMapping | None = None,
 ) -> dict[str, ShrunkSummary]:
     """R(D) for every database in ``summaries``."""
     return {
-        name: shrink_database_summary(name, summary, builder, config)
+        name: shrink_database_summary(
+            name, summary, builder, config, em_cache=em_cache
+        )
         for name, summary in summaries.items()
     }

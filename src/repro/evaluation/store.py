@@ -28,9 +28,9 @@ aggregate ``cache.*`` ones, records its latency in the
 trace collector is installed — emits a leaf span carrying the kind, byte
 count, and hit/miss outcome. The same traffic is accumulated across runs
 in a ``stats.json`` sidecar at the store root, which ``repro cache``
-reports; sidecar updates are best-effort read-modify-write (concurrent
-workers may drop increments, never corrupt the file) and ``clear()``
-resets them.
+reports; sidecar updates merge deltas under an ``fcntl`` file lock so
+concurrent ``--jobs`` workers cannot drop each other's increments, and
+``clear()`` resets them.
 """
 
 from __future__ import annotations
@@ -41,8 +41,14 @@ import hashlib
 import json
 import os
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from collections.abc import Mapping
+
+try:  # POSIX-only; the sidecar lock degrades to best-effort elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.core.vocab import Vocabulary
 from repro.evaluation.instrument import count, get_collector, get_instrumentation
@@ -57,8 +63,11 @@ from repro.summaries.io import (
     summary_to_dict,
 )
 
-#: Artifact kinds the store recognises, in pipeline order.
-ARTIFACT_KINDS = ("testbed", "samples", "summaries", "shrunk")
+#: Artifact kinds the store recognises, in pipeline order. ``lifecycle``
+#: holds serving-time update journals: the shrunk state reached by a
+#: sequence of live ``repro update`` operations, keyed by the base cell's
+#: shrunk fingerprint plus a digest of the op journal.
+ARTIFACT_KINDS = ("testbed", "samples", "summaries", "shrunk", "lifecycle")
 
 #: On-disk format version; bump on incompatible layout changes.
 STORE_VERSION = 1
@@ -420,24 +429,51 @@ class ArtifactStore:
                 }
         return totals
 
+    @contextmanager
+    def _stats_lock(self):
+        """An exclusive inter-process lock around sidecar updates.
+
+        The sidecar is a read-modify-write of shared totals; without the
+        lock, concurrent ``--jobs`` workers interleave their read and
+        write phases and silently drop each other's increments. A
+        dedicated lock file (never replaced, unlike the sidecar itself)
+        carries an ``fcntl.flock``; on platforms without ``fcntl`` the
+        update degrades to the old best-effort behaviour.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.root / f".{STATS_FILENAME}.lock"
+        with open(lock_path, "a+") as lock_file:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+
     def _record_traffic(self, kind: str, **increments: int) -> None:
-        """Fold increments into the sidecar (best-effort, never raises)."""
+        """Fold increments into the sidecar (best-effort, never raises).
+
+        The read-merge-write runs under :meth:`_stats_lock`, so deltas
+        from concurrent workers accumulate instead of racing.
+        """
         try:
-            totals = self.stats()
-            entry = totals.setdefault(
-                kind, {field: 0 for field in _STAT_FIELDS}
-            )
-            for field, amount in increments.items():
-                entry[field] = entry.get(field, 0) + int(amount)
             self.root.mkdir(parents=True, exist_ok=True)
-            tmp = self.stats_path.with_name(
-                f".{STATS_FILENAME}.tmp{os.getpid()}"
-            )
-            tmp.write_text(
-                json.dumps({"version": 1, "kinds": totals}, indent=0),
-                encoding="utf-8",
-            )
-            os.replace(tmp, self.stats_path)
+            with self._stats_lock():
+                totals = self.stats()
+                entry = totals.setdefault(
+                    kind, {field: 0 for field in _STAT_FIELDS}
+                )
+                for field, amount in increments.items():
+                    entry[field] = entry.get(field, 0) + int(amount)
+                tmp = self.stats_path.with_name(
+                    f".{STATS_FILENAME}.tmp{os.getpid()}"
+                )
+                tmp.write_text(
+                    json.dumps({"version": 1, "kinds": totals}, indent=0),
+                    encoding="utf-8",
+                )
+                os.replace(tmp, self.stats_path)
         except OSError:  # pragma: no cover - stats must never break caching
             pass
 

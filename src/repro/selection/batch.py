@@ -75,7 +75,11 @@ class SummarySetMatrix:
     mirroring :meth:`ShrunkSummary.scored_lookup`'s support mask.
     """
 
-    def __init__(self, summaries: Mapping[str, ContentSummary]) -> None:
+    def __init__(
+        self,
+        summaries: Mapping[str, ContentSummary],
+        previous: "SummarySetMatrix | None" = None,
+    ) -> None:
         if not summaries:
             raise UnsupportedSummarySet("empty summary set")
         names = sorted(summaries)
@@ -100,32 +104,74 @@ class SummarySetMatrix:
         self._present: np.ndarray | None = None
         self._cw: np.ndarray | None = None
         self._ids_cache = LruCache(_QUERY_IDS_CACHE_SIZE)
+        # Copy-on-write seed: rows whose summary *object* also appears in
+        # ``previous`` are copied from its dense arrays instead of being
+        # rebuilt (identical input object + identical per-row construction
+        # => bitwise-identical row). Only matrices over the same
+        # append-only vocabulary instance qualify; a narrower previous
+        # matrix is fine, its missing tail is the row default.
+        self._previous = (
+            previous
+            if previous is not None and previous.vocab is self.vocab
+            else None
+        )
+        self.reused_rows = 0
 
     def __len__(self) -> int:
         return len(self.names)
 
     # -- dense construction ---------------------------------------------------
 
+    def _previous_row(self, summary: ContentSummary) -> int | None:
+        """The row of ``summary`` (by identity) in the previous matrix."""
+        previous = self._previous
+        if previous is None:
+            return None
+        row = getattr(previous, "_row_index", None)
+        if row is None:
+            row = previous._row_index = {
+                id(s): index for index, s in enumerate(previous.summaries)
+            }
+        return row.get(id(summary))
+
+    def _build_row(
+        self, dense_row: np.ndarray, summary: ContentSummary, regime: str,
+        default: float,
+    ) -> None:
+        if default != 0.0:
+            dense_row.fill(default)
+            # Ids in the df support but without regime mass score 0,
+            # not the floor (ShrunkSummary's support mask).
+            dense_row[summary.regime_arrays("df")[0]] = 0.0
+        ids, values = summary.regime_arrays(regime)
+        positive = values > 0.0
+        if positive.all():
+            dense_row[ids] = values
+        else:
+            dense_row[ids[positive]] = values[positive]
+            if default == 0.0:
+                dense_row[ids[~positive]] = values[~positive]
+
     def _build(self, regime: str) -> None:
         n = len(self.summaries)
         dense = np.zeros((n, self._width), dtype=np.float64)
         defaults = np.zeros(n, dtype=np.float64)
+        previous = self._previous
+        previous_dense = (
+            previous._dense.get(regime) if previous is not None else None
+        )
         for row, summary in enumerate(self.summaries):
             default = _missing_probability(summary, regime)
             defaults[row] = default
-            if default != 0.0:
-                dense[row].fill(default)
-                # Ids in the df support but without regime mass score 0,
-                # not the floor (ShrunkSummary's support mask).
-                dense[row, summary.regime_arrays("df")[0]] = 0.0
-            ids, values = summary.regime_arrays(regime)
-            positive = values > 0.0
-            if positive.all():
-                dense[row, ids] = values
-            else:
-                dense[row, ids[positive]] = values[positive]
-                if default == 0.0:
-                    dense[row, ids[~positive]] = values[~positive]
+            if previous_dense is not None:
+                source = self._previous_row(summary)
+                if source is not None:
+                    if default != 0.0 and previous._width < self._width:
+                        dense[row, previous._width:] = default
+                    dense[row, : previous._width] = previous_dense[source]
+                    self.reused_rows += 1
+                    continue
+            self._build_row(dense[row], summary, regime, default)
         self._dense[regime] = dense
         self._defaults[regime] = defaults
 
@@ -242,11 +288,12 @@ class BatchSelectionEngine:
         scorer: DatabaseScorer,
         summaries: Mapping[str, ContentSummary],
         prepare: bool = True,
+        previous_matrix: SummarySetMatrix | None = None,
     ) -> None:
         if prepare:
             scorer.prepare(summaries)
         self.scorer = scorer
-        self.matrix = SummarySetMatrix(summaries)
+        self.matrix = SummarySetMatrix(summaries, previous=previous_matrix)
         self.names = self.matrix.names
 
     def score_arrays(
@@ -293,14 +340,16 @@ class AdaptiveBatchEngine:
         scorer: DatabaseScorer,
         sampled: Mapping[str, SampledSummary],
         shrunk: Mapping[str, ContentSummary],
+        previous_plain: SummarySetMatrix | None = None,
+        previous_shrunk: SummarySetMatrix | None = None,
     ) -> None:
         if set(sampled) != set(shrunk):
             raise UnsupportedSummarySet(
                 "sampled and shrunk sets name different databases"
             )
         self.scorer = scorer
-        self.plain = SummarySetMatrix(sampled)
-        self.shrunk = SummarySetMatrix(shrunk)
+        self.plain = SummarySetMatrix(sampled, previous=previous_plain)
+        self.shrunk = SummarySetMatrix(shrunk, previous=previous_shrunk)
         if self.plain.vocab is not self.shrunk.vocab:
             raise UnsupportedSummarySet(
                 "sampled and shrunk sets use different vocabularies"

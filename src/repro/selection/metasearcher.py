@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.adaptive import AdaptiveConfig, AdaptiveDecision, ScoreDistributionModel
 from repro.core.category import CategorySummaryBuilder
+from repro.core.lru import LruCache
 from repro.core.shrinkage import ShrinkageConfig, ShrunkSummary, shrink_all_summaries
 from repro.corpus.hierarchy import Hierarchy
 from repro.selection.base import DatabaseScorer, rank_databases
@@ -82,6 +83,12 @@ class SelectionOutcome:
 
 _ALGORITHMS = ("bgloss", "cori", "lm")
 
+#: Bound on each database's per-(scorer, word) moment cache. The key
+#: space includes out-of-vocabulary query words, so a long-running server
+#: facing a distinct-query stream needs the bound; in batch evaluation
+#: the workload's vocabulary rarely reaches it.
+MOMENT_CACHE_SIZE = 8192
+
 
 class Metasearcher:
     """Database selection over one set of sampled summaries."""
@@ -93,17 +100,22 @@ class Metasearcher:
         classifications: Mapping[str, tuple[str, ...]],
         shrinkage_config: ShrinkageConfig | None = None,
         adaptive_config: AdaptiveConfig | None = None,
+        builder: CategorySummaryBuilder | None = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.sampled_summaries = dict(sampled_summaries)
         self.classifications = dict(classifications)
         self.shrinkage_config = shrinkage_config or ShrinkageConfig()
         self.adaptive_config = adaptive_config or AdaptiveConfig()
-        self.builder = CategorySummaryBuilder(
+        #: ``builder`` lets the serving lifecycle hand over an
+        #: incrementally patched CategorySummaryBuilder instead of paying
+        #: a from-scratch aggregation; it must describe exactly the given
+        #: summaries/classifications.
+        self.builder = builder or CategorySummaryBuilder(
             hierarchy, self.sampled_summaries, self.classifications
         )
         self._shrunk: dict[str, ShrunkSummary] | None = None
-        self._moment_caches: dict[str, dict] = {}
+        self._moment_caches: dict[str, LruCache] = {}
         self._prepared_scorers: dict[tuple[str, str], DatabaseScorer] = {}
         #: Batched scoring is the default; ``use_batched = False`` forces
         #: the serial rank_databases path (the engines are bit-identical,
@@ -111,6 +123,29 @@ class Metasearcher:
         self.use_batched = True
         self._engines: dict[tuple[str, str], BatchSelectionEngine | None] = {}
         self._adaptive_engines: dict[str, AdaptiveBatchEngine | None] = {}
+        #: Copy-on-write seeds: previous-snapshot matrices engines may
+        #: reuse rows from (see :meth:`seed_matrices_from`).
+        self._matrix_seeds: dict[tuple, object] = {}
+
+    def seed_matrices_from(self, previous: "Metasearcher") -> None:
+        """Adopt a previous snapshot's score matrices as COW seeds.
+
+        Engines built later copy rows for summaries that are the *same
+        object* in both snapshots (bitwise-identical by construction)
+        instead of re-densifying them — the "prebuilt SummarySetMatrix
+        stacks" part of the snapshot contract.
+        """
+        for cache_key, engine in previous._engines.items():
+            if engine is not None:
+                self._matrix_seeds[cache_key] = engine.matrix
+        for algorithm, adaptive in previous._adaptive_engines.items():
+            if adaptive is not None:
+                self._matrix_seeds[("adaptive", algorithm, "plain")] = (
+                    adaptive.plain
+                )
+                self._matrix_seeds[("adaptive", algorithm, "shrunk")] = (
+                    adaptive.shrunk
+                )
 
     @property
     def shrunk_summaries(self) -> dict[str, ShrunkSummary]:
@@ -293,7 +328,10 @@ class Metasearcher:
                     databases=len(summaries),
                 ):
                     engine = BatchSelectionEngine(
-                        scorer, summaries, prepare=False
+                        scorer,
+                        summaries,
+                        prepare=False,
+                        previous_matrix=self._matrix_seeds.get(cache_key),
                     )
             except UnsupportedSummarySet:
                 engine = None
@@ -319,6 +357,12 @@ class Metasearcher:
                         self.make_scorer(algorithm),
                         self.sampled_summaries,
                         self.shrunk_summaries,
+                        previous_plain=self._matrix_seeds.get(
+                            ("adaptive", key, "plain")
+                        ),
+                        previous_shrunk=self._matrix_seeds.get(
+                            ("adaptive", key, "shrunk")
+                        ),
                     )
             except UnsupportedSummarySet:
                 engine = None
@@ -387,7 +431,11 @@ class Metasearcher:
                     f"adaptive decisions for {len(self.sampled_summaries)} "
                     f"databases exceeded the deadline after {len(decisions)}"
                 )
-            cache = self._moment_caches.setdefault(name, {})
+            cache = self._moment_caches.get(name)
+            if cache is None:
+                cache = self._moment_caches.setdefault(
+                    name, LruCache(MOMENT_CACHE_SIZE)
+                )
             model = ScoreDistributionModel(
                 sampled, self.adaptive_config, moment_cache=cache
             )

@@ -78,6 +78,28 @@ class ServingClient:
             payload["timeout_seconds"] = timeout_seconds
         return self._request("/select", payload)
 
+    def update(
+        self,
+        ops: Sequence[dict],
+        verify: bool = False,
+        timeout: float | None = None,
+    ) -> dict:
+        """Apply lifecycle operations via ``POST /admin/update``.
+
+        ``verify=True`` asks the server to check the hot-swapped cell
+        against a from-scratch rebuild (bit-identity) before answering —
+        much slower, so ``timeout`` can extend this one call's budget.
+        """
+        payload = {"ops": list(ops), "verify": verify}
+        if timeout is None:
+            return self._request("/admin/update", payload)
+        saved = self.timeout
+        self.timeout = timeout
+        try:
+            return self._request("/admin/update", payload)
+        finally:
+            self.timeout = saved
+
     def wait_until_ready(self, attempts: int = 50, delay: float = 0.2) -> dict:
         """Poll ``/healthz`` until the server answers (for CI startup).
 

@@ -1,0 +1,626 @@
+"""Dynamic database lifecycle for the serving path (DESIGN.md §5d).
+
+A long-running ``repro serve`` process faces a changing world: databases
+appear, disappear, or get resampled. Rebuilding the whole cell for every
+change would stall serving for seconds; this module applies changes
+*incrementally* and publishes them with a copy-on-write hot swap:
+
+* :class:`CellSnapshot` — an immutable bundle (metasearcher, prebuilt
+  score matrices, response cache) that serving threads read lock-free
+  through a single atomic reference. In-flight requests keep serving
+  from the snapshot they started on.
+* :class:`CellUpdater` — applies ``add`` / ``remove`` / ``replace`` /
+  ``resample`` / ``restore`` operations to a
+  :meth:`~repro.core.category.CategorySummaryBuilder.copy_for_update`
+  clone of the category builder, patching only the affected category
+  path, and re-runs the Figure-2 EM only for databases whose mixture
+  components actually changed. The resulting metasearcher seeds its
+  score matrices from the previous snapshot's, so unchanged rows are
+  copied, not re-densified.
+
+Bit-identity contract: the incrementally updated cell must be *bitwise*
+identical — shrunk probabilities, EM lambdas, scores, floors, selected
+flags — to a cell rebuilt from scratch over the final database set.
+:func:`verify_against_rebuild` checks exactly that; the contract holds
+because every incremental path replays the canonical computation (same
+fold order, same id space, same EM inputs) or reuses an object that is
+bitwise what the rebuild would recompute.
+
+What invalidates EM: structurally, *every* real update perturbs every
+database — any churn changes the root aggregate, hence the C0-exclusive
+component of every mixture. Shrunk-summary reuse therefore fires only
+when a database's whole ancestor chain survived bitwise (cancelling or
+idempotent op sequences); the second line of defence is an exact
+EM-input digest cache (:func:`repro.core.shrinkage.em_input_digest`),
+which skips EM re-runs whenever the column matrix recurs, and the third
+is the artifact store: the shrunk state reached by an op journal is
+persisted under the ``lifecycle`` kind, so replaying the same journal on
+the same base cell is a cache load, not an EM run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.category import CategorySummaryBuilder
+from repro.core.lru import LruCache
+from repro.core.shrinkage import ShrunkSummary, shrink_database_summary
+from repro.core.vocab import Vocabulary
+from repro.selection.metasearcher import Metasearcher
+from repro.summaries.io import summary_from_dict, summary_to_dict
+from repro.summaries.summary import ContentSummary, SampledSummary
+
+#: Bound on the updater's exact EM-input digest → lambdas cache.
+EM_CACHE_SIZE = 4096
+
+#: Operations :func:`canonical_op` accepts.
+_OP_KINDS = ("add", "remove", "replace", "resample", "restore")
+
+
+def rehome_summary(
+    summary: ContentSummary,
+    vocab: Vocabulary,
+    base: ContentSummary | None = None,
+) -> ContentSummary:
+    """``summary`` rebuilt over ``vocab`` (returned as-is when already there).
+
+    Incoming summaries — uploaded payloads, harness resamples, store
+    loads — arrive on their own vocabulary instance; the cell's builder
+    and matrices require its shared one. Translation preserves every
+    probability bitwise (ids are permuted and re-interned, values are
+    untouched) and, for :class:`SampledSummary`, carries the raw sample
+    statistics across (they are keyed by word strings, so they are
+    vocabulary-independent). ``base`` replaces a shrunk summary's base
+    object, letting a store-loaded R(D) point at the live sampled
+    summary.
+    """
+    if summary.vocab is vocab and base is None:
+        return summary
+    df = summary.regime_arrays("df", vocab)
+    tf = summary.regime_arrays("tf", vocab)
+    if isinstance(summary, ShrunkSummary):
+        return ShrunkSummary(
+            size=summary.size,
+            df_probs=df,
+            tf_probs=tf,
+            lambdas=summary.lambdas,
+            tf_lambdas=summary.tf_lambdas,
+            component_names=summary.component_names,
+            uniform_probability=summary.uniform_probability,
+            base=base if base is not None else rehome_summary(summary.base, vocab),
+            vocab=vocab,
+        )
+    if isinstance(summary, SampledSummary):
+        return SampledSummary(
+            size=summary.size,
+            df_probs=df,
+            tf_probs=tf,
+            sample_size=summary.sample_size,
+            sample_df=summary.sample_df,
+            alpha=summary.alpha,
+            sample_tf=summary.sample_tf,
+            vocab=vocab,
+        )
+    return ContentSummary(summary.size, df, tf, vocab=vocab)
+
+
+def canonical_op(op: Mapping) -> dict:
+    """Validate one raw update operation into its canonical journal form.
+
+    The canonical form is plain JSON data and *fully determines* the
+    operation's effect given the journal prefix before it — which is what
+    makes the (base cell, journal) pair a sound artifact-store key.
+    Raises ``ValueError`` on anything malformed (the HTTP layer maps that
+    to a 400).
+    """
+    if not isinstance(op, Mapping):
+        raise ValueError("each operation must be a JSON object")
+    kind = str(op.get("op", "")).lower()
+    if kind not in _OP_KINDS:
+        raise ValueError(f"unknown op {kind!r}; pick from {_OP_KINDS}")
+    name = op.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError('"name" must be a non-empty string')
+    canonical: dict = {"op": kind, "name": name}
+    if kind in ("remove", "restore"):
+        return canonical
+    if kind == "resample":
+        seed = op.get("seed", 1)
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise ValueError('"seed" must be a non-negative integer')
+        canonical["seed"] = seed
+        return canonical
+    # add / replace carry a standalone summary payload.
+    summary = op.get("summary")
+    if not isinstance(summary, Mapping):
+        raise ValueError(f'{kind} requires a "summary" payload object')
+    canonical["summary"] = dict(summary)
+    if kind == "add":
+        path = op.get("path")
+        if (
+            not isinstance(path, (list, tuple))
+            or not path
+            or not all(isinstance(part, str) for part in path)
+        ):
+            raise ValueError('add requires a non-empty "path" list of strings')
+        canonical["path"] = list(path)
+    return canonical
+
+
+def summary_payload(summary: ContentSummary) -> dict:
+    """A standalone (self-contained) payload for an ``add``/``replace`` op."""
+    return summary_to_dict(summary)
+
+
+def resample_database(
+    dataset: str,
+    sampler: str,
+    frequency_estimation: bool,
+    scale: str,
+    name: str,
+    seed: int,
+) -> SampledSummary:
+    """Re-run the sampling pipeline for one database with a fresh seed.
+
+    Mirrors :func:`repro.evaluation.harness.sample_one_database` exactly,
+    except the per-database RNG streams are extended with ``seed`` —
+    ``[stream, index, seed]`` instead of ``[stream, index]`` — so every
+    seed yields a distinct but fully deterministic sample, and ``seed``
+    alone (journaled) reproduces it on replay. The database keeps its
+    current classification: resampling refreshes the content summary, it
+    does not move the database in the hierarchy.
+    """
+    from repro.evaluation import harness
+    from repro.summaries.focused import FPSConfig, FPSSampler
+    from repro.summaries.frequency import (
+        build_estimated_summary,
+        build_raw_summary,
+    )
+    from repro.summaries.sampling import QBSSampler
+    from repro.summaries.size import sample_resample_size
+
+    profile = harness.SCALES[scale]
+    testbed = harness.get_testbed(dataset, scale)
+    index = next(
+        (i for i, db in enumerate(testbed.databases) if db.name == name),
+        None,
+    )
+    if index is None:
+        raise ValueError(f"no database named {name!r} in the {dataset} testbed")
+    db = testbed.databases[index]
+
+    if sampler == "qbs":
+        qbs = QBSSampler(profile.qbs)
+        seed_vocabulary = testbed.corpus_model.general_words(
+            profile.seed_vocabulary_size
+        )
+        rng = np.random.default_rng([harness.QBS_SEED_STREAM, index, seed])
+        sample = qbs.sample(db.engine, rng, seed_vocabulary)
+    else:
+        rules = harness.get_probe_rules(dataset, scale)
+        fps = FPSSampler(
+            rules,
+            FPSConfig(
+                docs_per_probe=profile.fps_docs_per_probe,
+                max_sample_docs=profile.fps_max_sample_docs,
+            ),
+        )
+        sample = fps.sample(db.engine).sample
+
+    rng = np.random.default_rng([harness.SIZE_SEED_STREAM, index, seed])
+    size = sample_resample_size(sample, db.engine, rng)
+    if frequency_estimation:
+        return build_estimated_summary(sample, size)
+    return build_raw_summary(sample, size)
+
+
+@dataclass(frozen=True)
+class CellSnapshot:
+    """One immutable, fully warmed serving state.
+
+    Serving threads read the current snapshot through a single attribute
+    load (atomic under the GIL) and then touch only this bundle for the
+    rest of the request — the metasearcher's engines and matrices were
+    built before publication and are never mutated afterwards, and the
+    response cache is per-snapshot, so a swap can never serve a stale
+    (pre-update) response for a post-update query.
+    """
+
+    version: int
+    metasearcher: Metasearcher
+    cache: LruCache
+    databases: tuple[str, ...]
+    created_at: float
+    build_seconds: float
+
+
+class CellUpdater:
+    """Applies lifecycle operations incrementally, producing new cells.
+
+    Owns the evolving builder chain: every :meth:`apply` clones the
+    current builder copy-on-write, patches the affected category paths,
+    recomputes only the shrunk summaries whose mixture inputs changed,
+    and returns a fresh :class:`~repro.selection.metasearcher.Metasearcher`
+    for the caller to wrap in a snapshot. Not thread-safe by itself —
+    the service serializes updates under its own updater lock.
+    """
+
+    def __init__(
+        self,
+        metasearcher: Metasearcher,
+        store=None,
+        base_config: Mapping | None = None,
+        harness_context: tuple[str, str, bool, str] | None = None,
+    ) -> None:
+        self._builder = metasearcher.builder
+        self._shrunk: dict[str, ShrunkSummary] = dict(
+            metasearcher.shrunk_summaries
+        )
+        self.hierarchy = metasearcher.hierarchy
+        self.shrinkage_config = metasearcher.shrinkage_config
+        self.adaptive_config = metasearcher.adaptive_config
+        #: Artifact store for lifecycle persistence (optional).
+        self.store = store
+        #: The base cell's shrunk-artifact configuration; with ``store``,
+        #: (base_config, journal) keys the persisted lifecycle states.
+        self.base_config = dict(base_config) if base_config is not None else None
+        #: (dataset, sampler, frequency_estimation, scale) when the cell
+        #: came from the harness; required for ``resample`` ops.
+        self.harness_context = harness_context
+        #: Canonical ops applied so far, in order.
+        self.journal: list[dict] = []
+        #: Exact EM-input digest → lambdas (see shrinkage.em_input_digest).
+        self.em_cache = LruCache(EM_CACHE_SIZE)
+        #: Summaries (and paths) of removed databases, for ``restore``.
+        self._removed: dict[str, tuple[ContentSummary, tuple[str, ...]]] = {}
+
+    # -- op application --------------------------------------------------------
+
+    def _materialize(self, op: dict, working: CategorySummaryBuilder):
+        """The re-homed summary an add/replace/resample op introduces."""
+        if op["op"] == "resample":
+            if self.harness_context is None:
+                raise ValueError(
+                    "resample requires a harness-backed service "
+                    "(this cell was not built through the harness)"
+                )
+            fresh = resample_database(
+                *self.harness_context, op["name"], op["seed"]
+            )
+        else:
+            fresh = summary_from_dict(op["summary"])
+        return rehome_summary(fresh, working.vocab)
+
+    def apply(
+        self,
+        ops: Sequence[Mapping],
+        previous: Metasearcher | None = None,
+    ) -> tuple[Metasearcher, dict]:
+        """Apply ``ops`` in order; returns (new metasearcher, info dict).
+
+        The current builder is never mutated — a failed op leaves the
+        updater (and every published snapshot) exactly as it was. On
+        success the updater advances to the new state and the returned
+        metasearcher carries the patched builder, the minimally
+        recomputed shrunk set, and (via ``previous``) copy-on-write
+        matrix seeds.
+        """
+        from repro.evaluation.instrument import count, span
+
+        ops = [canonical_op(op) for op in ops]
+        if not ops:
+            raise ValueError("update requires at least one operation")
+
+        working = self._builder.copy_for_update()
+        previous_summaries = self._builder.database_summaries()
+        uniform_before = self._builder.uniform_probability()
+        changed: set[tuple[str, ...]] = set()
+        removed_now: dict[str, tuple[ContentSummary, tuple[str, ...]]] = {}
+
+        with span("lifecycle.apply", ops=len(ops)):
+            for op in ops:
+                name = op["name"]
+                kind = op["op"]
+                if kind == "remove":
+                    try:
+                        path = working.classification(name)
+                    except KeyError:
+                        raise ValueError(
+                            f"cannot remove unknown database {name!r}"
+                        ) from None
+                    summary = working.database_summaries()[name]
+                    changed |= working.remove_database(name)
+                    removed_now[name] = (summary, path)
+                elif kind == "restore":
+                    record = removed_now.pop(name, None) or self._removed.get(name)
+                    if record is None:
+                        raise ValueError(
+                            f"cannot restore {name!r}: it was never removed"
+                        )
+                    summary, path = record
+                    changed |= working.add_database(name, summary, path)
+                elif kind == "add":
+                    summary = self._materialize(op, working)
+                    changed |= working.add_database(
+                        name, summary, tuple(op["path"])
+                    )
+                else:  # replace / resample
+                    summary = self._materialize(op, working)
+                    changed |= working.replace_database(name, summary)
+
+            summaries = working.database_summaries()
+            classifications = working.database_classifications()
+            journal = self.journal + ops
+
+            shrunk, reused, em_ran, cache_hit = self._recompute_shrunk(
+                working,
+                summaries,
+                classifications,
+                changed,
+                previous_summaries,
+                uniform_same=(
+                    working.uniform_probability() == uniform_before
+                ),
+                journal=journal,
+            )
+
+        metasearcher = Metasearcher(
+            self.hierarchy,
+            summaries,
+            classifications,
+            shrinkage_config=self.shrinkage_config,
+            adaptive_config=self.adaptive_config,
+            builder=working,
+        )
+        metasearcher.set_shrunk_summaries(shrunk)
+        if previous is not None:
+            metasearcher.seed_matrices_from(previous)
+
+        # Commit: only reached when every op (and the recompute) succeeded.
+        self._builder = working
+        self._shrunk = dict(shrunk)
+        self._removed.update(removed_now)
+        for name in list(self._removed):
+            if name in classifications:
+                del self._removed[name]
+        self.journal = journal
+
+        count("lifecycle.ops", len(ops))
+        count("lifecycle.shrunk_reused", reused)
+        count("lifecycle.em_recomputed", em_ran)
+        info = {
+            "ops": len(ops),
+            "databases": len(summaries),
+            "changed_paths": len(changed),
+            "shrunk_reused": reused,
+            "em_recomputed": em_ran,
+            "lifecycle_cache_hit": cache_hit,
+            "journal_length": len(journal),
+        }
+        return metasearcher, info
+
+    def _recompute_shrunk(
+        self,
+        working: CategorySummaryBuilder,
+        summaries: Mapping[str, ContentSummary],
+        classifications: Mapping[str, tuple[str, ...]],
+        changed: set[tuple[str, ...]],
+        previous_summaries: Mapping[str, ContentSummary],
+        uniform_same: bool,
+        journal: list[dict],
+    ) -> tuple[dict[str, ShrunkSummary], int, int, bool]:
+        """Post-op shrunk set: store replay, object reuse, or fresh EM.
+
+        A previous R(D) is reused wholesale only when every EM input is
+        the *same object or bitwise value* as before: the database's own
+        summary object survived, no aggregate on its ancestor chain
+        changed (root included, which also pins C0's uniform
+        probability). Everything else goes through
+        :func:`shrink_database_summary` with the exact digest cache.
+        """
+        from repro.evaluation import store as store_mod
+        from repro.evaluation.instrument import count
+
+        key = None
+        config = None
+        if self.store is not None and self.base_config is not None:
+            config = {
+                "artifact": "lifecycle",
+                "base": self.base_config,
+                "journal": journal,
+            }
+            key = store_mod.fingerprint(config)
+            loaded = self.store.load_artifact(
+                "lifecycle", key, store_mod.shrunk_from_payload
+            )
+            if loaded is not None and set(loaded) == set(summaries):
+                count("lifecycle.cache_hit")
+                shrunk = {
+                    name: rehome_summary(
+                        loaded[name], working.vocab, base=summaries[name]
+                    )
+                    for name in summaries
+                }
+                return shrunk, 0, 0, True
+
+        shrunk: dict[str, ShrunkSummary] = {}
+        reused = 0
+        em_ran = 0
+        for name, summary in summaries.items():
+            previous = self._shrunk.get(name)
+            if (
+                previous is not None
+                and uniform_same
+                and previous_is_reusable(
+                    previous,
+                    summary,
+                    previous_summaries.get(name),
+                    classifications[name],
+                    changed,
+                    self.hierarchy,
+                )
+            ):
+                shrunk[name] = previous
+                reused += 1
+                continue
+            shrunk[name] = shrink_database_summary(
+                name,
+                summary,
+                working,
+                self.shrinkage_config,
+                em_cache=self.em_cache,
+            )
+            em_ran += 1
+
+        if self.store is not None and key is not None:
+            self.store.save(
+                "lifecycle",
+                key,
+                store_mod.shrunk_to_payload(shrunk),
+                config=config,
+            )
+        return shrunk, reused, em_ran, False
+
+
+def previous_is_reusable(
+    previous: ShrunkSummary,
+    summary: ContentSummary,
+    summary_before: ContentSummary | None,
+    path: tuple[str, ...],
+    changed: set[tuple[str, ...]],
+    hierarchy,
+) -> bool:
+    """Whether a prior R(D) is bitwise what a rebuild would recompute.
+
+    True only when the database's summary is the same object as when
+    ``previous`` was computed *and* every aggregate on its ancestor
+    chain survived the update bitwise (``_patch_path`` keeps the
+    previous aggregate object — and its cached category summary — when
+    the refold lands on the same bits, so cancelling sequences get here).
+    """
+    if summary_before is not summary:
+        return False
+    if previous.base is not summary:
+        return False
+    return not any(node.path in changed for node in hierarchy.path_to_root(path))
+
+
+# -- verification ------------------------------------------------------------------
+
+_VERIFY_ALGORITHMS = ("bgloss", "cori", "lm")
+_VERIFY_STRATEGIES = ("plain", "universal", "shrinkage")
+
+
+def probe_queries(
+    metasearcher: Metasearcher, count: int = 6
+) -> list[list[str]]:
+    """Deterministic two-term probe queries spread over the cell's vocabulary."""
+    ids = metasearcher.builder.global_ids()
+    words = list(metasearcher.builder.vocab.words_of(ids))
+    if not words:
+        return [["empty"]]
+    queries = []
+    stride = max(len(words) // max(count, 1), 1)
+    for i in range(count):
+        first = words[(i * stride) % len(words)]
+        second = words[(i * stride + stride // 2 + 1) % len(words)]
+        queries.append([first, second])
+    queries.append([words[0], "lifecycle-oov-term"])
+    return queries
+
+
+def verify_against_rebuild(
+    metasearcher: Metasearcher,
+    queries: Sequence[Sequence[str]] | None = None,
+    k: int = 5,
+) -> dict:
+    """Compare an incrementally updated cell against a from-scratch rebuild.
+
+    Builds a fresh :class:`CategorySummaryBuilder` and
+    :class:`Metasearcher` over the *final* summaries/classifications
+    (same objects, same dict order, same vocabulary instance — the
+    canonical state the incremental path claims to have reached), runs
+    the full EM from scratch, and demands bitwise equality of every
+    shrunk probability array, every lambda, and every selection outcome
+    (scores, floors-driven selected flags) across algorithms and
+    strategies. Returns a report dict with ``verified`` plus the largest
+    lambda deviation observed (0.0 when bit-identical).
+    """
+    summaries = metasearcher.builder.database_summaries()
+    classifications = metasearcher.builder.database_classifications()
+    fresh = Metasearcher(
+        metasearcher.hierarchy,
+        summaries,
+        classifications,
+        shrinkage_config=metasearcher.shrinkage_config,
+        adaptive_config=metasearcher.adaptive_config,
+        builder=CategorySummaryBuilder(
+            metasearcher.hierarchy, summaries, classifications
+        ),
+    )
+
+    mismatches: list[str] = []
+    max_lambda_delta = 0.0
+    incremental = metasearcher.shrunk_summaries
+    rebuilt = fresh.shrunk_summaries
+    if set(incremental) != set(rebuilt):
+        mismatches.append("database sets differ")
+    for name in incremental:
+        if name not in rebuilt:
+            continue
+        a, b = incremental[name], rebuilt[name]
+        for mine, theirs in ((a.lambdas, b.lambdas), (a.tf_lambdas, b.tf_lambdas)):
+            if len(mine) != len(theirs):
+                mismatches.append(f"{name}: lambda arity")
+                continue
+            delta = max(
+                (abs(x - y) for x, y in zip(mine, theirs)), default=0.0
+            )
+            max_lambda_delta = max(max_lambda_delta, delta)
+            if delta != 0.0:
+                mismatches.append(f"{name}: lambdas differ by {delta:g}")
+        if a.uniform_probability != b.uniform_probability:
+            mismatches.append(f"{name}: uniform probability")
+        if a.size != b.size:
+            mismatches.append(f"{name}: size")
+        for regime in ("df", "tf"):
+            ids_a, values_a = a.regime_arrays(regime)
+            ids_b, values_b = b.regime_arrays(regime)
+            if not (
+                np.array_equal(ids_a, ids_b)
+                and np.array_equal(values_a, values_b)
+            ):
+                mismatches.append(f"{name}: {regime} probabilities")
+
+    if queries is None:
+        queries = probe_queries(metasearcher)
+    checked = 0
+    for query in queries:
+        for algorithm in _VERIFY_ALGORITHMS:
+            for strategy in _VERIFY_STRATEGIES:
+                ours = metasearcher.select(
+                    list(query), algorithm=algorithm, strategy=strategy, k=k
+                )
+                theirs = fresh.select(
+                    list(query), algorithm=algorithm, strategy=strategy, k=k
+                )
+                checked += 1
+                if ours.names != theirs.names:
+                    mismatches.append(
+                        f"{algorithm}/{strategy} {query}: selected sets differ"
+                    )
+                elif ours.scores != theirs.scores:
+                    mismatches.append(
+                        f"{algorithm}/{strategy} {query}: scores differ"
+                    )
+
+    return {
+        "verified": not mismatches,
+        "databases": len(incremental),
+        "max_lambda_delta": max_lambda_delta,
+        "selections_checked": checked,
+        "mismatches": mismatches[:10],
+    }

@@ -5,26 +5,42 @@ Endpoints (all JSON):
 * ``POST /select`` — body ``{"query": "breast cancer" | ["breast", ...],
   "algorithm": "cori", "strategy": "shrinkage", "k": 10}``; responds with
   the full ranking, the selected prefix, and degradation/caching flags.
-* ``GET /healthz`` — static service description; 200 once preloading is
-  done (the socket only starts listening after preload, so a successful
-  connect already implies readiness).
-* ``GET /stats`` — request counters and current bounded-cache sizes.
+  The handler captures the request's arrival instant before reading the
+  body, so the degradation deadline covers parse and queue time too.
+* ``POST /admin/update`` — body ``{"ops": [...], "verify": false}``;
+  applies lifecycle operations (add/remove/replace/resample/restore) and
+  hot-swaps the updated cell in. With ``"verify": true`` the response
+  carries a bit-identity report against a from-scratch rebuild.
+* ``GET /healthz`` — service description; 200 once preloading is done
+  (the socket only starts listening after preload, so a successful
+  connect already implies readiness). Lock-free: never queues behind
+  scoring or updates.
+* ``GET /stats`` — request counters and current bounded-cache sizes,
+  equally lock-free.
 
-``ThreadingHTTPServer`` gives one thread per connection; the service
-serializes scoring internally (see service.py), so handlers stay simple.
-No third-party web framework — the container's stdlib is the dependency
-budget.
+``ThreadingHTTPServer`` gives one thread per connection; the service's
+request path is lock-free over immutable snapshots (see service.py), so
+handlers stay simple. No third-party web framework — the container's
+stdlib is the dependency budget.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.serving.service import SelectionService, parse_request
+from repro.serving.service import (
+    SelectionService,
+    parse_request,
+    parse_update_request,
+)
 
-#: Cap on accepted request bodies; a select request is a few hundred bytes.
+#: Cap on accepted request bodies. A select request is a few hundred
+#: bytes; an admin update carrying a full summary payload can run to a
+#: few megabytes.
 MAX_BODY_BYTES = 1 << 20
+MAX_ADMIN_BODY_BYTES = 1 << 26
 
 
 class SelectionRequestHandler(BaseHTTPRequestHandler):
@@ -57,37 +73,63 @@ class SelectionRequestHandler(BaseHTTPRequestHandler):
         else:
             self._respond(404, {"error": f"unknown path {self.path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802
-        if self.path != "/select":
-            self._respond(404, {"error": f"unknown path {self.path!r}"})
-            return
+    def _read_body(self, limit: int) -> dict | None:
+        """The request's JSON body, or None after responding with an error."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
             self._respond(411, {"error": "invalid Content-Length"})
-            return
-        if length <= 0 or length > MAX_BODY_BYTES:
+            return None
+        if length <= 0 or length > limit:
             self._respond(413, {"error": "request body missing or too large"})
-            return
+            return None
         raw = self.rfile.read(length)
         try:
-            payload = json.loads(raw.decode("utf-8"))
-            kwargs = parse_request(payload)
+            return json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as error:
-            self.service.stats.errors += 1
+            self.service.stats.record_error()
             self._respond(400, {"error": str(error)})
-            return
-        try:
-            response = self.service.select(**kwargs)
-        except ValueError as error:
-            self.service.stats.errors += 1
-            self._respond(400, {"error": str(error)})
-            return
-        except Exception as error:  # pragma: no cover - defensive
-            self.service.stats.errors += 1
-            self._respond(500, {"error": f"{type(error).__name__}: {error}"})
-            return
-        self._respond(200, response)
+            return None
+
+    def do_POST(self) -> None:  # noqa: N802
+        # The degradation budget runs from here: time spent reading and
+        # parsing the body (or queued behind it) counts against the
+        # request, not silently on top of it.
+        arrival = time.monotonic()
+        if self.path == "/select":
+            payload = self._read_body(MAX_BODY_BYTES)
+            if payload is None:
+                return
+            try:
+                kwargs = parse_request(payload)
+                response = self.service.select(arrival=arrival, **kwargs)
+            except ValueError as error:
+                self.service.stats.record_error()
+                self._respond(400, {"error": str(error)})
+                return
+            except Exception as error:  # pragma: no cover - defensive
+                self.service.stats.record_error()
+                self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+                return
+            self._respond(200, response)
+        elif self.path == "/admin/update":
+            payload = self._read_body(MAX_ADMIN_BODY_BYTES)
+            if payload is None:
+                return
+            try:
+                kwargs = parse_update_request(payload)
+                response = self.service.apply_update(**kwargs)
+            except ValueError as error:
+                self.service.stats.record_error()
+                self._respond(400, {"error": str(error)})
+                return
+            except Exception as error:  # pragma: no cover - defensive
+                self.service.stats.record_error()
+                self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+                return
+            self._respond(200, response)
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
 
 
 def make_server(

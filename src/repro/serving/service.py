@@ -1,33 +1,42 @@
 """The in-process selection service behind ``repro serve``.
 
-Design constraints (DESIGN.md §5c):
+Design constraints (DESIGN.md §5c–§5d):
 
 * **Preload once, serve many.** The cell's sampled and shrunk summaries —
   and the batched score matrices stacked from them — are built (or loaded
   from the artifact store) at startup. A request never triggers testbed
   synthesis, sampling, or EM.
 * **Bounded memory.** Every per-query cache in the request path is a
-  bounded :class:`~repro.core.lru.LruCache`: the service's response
-  cache here, the resolved-query-id and per-query factor caches inside
-  the scorers and matrices. A stream of millions of distinct queries
-  holds steady-state memory flat.
+  bounded :class:`~repro.core.lru.LruCache`: the snapshot's response
+  cache here, the resolved-query-id, per-query factor, and per-database
+  moment caches inside the scorers, matrices, and adaptive models.
 * **Graceful degradation.** The adaptive strategy's per-database decision
   loop is the only per-query phase whose cost scales with the database
   count; when it exceeds the per-request budget, the request is re-served
-  from the plain batched path — one matrix pass, microseconds — and the
-  response is marked ``degraded`` so callers can tell.
-
-The service itself is synchronous and guarded by one lock: scoring is a
-few numpy passes over preloaded matrices, so requests are answered faster
-than handler threads can queue them, and the lock keeps the LRU caches
-and lazily-built matrices safe under the threading HTTP front end.
+  from the plain batched path and marked ``degraded``. The budget starts
+  at *request arrival* (the HTTP layer captures the arrival instant
+  before any parsing or queueing), so time spent waiting never silently
+  extends a request's deadline.
+* **Lock-free serving.** There is no lock on the request path. Scoring
+  reads an immutable :class:`~repro.serving.lifecycle.CellSnapshot`
+  through one atomic attribute load; every shared cache it touches is
+  internally synchronized. ``GET /healthz`` and ``GET /stats`` read the
+  snapshot reference and a small locked counter block — they stay fast
+  (sub-millisecond) no matter how saturated ``/select`` is.
+* **Copy-on-write hot swap.** ``POST /admin/update`` applies lifecycle
+  operations through a :class:`~repro.serving.lifecycle.CellUpdater`,
+  builds and warms a *new* snapshot off to the side, then publishes it
+  with a single reference swap. In-flight requests finish on the
+  snapshot they started with; no request ever observes a half-updated
+  cell. Updates are serialized by their own lock, which ``/select``
+  never takes.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
 from repro.core.lru import LruCache
@@ -35,6 +44,11 @@ from repro.selection.metasearcher import (
     Metasearcher,
     SelectionDeadlineExceeded,
     SelectionStrategy,
+)
+from repro.serving.lifecycle import (
+    CellSnapshot,
+    CellUpdater,
+    verify_against_rebuild,
 )
 
 _ALGORITHMS = ("bgloss", "cori", "lm")
@@ -52,30 +66,66 @@ class ServiceConfig:
     #: Default number of databases to return.
     default_k: int = 10
     #: Per-request budget in seconds before an adaptive request degrades
-    #: to plain scoring. ``None`` disables degradation.
+    #: to plain scoring. ``None`` disables degradation. The budget is
+    #: measured from request arrival, not from when scoring starts.
     request_timeout_seconds: float | None = 0.5
-    #: Bound on the (algorithm, strategy, query, k) response cache.
+    #: Bound on each snapshot's (algorithm, strategy, query, k) cache.
     response_cache_size: int = 1024
 
 
-@dataclass
 class ServiceStats:
-    """Mutable request counters (returned by ``GET /stats``)."""
+    """Request counters, updated under a private lock.
 
-    requests: int = 0
-    cache_hits: int = 0
-    degraded: int = 0
-    errors: int = 0
-    started_at: float = field(default_factory=time.time)
+    The lock guards only the integer bumps — it is never held across
+    scoring, I/O, or cache operations, so ``/stats`` and ``/healthz``
+    cannot be wedged behind a slow request the way the old whole-service
+    lock allowed. Attribute reads are plain (ints are swapped
+    atomically); :meth:`snapshot` takes the lock once for a consistent
+    cut.
+    """
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.cache_hits = 0
+        self.degraded = 0
+        self.errors = 0
+        self.swaps = 0
+        self.last_swap_seconds = 0.0
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self.cache_hits += 1
+
+    def record_degraded(self) -> None:
+        with self._lock:
+            self.degraded += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_swap(self, seconds: float) -> None:
+        with self._lock:
+            self.swaps += 1
+            self.last_swap_seconds = seconds
 
     def snapshot(self) -> dict:
-        return {
-            "requests": self.requests,
-            "cache_hits": self.cache_hits,
-            "degraded": self.degraded,
-            "errors": self.errors,
-            "uptime_seconds": time.time() - self.started_at,
-        }
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "degraded": self.degraded,
+                "errors": self.errors,
+                "swaps": self.swaps,
+                "last_swap_seconds": self.last_swap_seconds,
+                "uptime_seconds": time.time() - self.started_at,
+            }
 
 
 def normalize_query(query: str | Sequence[str]) -> tuple[str, ...]:
@@ -94,12 +144,38 @@ class SelectionService:
         self,
         metasearcher: Metasearcher,
         config: ServiceConfig | None = None,
+        store=None,
+        lifecycle_base: Mapping | None = None,
+        harness_context: tuple[str, str, bool, str] | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self.metasearcher = metasearcher
         self.stats = ServiceStats()
-        self._cache = LruCache(self.config.response_cache_size)
-        self._lock = threading.Lock()
+        self._snapshot = CellSnapshot(
+            version=1,
+            metasearcher=metasearcher,
+            cache=LruCache(self.config.response_cache_size),
+            databases=tuple(metasearcher.sampled_summaries),
+            created_at=time.time(),
+            build_seconds=0.0,
+        )
+        self._store = store
+        self._lifecycle_base = lifecycle_base
+        self._harness_context = harness_context
+        #: Built lazily on first update (constructing it materializes the
+        #: shrunk summaries, which plain-only services never need).
+        self._updater: CellUpdater | None = None
+        #: Serializes apply_update(); never taken on the request path.
+        self._update_lock = threading.Lock()
+
+    @property
+    def metasearcher(self) -> Metasearcher:
+        """The currently published snapshot's metasearcher."""
+        return self._snapshot.metasearcher
+
+    @property
+    def snapshot(self) -> CellSnapshot:
+        """The currently published snapshot (one atomic read)."""
+        return self._snapshot
 
     # -- construction ----------------------------------------------------------
 
@@ -110,7 +186,9 @@ class SelectionService:
         """Build a service by preloading a cell through the harness.
 
         Uses whatever harness configuration (artifact store, jobs) the
-        caller has applied; with a warm store this is load-only.
+        caller has applied; with a warm store this is load-only. The
+        harness's store and cell fingerprint are wired into the lifecycle
+        so live updates persist (and replay) through the same cache.
         """
         from repro.evaluation import harness
         from repro.evaluation.instrument import span
@@ -129,7 +207,23 @@ class SelectionService:
                 config.scale,
             )
             harness.ensure_shrunk(cell)
-            service = cls(cell.metasearcher, config)
+            service = cls(
+                cell.metasearcher,
+                config,
+                store=harness.get_config().store,
+                lifecycle_base=harness.lifecycle_base_config(
+                    config.dataset,
+                    config.sampler,
+                    config.frequency_estimation,
+                    config.scale,
+                ),
+                harness_context=(
+                    config.dataset,
+                    config.sampler,
+                    config.frequency_estimation,
+                    config.scale,
+                ),
+            )
             service.warmup()
         return service
 
@@ -138,11 +232,16 @@ class SelectionService:
 
         One throwaway query per (algorithm, strategy) forces scorer
         prepare, matrix stacking, and the dense-regime builds, so request
-        latency never includes one-time construction.
+        latency never includes one-time construction — and so the
+        lock-free request path never races a lazy engine build.
         """
+        self._warm(self._snapshot.metasearcher)
+
+    @staticmethod
+    def _warm(metasearcher: Metasearcher) -> None:
         for algorithm in _ALGORITHMS:
             for strategy in _STRATEGIES:
-                self.metasearcher.select(
+                metasearcher.select(
                     ["warmup"], algorithm=algorithm, strategy=strategy, k=1
                 )
 
@@ -155,14 +254,21 @@ class SelectionService:
         strategy: str = "shrinkage",
         k: int | None = None,
         timeout_seconds: float | None = None,
+        arrival: float | None = None,
     ) -> dict:
         """Answer one selection request as a JSON-ready dict.
 
-        Raises ``ValueError`` for malformed requests (unknown algorithm or
-        strategy, non-positive k) — the HTTP layer maps that to a 400.
+        ``arrival`` is the request's ``time.monotonic()`` arrival instant
+        (defaults to now, for in-process callers); the degradation
+        deadline is ``arrival + timeout``, so queue and parse time count
+        against the budget. Raises ``ValueError`` for malformed requests
+        (unknown algorithm or strategy, non-positive k) — the HTTP layer
+        maps that to a 400.
         """
         from repro.evaluation.instrument import get_instrumentation
 
+        if arrival is None:
+            arrival = time.monotonic()
         algorithm = str(algorithm).lower()
         strategy = str(strategy).lower()
         if algorithm not in _ALGORITHMS:
@@ -182,20 +288,22 @@ class SelectionService:
         if timeout_seconds is None:
             timeout_seconds = self.config.request_timeout_seconds
 
+        # One atomic snapshot read; the whole request runs against it even
+        # if an update publishes a newer snapshot mid-flight.
+        snapshot = self._snapshot
         start = time.perf_counter()
+        self.stats.record_request()
         cache_key = (algorithm, strategy, terms, k)
-        with self._lock:
-            self.stats.requests += 1
-            cached = self._cache.get(cache_key)
-            if cached is not None:
-                self.stats.cache_hits += 1
-                response = dict(cached)
-                response["cached"] = True
-                return response
-            response = self._compute(
-                terms, algorithm, strategy, k, timeout_seconds
-            )
-            self._cache.put(cache_key, response)
+        cached = snapshot.cache.get(cache_key)
+        if cached is not None:
+            self.stats.record_cache_hit()
+            response = dict(cached)
+            response["cached"] = True
+            return response
+        response = self._compute(
+            snapshot, terms, algorithm, strategy, k, timeout_seconds, arrival
+        )
+        snapshot.cache.put(cache_key, response)
         elapsed = time.perf_counter() - start
         instrumentation = get_instrumentation()
         instrumentation.count("serve.requests")
@@ -208,20 +316,20 @@ class SelectionService:
 
     def _compute(
         self,
+        snapshot: CellSnapshot,
         terms: tuple[str, ...],
         algorithm: str,
         strategy: str,
         k: int,
         timeout_seconds: float | None,
+        arrival: float,
     ) -> dict:
         degraded = False
         deadline = (
-            time.monotonic() + timeout_seconds
-            if timeout_seconds is not None
-            else None
+            arrival + timeout_seconds if timeout_seconds is not None else None
         )
         try:
-            outcome = self.metasearcher.select(
+            outcome = snapshot.metasearcher.select(
                 list(terms),
                 algorithm=algorithm,
                 strategy=strategy,
@@ -229,9 +337,9 @@ class SelectionService:
                 deadline=deadline,
             )
         except SelectionDeadlineExceeded:
-            self.stats.degraded += 1
+            self.stats.record_degraded()
             degraded = True
-            outcome = self.metasearcher.select(
+            outcome = snapshot.metasearcher.select(
                 list(terms),
                 algorithm=algorithm,
                 strategy=SelectionStrategy.PLAIN,
@@ -248,6 +356,7 @@ class SelectionService:
             "k": k,
             "degraded": degraded,
             "cached": False,
+            "snapshot_version": snapshot.version,
             "selected": list(outcome.names),
             "ranking": [
                 {
@@ -260,36 +369,111 @@ class SelectionService:
             "shrinkage_applications": outcome.shrinkage_applications,
         }
 
+    # -- lifecycle -------------------------------------------------------------
+
+    def apply_update(
+        self, ops: Sequence[Mapping], verify: bool = False
+    ) -> dict:
+        """Apply lifecycle operations and hot-swap in the updated cell.
+
+        Builds and warms the new snapshot entirely off the request path,
+        then publishes it with one atomic reference assignment; requests
+        in flight keep their old snapshot, later requests see the new
+        one. With ``verify=True`` the updated cell is additionally
+        compared — bit for bit — against a from-scratch rebuild before
+        publication, and the report is returned under ``"verification"``.
+        Updates are serialized; concurrent calls queue on the updater
+        lock. Raises ``ValueError`` on malformed or inapplicable ops
+        (state is untouched in that case).
+        """
+        from repro.evaluation.instrument import get_instrumentation, span
+
+        with self._update_lock:
+            previous = self._snapshot
+            if self._updater is None:
+                self._updater = CellUpdater(
+                    previous.metasearcher,
+                    store=self._store,
+                    base_config=self._lifecycle_base,
+                    harness_context=self._harness_context,
+                )
+            start = time.perf_counter()
+            metasearcher, info = self._updater.apply(
+                ops, previous=previous.metasearcher
+            )
+            with span("lifecycle.warm", version=previous.version + 1):
+                self._warm(metasearcher)
+            build_seconds = time.perf_counter() - start
+            result = dict(info)
+            if verify:
+                with span("lifecycle.verify"):
+                    result["verification"] = verify_against_rebuild(
+                        metasearcher
+                    )
+            swap_start = time.perf_counter()
+            snapshot = CellSnapshot(
+                version=previous.version + 1,
+                metasearcher=metasearcher,
+                cache=LruCache(self.config.response_cache_size),
+                databases=tuple(metasearcher.sampled_summaries),
+                created_at=time.time(),
+                build_seconds=build_seconds,
+            )
+            self._snapshot = snapshot  # the hot swap: one atomic store
+            swap_seconds = time.perf_counter() - swap_start
+            self.stats.record_swap(build_seconds)
+            instrumentation = get_instrumentation()
+            instrumentation.count("lifecycle.swaps")
+            instrumentation.observe("lifecycle.build_seconds", build_seconds)
+            result.update(
+                {
+                    "snapshot_version": snapshot.version,
+                    "build_seconds": build_seconds,
+                    "swap_seconds": swap_seconds,
+                    "databases": len(snapshot.databases),
+                }
+            )
+            return result
+
     # -- introspection ---------------------------------------------------------
 
     def cache_sizes(self) -> dict[str, int]:
         """Current sizes of every bounded cache on the request path."""
-        sizes = {"responses": len(self._cache)}
-        for key, scorer in self.metasearcher._prepared_scorers.items():
+        snapshot = self._snapshot
+        sizes = {"responses": len(snapshot.cache)}
+        for key, scorer in snapshot.metasearcher._prepared_scorers.items():
             cache = getattr(scorer, "_query_ids_cache", None)
             if cache is not None:
                 sizes[f"query_ids.{key[0]}.{key[1]}"] = len(cache)
         return sizes
 
     def describe(self) -> dict:
-        """Static service description (returned by ``GET /healthz``)."""
+        """Service description (returned by ``GET /healthz``), lock-free."""
+        snapshot = self._snapshot
         return {
             "status": "ok",
             "dataset": self.config.dataset,
             "sampler": self.config.sampler,
             "frequency_estimation": self.config.frequency_estimation,
             "scale": self.config.scale,
-            "databases": len(self.metasearcher.sampled_summaries),
+            "databases": len(snapshot.databases),
+            "snapshot_version": snapshot.version,
             "algorithms": list(_ALGORITHMS),
             "strategies": list(_STRATEGIES),
         }
 
     def stats_snapshot(self) -> dict:
-        with self._lock:
-            snapshot = self.stats.snapshot()
-            snapshot["cache_sizes"] = self.cache_sizes()
-            snapshot["response_cache_maxsize"] = self._cache.maxsize
-        return snapshot
+        """Counters and cache sizes (``GET /stats``), lock-free.
+
+        Reads the published snapshot reference and the stats counters
+        (each internally consistent); it never waits on scoring.
+        """
+        snapshot = self._snapshot
+        result = self.stats.snapshot()
+        result["snapshot_version"] = snapshot.version
+        result["cache_sizes"] = self.cache_sizes()
+        result["response_cache_maxsize"] = snapshot.cache.maxsize
+        return result
 
 
 def parse_request(payload: Mapping) -> dict:
@@ -319,3 +503,16 @@ def parse_request(payload: Mapping) -> dict:
         except (TypeError, ValueError) as error:
             raise ValueError('"timeout_seconds" must be a number') from error
     return kwargs
+
+
+def parse_update_request(payload: Mapping) -> dict:
+    """Validate a raw /admin/update JSON payload into apply_update args."""
+    if not isinstance(payload, Mapping):
+        raise ValueError("request body must be a JSON object")
+    ops = payload.get("ops")
+    if not isinstance(ops, list) or not ops:
+        raise ValueError('"ops" must be a non-empty list of operations')
+    verify = payload.get("verify", False)
+    if not isinstance(verify, bool):
+        raise ValueError('"verify" must be a boolean')
+    return {"ops": ops, "verify": verify}
