@@ -284,25 +284,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.trajectory:
         out = sys.stderr if json_mode else sys.stdout
-        previous = trajectory_mod.latest_comparable(
-            trajectory_mod.load_records(args.trajectory), context
-        )
-        total = trajectory_mod.append_record(args.trajectory, record)
-        print(
-            f"trajectory: appended record {total} to {args.trajectory}",
-            file=out,
-        )
-        if previous is None:
-            print("trajectory: no previous comparable record", file=out)
-        else:
-            warnings = trajectory_mod.compare_records(previous, record)
-            for warning in warnings:
-                print(f"trajectory: WARNING {warning}", file=out)
-            if not warnings:
-                print(
-                    "trajectory: no regressions vs previous comparable record",
-                    file=out,
-                )
+        trajectory_mod.append_and_compare(args.trajectory, record, out=out)
     return 0
 
 
@@ -333,14 +315,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     service = SelectionService.from_harness(_service_config(args))
+    endpoints = "POST /select, POST /admin/update, GET /healthz, GET /stats"
+    databases = len(service.metasearcher.sampled_summaries)
+
+    if args.workers > 1:
+        import signal
+        import time
+
+        from repro.serving.workers import WorkerPool, fork_available
+
+        if not fork_available():
+            print("serve: --workers requires a platform with os.fork")
+            return 2
+        pool = WorkerPool(
+            service,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            verbose=args.verbose,
+            reuseport=args.reuseport,
+        )
+        pool.start()
+        # SIGTERM must unwind through the finally below — the default
+        # handling would skip pool.shutdown() and strand /dev/shm
+        # segments until reboot.
+        signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+        print(
+            f"serve: ready on {pool.url} "
+            f"({databases} databases; {args.workers} workers, "
+            f"pids {pool.worker_pids}; {endpoints})",
+            flush=True,
+        )
+        try:
+            while True:
+                time.sleep(1.0)
+        except (KeyboardInterrupt, SystemExit):
+            print("serve: shutting down", flush=True)
+        finally:
+            pool.shutdown()
+        return 0
+
     server = make_server(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
     host, port = server.server_address[:2]
     print(
         f"serve: ready on http://{host}:{port} "
-        f"({len(service.metasearcher.sampled_summaries)} databases; "
-        f"POST /select, POST /admin/update, GET /healthz, GET /stats)",
+        f"({databases} databases; {endpoints})",
         flush=True,
     )
     try:
@@ -473,77 +494,99 @@ def _cmd_update(args: argparse.Namespace) -> int:
             for key, value in response.items()
             if isinstance(value, (int, float)) and not isinstance(value, bool)
         }
-        previous = trajectory_mod.latest_comparable(
-            trajectory_mod.load_records(args.trajectory), context
-        )
-        total = trajectory_mod.append_record(args.trajectory, record)
-        print(f"trajectory: appended record {total} to {args.trajectory}")
-        if previous is not None:
-            warnings = trajectory_mod.compare_records(previous, record)
-            for warning in warnings:
-                print(f"trajectory: WARNING {warning}")
-            if not warnings:
-                print(
-                    "trajectory: no regressions vs previous comparable record"
-                )
+        trajectory_mod.append_and_compare(args.trajectory, record)
     if verification is not None and not verification["verified"]:
         return 1
     return 0
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
-    import time
+    import os
 
     from repro.evaluation import trajectory as trajectory_mod
     from repro.evaluation.instrument import get_instrumentation
     from repro.serving import loadgen
 
-    start = time.perf_counter()
-    if args.url:
-        from repro.serving.client import ServingClient
+    pool = None
+    vocabulary = None
+    try:
+        if args.url:
+            from repro.serving.client import ServingClient
 
-        client = ServingClient(args.url, timeout=args.timeout)
-        client.wait_until_ready()
-        health = client.healthz()
-        vocabulary = None
-        select = (
-            lambda terms, algorithm, strategy, k: client.select(
-                terms, algorithm=algorithm, strategy=strategy, k=k
+            client = ServingClient(args.url, timeout=args.timeout)
+            client.wait_until_ready()
+            health = client.healthz()
+            select = (
+                lambda terms, algorithm, strategy, k: client.select(
+                    terms, algorithm=algorithm, strategy=strategy, k=k
+                )
             )
-        )
-        label = args.url
-        databases = health.get("databases", 0)
-    else:
-        from repro.serving.service import SelectionService
+            label = args.url
+            databases = health.get("databases", 0)
+        elif args.workers > 0:
+            # Boot a worker pool right here and drive it over HTTP — the
+            # one-command way to record per-worker-count serve-load
+            # trajectory points (workers=1 measures the same HTTP path,
+            # so the 1-vs-N comparison isolates the worker count).
+            from repro.serving.client import ServingClient
+            from repro.serving.service import SelectionService
+            from repro.serving.workers import WorkerPool
 
-        _configure_harness(args)
-        service = SelectionService.from_harness(_service_config(args))
-        vocabulary = loadgen.service_vocabulary(service)
-        select = (
-            lambda terms, algorithm, strategy, k: service.select(
-                terms, algorithm=algorithm, strategy=strategy, k=k
+            _configure_harness(args)
+            service = SelectionService.from_harness(_service_config(args))
+            pool = WorkerPool(service, workers=args.workers)
+            pool.start()
+            client = ServingClient(pool.url, timeout=args.timeout)
+            vocabulary = loadgen.service_vocabulary(service)
+            select = (
+                lambda terms, algorithm, strategy, k: client.select(
+                    terms, algorithm=algorithm, strategy=strategy, k=k
+                )
             )
+            label = f"{pool.url} ({args.workers} workers)"
+            databases = len(service.metasearcher.sampled_summaries)
+        else:
+            from repro.serving.service import SelectionService
+
+            _configure_harness(args)
+            service = SelectionService.from_harness(_service_config(args))
+            vocabulary = loadgen.service_vocabulary(service)
+            select = (
+                lambda terms, algorithm, strategy, k: service.select(
+                    terms, algorithm=algorithm, strategy=strategy, k=k
+                )
+            )
+            label = "in-process"
+            databases = len(service.metasearcher.sampled_summaries)
+        if vocabulary is None:
+            # Remote server: generate from generic word shapes; the OOV
+            # and serial markers keep the stream distinct either way.
+            vocabulary = [f"word{i:04d}" for i in range(500)]
+        queries = loadgen.generate_queries(
+            vocabulary, args.requests, seed=args.seed
         )
-        label = "in-process"
-        databases = len(service.metasearcher.sampled_summaries)
-    if vocabulary is None:
-        # Remote server: generate from generic word shapes; the OOV and
-        # serial markers keep the stream distinct either way.
-        vocabulary = [f"word{i:04d}" for i in range(500)]
-    queries = loadgen.generate_queries(
-        vocabulary, args.requests, seed=args.seed
-    )
-    summary = loadgen.run_load(
-        select, queries, args.algorithm, args.strategy, args.k
-    )
-    wall = time.perf_counter() - start
+        summary = loadgen.run_load(
+            select,
+            queries,
+            args.algorithm,
+            args.strategy,
+            args.k,
+            concurrency=args.concurrency,
+        )
+    finally:
+        if pool is not None:
+            pool.shutdown()
     print(f"target: {label} ({databases} databases)")
     print(loadgen.format_summary(summary))
 
     if args.trajectory:
         context = {
             "kind": "serve-load",
-            "target": "http" if args.url else "in-process",
+            "target": "http" if args.url else (
+                "workers" if args.workers > 0 else "in-process"
+            ),
+            "workers": args.workers if not args.url else 0,
+            "concurrency": args.concurrency,
             "dataset": args.dataset,
             "sampler": args.sampler,
             "frequency_estimation": args.freq_est,
@@ -553,27 +596,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "requests": args.requests,
             "k": args.k,
         }
-        record = trajectory_mod.build_record(context, wall)
+        # The record's wall is the *load* wall — service preload and
+        # worker boot happen before run_load's clock starts, so the
+        # trajectory tracks serving throughput, not startup cost.
+        record = trajectory_mod.build_record(context, summary["wall_seconds"])
         record["load"] = {
             key: value
             for key, value in summary.items()
             if isinstance(value, (int, float))
         }
-        previous = trajectory_mod.latest_comparable(
-            trajectory_mod.load_records(args.trajectory), context
-        )
-        total = trajectory_mod.append_record(args.trajectory, record)
-        print(f"trajectory: appended record {total} to {args.trajectory}")
-        if previous is None:
-            print("trajectory: no previous comparable record")
-        else:
-            warnings = trajectory_mod.compare_records(previous, record)
-            for warning in warnings:
-                print(f"trajectory: WARNING {warning}")
-            if not warnings:
-                print(
-                    "trajectory: no regressions vs previous comparable record"
-                )
+        try:
+            record["load"]["cores"] = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            record["load"]["cores"] = os.cpu_count() or 1
+        trajectory_mod.append_and_compare(args.trajectory, record)
     # Keep the histograms visible when tracing is active.
     report = get_instrumentation().report()
     if "serve.request_seconds" in report:
@@ -746,6 +782,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on the response LRU cache",
     )
     serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="serve from N forked worker processes sharing one "
+        "shared-memory snapshot (1 = classic single process)",
+    )
+    serve.add_argument(
+        "--reuseport", action="store_true",
+        help="give each worker its own SO_REUSEPORT acceptor instead of "
+        "one shared listening socket",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     serve.set_defaults(handler=_cmd_serve)
@@ -844,6 +890,16 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--k", type=int, default=10)
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--timeout", type=float, default=10.0)
+    loadgen.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="boot an N-worker pool in this process and load it over "
+        "HTTP (0 = call the service in-process; ignored with --url)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=1, metavar="N",
+        help="issue queries from N client threads (needed to saturate "
+        "a multi-worker server)",
+    )
     loadgen.add_argument(
         "--request-timeout", type=float, default=0.5, metavar="SECONDS",
         help="per-request degradation budget for the in-process service",

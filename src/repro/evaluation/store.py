@@ -45,10 +45,14 @@ from contextlib import contextmanager
 from pathlib import Path
 from collections.abc import Mapping
 
-try:  # POSIX-only; the sidecar lock degrades to best-effort elsewhere.
+try:  # POSIX file locking for the stats sidecar.
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
+try:  # Windows file locking, the fcntl stand-in there.
+    import msvcrt
+except ImportError:  # pragma: no cover - POSIX platforms
+    msvcrt = None
 
 from repro.core.vocab import Vocabulary
 from repro.evaluation.instrument import count, get_collector, get_instrumentation
@@ -300,7 +304,11 @@ class ArtifactStore:
     """Gzip-JSON artifact cache rooted at one directory."""
 
     def __init__(self, root: str | Path) -> None:
+        import threading
+
         self.root = Path(root)
+        #: In-process half of the sidecar lock (see ``_stats_lock``).
+        self._stats_thread_lock = threading.Lock()
 
     def __repr__(self) -> str:
         return f"ArtifactStore(root={str(self.root)!r})"
@@ -437,19 +445,33 @@ class ArtifactStore:
         lock, concurrent ``--jobs`` workers interleave their read and
         write phases and silently drop each other's increments. A
         dedicated lock file (never replaced, unlike the sidecar itself)
-        carries an ``fcntl.flock``; on platforms without ``fcntl`` the
-        update degrades to the old best-effort behaviour.
+        carries the exclusion: ``fcntl.flock`` on POSIX,
+        ``msvcrt.locking`` on Windows. With neither available the lock
+        degrades to an in-process ``threading.Lock`` — threads within one
+        process still serialize; only cross-process exclusion is lost,
+        matching what such a platform can express with the stdlib.
         """
-        if fcntl is None:
-            yield
-            return
-        lock_path = self.root / f".{STATS_FILENAME}.lock"
-        with open(lock_path, "a+") as lock_file:
-            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
-            try:
+        with self._stats_thread_lock:
+            if fcntl is None and msvcrt is None:
                 yield
-            finally:
-                fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+                return
+            lock_path = self.root / f".{STATS_FILENAME}.lock"
+            with open(lock_path, "a+") as lock_file:
+                if fcntl is not None:
+                    fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+                else:  # pragma: no cover - exercised on Windows only
+                    lock_file.seek(0)
+                    msvcrt.locking(lock_file.fileno(), msvcrt.LK_LOCK, 1)
+                try:
+                    yield
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+                    else:  # pragma: no cover - Windows only
+                        lock_file.seek(0)
+                        msvcrt.locking(
+                            lock_file.fileno(), msvcrt.LK_UNLCK, 1
+                        )
 
     def _record_traffic(self, kind: str, **increments: int) -> None:
         """Fold increments into the sidecar (best-effort, never raises).

@@ -114,6 +114,39 @@ def latest_comparable(records: list[dict], context: dict) -> dict | None:
     return None
 
 
+def append_and_compare(
+    path: str | Path,
+    record: dict,
+    out=None,
+) -> list[str]:
+    """Append ``record`` and print the warn-only comparison verdict.
+
+    The shared tail of every ``--trajectory`` CLI flow: find the previous
+    record with the same context, append the new one, and report — to
+    ``out`` (default stdout) — the append position plus either the
+    regression warnings or an all-clear line. Returns the warnings so
+    callers can branch on them if they ever want to.
+    """
+    import sys
+
+    out = out if out is not None else sys.stdout
+    previous = latest_comparable(load_records(path), record["context"])
+    total = append_record(path, record)
+    print(f"trajectory: appended record {total} to {path}", file=out)
+    if previous is None:
+        print("trajectory: no previous comparable record", file=out)
+        return []
+    warnings = compare_records(previous, record)
+    for warning in warnings:
+        print(f"trajectory: WARNING {warning}", file=out)
+    if not warnings:
+        print(
+            "trajectory: no regressions vs previous comparable record",
+            file=out,
+        )
+    return warnings
+
+
 def compare_records(
     previous: dict,
     current: dict,

@@ -181,6 +181,79 @@ class SummarySetMatrix:
             self._build(regime)
         return self._dense[regime]
 
+    # -- external-buffer (de)materialization ----------------------------------
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """Every *built* backing array, keyed by field name.
+
+        Keys: ``dense.<regime>`` / ``defaults.<regime>`` for each regime
+        densified so far, plus ``present`` and ``cw`` when those lazies
+        have fired. Only what is already built is exported — a snapshot
+        shares exactly the buffers its warmup traffic touched; anything
+        else stays lazy (and is rebuilt locally, bit-identically, on
+        demand by whoever adopts the export).
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for regime, dense in self._dense.items():
+            arrays[f"dense.{regime}"] = dense
+            arrays[f"defaults.{regime}"] = self._defaults[regime]
+        if self._present is not None:
+            arrays["present"] = self._present
+        if self._cw is not None:
+            arrays["cw"] = self._cw
+        return arrays
+
+    def adopt_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Install externally materialized backing arrays (zero-copy).
+
+        The inverse of :meth:`export_arrays`: the given buffers — e.g.
+        numpy views over a shared-memory segment — replace (or pre-empt)
+        the locally densified ones, so :meth:`dense`, :meth:`present`,
+        and :meth:`cw` serve from them without ever allocating. Shapes
+        and dtypes are validated against this matrix's geometry; a
+        mismatched buffer (wrong database count or a vocabulary that
+        grew past the exporter's) raises ``ValueError`` rather than
+        silently mis-scoring.
+        """
+        n = len(self.summaries)
+        for key, array in arrays.items():
+            field, _, regime = key.partition(".")
+            if field == "dense":
+                if array.shape != (n, self._width) or array.dtype != np.float64:
+                    raise ValueError(
+                        f"{key}: expected float64 {(n, self._width)}, "
+                        f"got {array.dtype} {array.shape}"
+                    )
+                self._dense[regime] = array
+            elif field == "defaults":
+                if array.shape != (n,) or array.dtype != np.float64:
+                    raise ValueError(
+                        f"{key}: expected float64 {(n,)}, "
+                        f"got {array.dtype} {array.shape}"
+                    )
+                self._defaults[regime] = array
+            elif field == "present":
+                if array.shape != (n, self._width) or array.dtype != np.bool_:
+                    raise ValueError(
+                        f"{key}: expected bool {(n, self._width)}, "
+                        f"got {array.dtype} {array.shape}"
+                    )
+                self._present = array
+            elif field == "cw":
+                if array.shape != (n,) or array.dtype != np.float64:
+                    raise ValueError(
+                        f"{key}: expected float64 {(n,)}, "
+                        f"got {array.dtype} {array.shape}"
+                    )
+                self._cw = array
+            else:
+                raise ValueError(f"unknown matrix array field {key!r}")
+        for regime in self._dense:
+            if regime not in self._defaults:
+                raise ValueError(
+                    f"dense.{regime} adopted without defaults.{regime}"
+                )
+
     # -- query resolution and gathering ---------------------------------------
 
     def query_ids(self, query_terms: Sequence[str]) -> np.ndarray:

@@ -147,6 +147,41 @@ class Metasearcher:
                     adaptive.shrunk
                 )
 
+    def ensure_engines(self) -> None:
+        """Construct every batched engine without issuing a query.
+
+        Engine construction is cheap (name sort + size stack); the heavy
+        dense matrices stay lazy. Callers that want to install external
+        buffers (shared-memory views, see :mod:`repro.serving.shm`) call
+        this first so the matrices exist to adopt into, *before* any
+        select densifies them locally.
+        """
+        for algorithm in _ALGORITHMS:
+            self._batched_engine(algorithm, "plain", self.sampled_summaries)
+            self._batched_engine(
+                algorithm, "universal", self.shrunk_summaries
+            )
+            self._adaptive_engine(algorithm)
+
+    def engine_matrices(self) -> dict[str, "object"]:
+        """Every live score matrix, keyed by its stable snapshot role.
+
+        Keys are ``engine:<algorithm>:<set>`` for the fixed-set engines
+        and ``adaptive:<algorithm>:plain|shrunk`` for the mixed-set pair —
+        the naming the shared-memory manifest uses, stable across
+        processes because it derives only from (algorithm, summary-set)
+        identity, never from object ids.
+        """
+        matrices: dict[str, object] = {}
+        for (algorithm, key), engine in self._engines.items():
+            if engine is not None:
+                matrices[f"engine:{algorithm}:{key}"] = engine.matrix
+        for algorithm, engine in self._adaptive_engines.items():
+            if engine is not None:
+                matrices[f"adaptive:{algorithm}:plain"] = engine.plain
+                matrices[f"adaptive:{algorithm}:shrunk"] = engine.shrunk
+        return matrices
+
     @property
     def shrunk_summaries(self) -> dict[str, ShrunkSummary]:
         """R(D) for every database (computed once, then cached)."""

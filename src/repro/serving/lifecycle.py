@@ -235,6 +235,21 @@ class CellSnapshot:
     databases: tuple[str, ...]
     created_at: float
     build_seconds: float
+    #: Shared-memory manifest for this snapshot's score-matrix segment
+    #: (multi-worker serving, see :mod:`repro.serving.shm`); ``None``
+    #: when the snapshot's matrices live in ordinary process memory.
+    shm_manifest: Mapping | None = None
+
+    @property
+    def epoch(self) -> int:
+        """The snapshot's epoch — its position in the swap sequence.
+
+        Workers and the dispatcher agree on epochs by construction: the
+        dispatcher stamps each flip message with the version the update
+        produced, and workers publish their caught-up snapshot under
+        exactly that number (see ``serving/workers.py``).
+        """
+        return self.version
 
 
 class CellUpdater:

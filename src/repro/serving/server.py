@@ -137,18 +137,42 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    sock=None,
+    handler_base: type[SelectionRequestHandler] | None = None,
+    handler_attrs: dict | None = None,
 ) -> ThreadingHTTPServer:
     """A ready-to-run server bound to ``host:port`` (0 picks a free port).
 
     The caller owns the lifecycle: ``serve_forever()`` to block (as
     ``repro serve`` does), or run it on a thread and ``shutdown()`` when
     done (as the tests and the in-process load generator do).
+
+    ``sock`` adopts an already-bound, already-listening socket instead
+    of binding a new one — the worker dispatcher passes each forked
+    worker the shared (or SO_REUSEPORT) acceptor this way.
+    ``handler_base``/``handler_attrs`` let callers serve through a
+    handler subclass (the worker handler forwards ``/admin/update`` to
+    the dispatcher and annotates ``/healthz`` with its pid/epoch).
     """
+    import socket as socket_module
+
+    attrs = {"service": service, "verbose": verbose}
+    attrs.update(handler_attrs or {})
     handler = type(
         "BoundSelectionRequestHandler",
-        (SelectionRequestHandler,),
-        {"service": service, "verbose": verbose},
+        (handler_base or SelectionRequestHandler,),
+        attrs,
     )
-    server = ThreadingHTTPServer((host, port), handler)
+    if sock is None:
+        server = ThreadingHTTPServer((host, port), handler)
+    else:
+        address = sock.getsockname()[:2]
+        server = ThreadingHTTPServer(address, handler, bind_and_activate=False)
+        server.socket.close()  # replace the unbound placeholder socket
+        server.socket = sock
+        # What server_bind would have derived had we bound here.
+        server.server_address = address
+        server.server_name = socket_module.getfqdn(address[0])
+        server.server_port = address[1]
     server.daemon_threads = True
     return server

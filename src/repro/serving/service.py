@@ -371,8 +371,33 @@ class SelectionService:
 
     # -- lifecycle -------------------------------------------------------------
 
+    @property
+    def journal(self) -> list[dict]:
+        """Canonical lifecycle ops applied so far (empty before updates)."""
+        if self._updater is None:
+            return []
+        return list(self._updater.journal)
+
+    def install_shm_manifest(self, manifest: Mapping) -> None:
+        """Stamp the *current* snapshot with a shared-memory manifest.
+
+        Used by the worker dispatcher right after it packs the initial
+        segment: the snapshot's matrices have just been rebound onto the
+        shared views, so the published reference should say so. The
+        republication is one atomic store, same as a hot swap.
+        """
+        import dataclasses
+
+        self._snapshot = dataclasses.replace(
+            self._snapshot, shm_manifest=dict(manifest)
+        )
+
     def apply_update(
-        self, ops: Sequence[Mapping], verify: bool = False
+        self,
+        ops: Sequence[Mapping],
+        verify: bool = False,
+        materialize=None,
+        version: int | None = None,
     ) -> dict:
         """Apply lifecycle operations and hot-swap in the updated cell.
 
@@ -385,11 +410,21 @@ class SelectionService:
         Updates are serialized; concurrent calls queue on the updater
         lock. Raises ``ValueError`` on malformed or inapplicable ops
         (state is untouched in that case).
+
+        ``materialize`` hooks multi-process serving in: called with
+        ``(metasearcher, version)`` after the ops applied but before the
+        service warms the new cell, it may install externally shared
+        score-matrix buffers (see :mod:`repro.serving.shm`) and return a
+        manifest to stamp on the published snapshot. ``version`` pins
+        the new snapshot's number — a catch-up worker replaying a
+        several-update journal suffix in one call lands on the
+        dispatcher's epoch, not on ``previous + 1``.
         """
         from repro.evaluation.instrument import get_instrumentation, span
 
         with self._update_lock:
             previous = self._snapshot
+            next_version = previous.version + 1 if version is None else version
             if self._updater is None:
                 self._updater = CellUpdater(
                     previous.metasearcher,
@@ -401,7 +436,10 @@ class SelectionService:
             metasearcher, info = self._updater.apply(
                 ops, previous=previous.metasearcher
             )
-            with span("lifecycle.warm", version=previous.version + 1):
+            manifest = None
+            if materialize is not None:
+                manifest = materialize(metasearcher, next_version)
+            with span("lifecycle.warm", version=next_version):
                 self._warm(metasearcher)
             build_seconds = time.perf_counter() - start
             result = dict(info)
@@ -412,12 +450,13 @@ class SelectionService:
                     )
             swap_start = time.perf_counter()
             snapshot = CellSnapshot(
-                version=previous.version + 1,
+                version=next_version,
                 metasearcher=metasearcher,
                 cache=LruCache(self.config.response_cache_size),
                 databases=tuple(metasearcher.sampled_summaries),
                 created_at=time.time(),
                 build_seconds=build_seconds,
+                shm_manifest=dict(manifest) if manifest is not None else None,
             )
             self._snapshot = snapshot  # the hot swap: one atomic store
             swap_seconds = time.perf_counter() - swap_start
@@ -449,9 +488,18 @@ class SelectionService:
 
     def describe(self) -> dict:
         """Service description (returned by ``GET /healthz``), lock-free."""
+        import os
+
         snapshot = self._snapshot
         return {
             "status": "ok",
+            "pid": os.getpid(),
+            "epoch": snapshot.version,
+            "shm_segment": (
+                snapshot.shm_manifest["segment"]
+                if snapshot.shm_manifest
+                else None
+            ),
             "dataset": self.config.dataset,
             "sampler": self.config.sampler,
             "frequency_estimation": self.config.frequency_estimation,

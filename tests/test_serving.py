@@ -347,3 +347,83 @@ class TestLoadGenerator:
         assert summary["latency_p99_ms"] >= summary["latency_p50_ms"]
         assert summary["degraded"] == 0
         assert json.dumps(summary)  # JSON-serializable for the trajectory
+
+
+class _FakeClock:
+    """A deterministic monotonic clock advanced by the fake select."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestLoadgenThroughputAccounting:
+    """Regression: qps used to divide by wall time that included one-time
+
+    ramp-up costs (connection setup, a server still settling after boot),
+    understating steady-state throughput. The fix anchors the throughput
+    window at the *first response's completion*: n-1 responses over the
+    time between first and last completion.
+    """
+
+    def test_qps_measured_from_first_response(self):
+        clock = _FakeClock()
+        latencies = iter([10.0, 1.0, 1.0, 1.0, 1.0])  # slow cold start
+
+        def select(terms, algorithm, strategy, k):
+            clock.now += next(latencies)
+            return {"selected": ["a"], "degraded": False}
+
+        queries = [[f"q{i}"] for i in range(5)]
+        summary = run_load(select, queries, clock=clock)
+        # Completions land at t=10,11,12,13,14: four steady-state
+        # responses over four seconds.
+        assert summary["qps"] == pytest.approx(1.0)
+        assert summary["measured_seconds"] == pytest.approx(4.0)
+        # The whole-run wall still includes the ramp-up, for reference —
+        # and dividing by it would have (wrongly) given 5/14 qps.
+        assert summary["wall_seconds"] == pytest.approx(14.0)
+        assert summary["latency_mean_ms"] == pytest.approx(2800.0)
+
+    def test_single_request_falls_back_to_wall(self):
+        clock = _FakeClock()
+
+        def select(terms, algorithm, strategy, k):
+            clock.now += 2.0
+            return {"selected": []}
+
+        summary = run_load(select, [["only"]], clock=clock)
+        assert summary["requests"] == 1
+        assert summary["qps"] == pytest.approx(0.5)
+
+    def test_concurrent_run_issues_every_query_exactly_once(self, service):
+        issued = []
+        lock = threading.Lock()
+
+        def select(terms, algorithm, strategy, k):
+            with lock:
+                issued.append(tuple(terms))
+            return service.select(
+                terms, algorithm=algorithm, strategy=strategy, k=k
+            )
+
+        queries = generate_queries(
+            service_vocabulary(service), count=40, seed=3
+        )
+        summary = run_load(select, queries, concurrency=4)
+        assert summary["requests"] == 40
+        assert summary["concurrency"] == 4
+        assert sorted(issued) == sorted(tuple(q) for q in queries)
+
+    def test_worker_error_propagates(self):
+        def select(terms, algorithm, strategy, k):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_load(select, [["a"], ["b"]], concurrency=2)
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            run_load(lambda *a: {}, [["a"]], concurrency=0)

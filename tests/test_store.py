@@ -308,6 +308,36 @@ class TestStoreTrafficStats:
         assert totals["hits"] == workers * per_worker
         assert totals["bytes_read"] == workers * per_worker * 10
 
+    def test_sidecar_works_without_fcntl(self, tmp_path, monkeypatch):
+        """Regression: platforms with neither ``fcntl`` nor ``msvcrt``
+        (emulated here) must still record traffic — serialized by the
+        in-process thread lock — rather than crash or skip the sidecar."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.evaluation import store as store_mod
+
+        monkeypatch.setattr(store_mod, "fcntl", None)
+        monkeypatch.setattr(store_mod, "msvcrt", None)
+        store = ArtifactStore(tmp_path)
+        store.save("testbed", "t1", {"v": 1})
+        assert store.load("testbed", "t1") == {"v": 1}
+
+        def bump(_index: int) -> None:
+            for _ in range(20):
+                store._record_traffic("testbed", hits=1)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(bump, range(6)))
+        totals = store.stats()["testbed"]
+        assert totals["hits"] == 1 + 6 * 20  # the load above plus the bumps
+        # No lock file is created on lockless platforms.
+        assert not (tmp_path / ".stats.json.lock").exists()
+
+    def test_sidecar_lock_file_used_with_fcntl(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("testbed", "t1", {"v": 1})
+        assert (tmp_path / ".stats.json.lock").exists()
+
 
 # -- key invalidation through the harness ------------------------------------------
 

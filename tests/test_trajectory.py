@@ -75,6 +75,19 @@ class TestPersistence:
         trajectory.append_record(path, make_record())
         assert len(trajectory.load_records(path)) == 1
 
+    def test_append_and_compare_prints_verdict(self, tmp_path, capsys):
+        path = tmp_path / "traj.json"
+        warnings = trajectory.append_and_compare(path, make_record(wall=1.0))
+        assert warnings == []
+        assert "no previous comparable record" in capsys.readouterr().out
+        warnings = trajectory.append_and_compare(path, make_record(wall=1.0))
+        assert warnings == []
+        assert "no regressions" in capsys.readouterr().out
+        warnings = trajectory.append_and_compare(path, make_record(wall=9.0))
+        assert len(warnings) == 1
+        assert "WARNING" in capsys.readouterr().out
+        assert len(trajectory.load_records(path)) == 3
+
 
 class TestComparison:
     def test_latest_comparable_matches_context_exactly(self):

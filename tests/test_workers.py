@@ -1,0 +1,300 @@
+"""Worker-process serving: N forked workers, one shared snapshot.
+
+The acceptance bar from ISSUE/DESIGN §5f: results served by ``--workers
+N`` are bit-identical to the single-process service; a hot swap
+mid-flight flips every worker to the new epoch before the update call
+returns (zero cross-epoch responses afterwards) and verifies against a
+from-scratch rebuild; killing a worker (SIGTERM) gets it respawned
+without dropping the pool; ``/healthz`` stays lock-free under load; and
+no code path — including worker death and shutdown — orphans a
+``/dev/shm`` segment.
+
+Everything runs over the synthetic cell on loopback. Request counts stay
+small: the contract under test is coordination correctness, not
+throughput (this container may have a single core; scaling curves live
+in the bench trajectory, recorded where cores exist).
+"""
+
+import glob
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.selection.metasearcher import Metasearcher
+from repro.serving import shm
+from repro.serving.client import ServingClient, ServingError
+from repro.serving.lifecycle import summary_payload
+from repro.serving.service import SelectionService, ServiceConfig
+from repro.serving.workers import WorkerPool, fork_available
+from tests.test_columnar_equivalence import _synthetic_cell
+from tests.test_lifecycle import _fresh_summary
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="worker pool requires os.fork"
+)
+
+QUERIES = [
+    ["gen000", "gen003"],
+    ["cancer000", "gen001"],
+    ["some-oov-term", "gen002"],
+]
+ADD_OP = {
+    "op": "add",
+    "name": "dbnew",
+    "path": ["Root", "Health", "Diseases", "Cancer"],
+}
+
+
+def _make_service() -> SelectionService:
+    hierarchy, summaries, classifications = _synthetic_cell(shared_vocab=True)
+    metasearcher = Metasearcher(hierarchy, summaries, classifications)
+    service = SelectionService(
+        metasearcher,
+        ServiceConfig(
+            scale="synthetic", request_timeout_seconds=None, default_k=5
+        ),
+    )
+    service.warmup()
+    return service
+
+
+def _shm_entries() -> list[str]:
+    return sorted(glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}_*"))
+
+
+def _ranking(response: dict) -> list[tuple[str, float, bool]]:
+    return [
+        (entry["name"], entry["score"], entry["selected"])
+        for entry in response["ranking"]
+    ]
+
+
+def _add_op() -> dict:
+    return dict(ADD_OP, summary=summary_payload(_fresh_summary()))
+
+
+@pytest.fixture
+def clean_shm():
+    """Assert the test leaves /dev/shm exactly as it found it."""
+    before = _shm_entries()
+    yield
+    assert _shm_entries() == before
+
+
+class TestWorkerPoolServing:
+    def test_two_workers_bit_identical_to_single_process(self, clean_shm):
+        baseline = _make_service()
+        with WorkerPool(_make_service(), workers=2) as pool:
+            client = ServingClient(pool.url)
+            pids = set()
+            for query in QUERIES:
+                for algorithm in ("bgloss", "cori", "lm"):
+                    for strategy in ("plain", "shrinkage", "universal"):
+                        expected = baseline.select(
+                            query, algorithm=algorithm, strategy=strategy, k=5
+                        )
+                        observed = client.select(
+                            query, algorithm=algorithm, strategy=strategy, k=5
+                        )
+                        assert _ranking(observed) == _ranking(expected), (
+                            query,
+                            algorithm,
+                            strategy,
+                        )
+                        assert (
+                            observed["selected"] == expected["selected"]
+                        )
+            for _ in range(16):
+                pids.add(client.healthz()["pid"])
+            # The kernel balances accepts; with 16 probes both workers
+            # should have answered at least once.
+            assert pids <= set(pool.worker_pids)
+            assert len(pids) == 2
+
+    @pytest.mark.parametrize("workers", [3, 4])
+    def test_wider_pools_serve_and_clean_up(self, workers, clean_shm):
+        with WorkerPool(_make_service(), workers=workers) as pool:
+            assert len(pool.worker_pids) == workers
+            client = ServingClient(pool.url)
+            for query in QUERIES:
+                response = client.select(query, algorithm="cori", k=5)
+                assert response["snapshot_version"] == 1
+            assert len(_shm_entries()) == 1
+
+    def test_reuseport_mode_when_available(self, clean_shm):
+        if not hasattr(socket, "SO_REUSEPORT"):
+            pytest.skip("no SO_REUSEPORT on this platform")
+        with WorkerPool(_make_service(), workers=2, reuseport=True) as pool:
+            client = ServingClient(pool.url)
+            response = client.select(QUERIES[0], algorithm="cori", k=5)
+            assert response["ranking"]
+
+
+class TestEpochFlip:
+    def test_hot_swap_mid_flight_with_verify(self, clean_shm):
+        with WorkerPool(_make_service(), workers=2) as pool:
+            client = ServingClient(pool.url, timeout=120.0)
+            stop = threading.Event()
+            responses: list[tuple[float, dict]] = []
+            errors: list[Exception] = []
+
+            def stream() -> None:
+                streamer = ServingClient(pool.url, timeout=120.0)
+                index = 0
+                while not stop.is_set():
+                    sent_at = time.monotonic()
+                    try:
+                        response = streamer.select(
+                            ["gen001", f"q{index:04d}"],
+                            algorithm="cori",
+                            strategy="shrinkage",
+                            k=5,
+                        )
+                        responses.append((sent_at, response))
+                    except (ServingError, OSError) as error:
+                        errors.append(error)
+                    index += 1
+
+            threads = [
+                threading.Thread(target=stream, daemon=True)
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)  # selects in flight on epoch 1
+
+            result = client.update([_add_op()], verify=True)
+            update_returned = time.monotonic()
+
+            # The update was bit-verified against a from-scratch rebuild
+            # on the dispatcher before any worker flipped.
+            assert result["verification"]["verified"], result["verification"]
+            assert result["epoch"] == 2
+            assert result["workers_flipped"] == 2
+            assert result["workers"] == 2
+
+            # The ack barrier means no worker still publishes epoch 1
+            # to requests accepted from here on.
+            post_swap = [
+                client.select(query, algorithm="cori", k=5)
+                for query in QUERIES
+            ]
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            for response in post_swap:
+                assert response["snapshot_version"] == 2
+                names = [e["name"] for e in response["ranking"]]
+                assert "dbnew" in names
+            # Zero cross-epoch responses: every request SENT after the
+            # update returned must see epoch 2.  (A request sent before
+            # the flip may legitimately complete — and be appended —
+            # after the update returns, still carrying epoch 1.)
+            for sent_at, response in responses:
+                if sent_at > update_returned:
+                    assert response["snapshot_version"] == 2
+            # The streamed responses saw only real epochs, never a tear.
+            assert {r["snapshot_version"] for _, r in responses} <= {1, 2}
+            assert not errors, errors[:3]
+            # Old segment unlinked after the drain; exactly one remains.
+            assert len(_shm_entries()) == 1
+            assert result["segment"] in _shm_entries()[0]
+
+    def test_consecutive_swaps_keep_journal_replay_exact(self, clean_shm):
+        baseline = _make_service()
+        with WorkerPool(_make_service(), workers=2) as pool:
+            client = ServingClient(pool.url, timeout=120.0)
+            first = _add_op()
+            second = {"op": "remove", "name": "db03"}
+            for epoch, ops in ((2, [first]), (3, [second])):
+                result = client.update(ops, verify=True)
+                assert result["epoch"] == epoch
+                assert result["workers_flipped"] == 2
+                assert result["verification"]["verified"]
+                baseline.apply_update(ops)
+            for query in QUERIES:
+                expected = baseline.select(query, algorithm="lm", k=5)
+                observed = client.select(query, algorithm="lm", k=5)
+                assert _ranking(observed) == _ranking(expected)
+            assert len(_shm_entries()) == 1
+
+
+class TestWorkerDeath:
+    def test_sigterm_worker_respawned_and_pool_survives(self, clean_shm):
+        with WorkerPool(_make_service(), workers=2) as pool:
+            client = ServingClient(pool.url, timeout=120.0)
+            victim = pool.worker_pids[0]
+            os.kill(victim, signal.SIGTERM)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if (
+                    pool.respawns >= 1
+                    and len(pool.worker_pids) == 2
+                    and victim not in pool.worker_pids
+                ):
+                    break
+                time.sleep(0.05)
+            assert pool.respawns >= 1
+            assert len(pool.worker_pids) == 2
+            assert victim not in pool.worker_pids
+            # The pool keeps serving throughout and after the respawn,
+            # and a subsequent hot swap still reaches both workers.
+            for query in QUERIES:
+                assert client.select(query, k=5)["snapshot_version"] == 1
+            result = client.update([_add_op()], verify=False)
+            assert result["workers_flipped"] == 2
+            assert client.select(QUERIES[0], k=5)["snapshot_version"] == 2
+            # Dead worker orphaned nothing: one live segment, owned by
+            # the dispatcher.
+            assert len(_shm_entries()) == 1
+        assert _shm_entries() == []
+
+
+class TestHealthz:
+    def test_healthz_lock_free_under_select_load(self, clean_shm):
+        with WorkerPool(_make_service(), workers=2) as pool:
+            stop = threading.Event()
+
+            def hammer() -> None:
+                hammer_client = ServingClient(pool.url, timeout=60.0)
+                index = 0
+                while not stop.is_set():
+                    try:
+                        hammer_client.select(
+                            ["gen000", f"h{index:04d}"],
+                            algorithm="cori",
+                            strategy="shrinkage",
+                            k=5,
+                        )
+                    except (ServingError, OSError):
+                        pass
+                    index += 1
+
+            threads = [
+                threading.Thread(target=hammer, daemon=True)
+                for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                time.sleep(0.2)
+                probe = ServingClient(pool.url, timeout=30.0)
+                latencies = []
+                for _ in range(10):
+                    start = time.perf_counter()
+                    payload = probe.healthz()
+                    latencies.append(time.perf_counter() - start)
+                    assert payload["status"] == "ok"
+                    assert payload["role"] == "worker"
+                    assert payload["shm_segment"]
+                # Generous bound (single-core CI containers): a health
+                # probe never queues behind scoring or an update lock.
+                assert sorted(latencies)[len(latencies) // 2] < 1.0
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30)
