@@ -11,8 +11,14 @@ Exposes the experiment harness without writing Python:
   ``--matrix``) with cache/parallelism instrumentation; ``--json`` emits
   the run's full JSONL trace on stdout, ``--trajectory FILE`` appends a
   machine-readable record and warns about >20% timer regressions.
+* ``testbed`` — synthesize a large ``universe-<N>`` cell (closed-form
+  summaries, log-uniform sizes) and report its shape; ``--probe`` runs a
+  pruned-vs-full probe query.
+* ``verify-prune`` — prove the pruned exact top-k engine bit-identical
+  to a full scan across algorithms, strategies, and sampled queries.
 * ``serve`` — long-lived selection server: preload one cell, then answer
-  ``POST /select`` queries over HTTP from the batched score matrices.
+  ``POST /select`` queries over HTTP from the batched score matrices;
+  ``--prune`` routes queries through the pruned exact top-k engine.
 * ``query`` — one-shot client for a running ``serve`` process.
 * ``update`` — apply a lifecycle op (add/remove/replace/resample/
   restore) to a running server; the cell is hot-swapped copy-on-write.
@@ -44,9 +50,24 @@ from collections.abc import Sequence
 import numpy as np
 
 
+def _dataset_argument(value: str) -> str:
+    """trec4 | trec6 | web | universe-<N> — validated at parse time."""
+    if value in ("trec4", "trec6", "web"):
+        return value
+    if value.startswith("universe-"):
+        suffix = value[len("universe-"):]
+        if suffix.isdigit() and int(suffix) > 0:
+            return value
+    raise argparse.ArgumentTypeError(
+        f"{value!r} is not trec4, trec6, web, or universe-<N>"
+    )
+
+
 def _add_cell_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--dataset", choices=("trec4", "trec6", "web"), default="trec4"
+        "--dataset", type=_dataset_argument, default="trec4", metavar="NAME",
+        help="trec4, trec6, web, or universe-<N> (a synthetic N-database "
+        "universe with closed-form summaries)",
     )
     parser.add_argument("--sampler", choices=("qbs", "fps"), default="qbs")
     parser.add_argument(
@@ -288,9 +309,168 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.evaluation import harness
+
+    _configure_harness(args)
+    dataset = f"universe-{args.databases}"
+    start = time.perf_counter()
+    cell = harness.get_cell(dataset, args.sampler, args.freq_est, args.scale)
+    build_wall = time.perf_counter() - start
+    summaries = cell.metasearcher.sampled_summaries
+    first = next(iter(summaries.values()))
+    sizes = np.array([s.size for s in summaries.values()], dtype=np.int64)
+    postings = sum(
+        len(summary.regime_arrays("df")[0]) for summary in summaries.values()
+    )
+    print(f"Universe testbed — {dataset} at scale={args.scale}")
+    print(f"databases:       {len(summaries)}")
+    print(f"vocabulary:      {len(first.vocab.to_list())} words")
+    print(
+        f"sizes:           {int(sizes.min())} .. {int(sizes.max())} docs "
+        f"(median {int(np.median(sizes))}, total {int(sizes.sum())})"
+    )
+    print(
+        f"postings:        {postings} "
+        f"({postings / len(summaries):.0f} per database)"
+    )
+    print(f"synthesis wall:  {build_wall:.3f} s")
+
+    if args.probe:
+        metasearcher = cell.metasearcher
+        vocabulary = first.vocab.to_list()
+        terms = [vocabulary[len(vocabulary) // 3], vocabulary[-7]]
+        start = time.perf_counter()
+        full = metasearcher.select(terms, algorithm="cori", strategy="plain",
+                                   k=args.k)
+        full_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        pruned = metasearcher.select(terms, algorithm="cori", strategy="plain",
+                                     k=args.k, prune=True)
+        pruned_wall = time.perf_counter() - start
+        identical = pruned.names == full.names and all(
+            pruned.scores[name] == full.scores[name]
+            for name in pruned.scores
+            if name in full.scores
+        )
+        print(
+            f"probe query:     {' '.join(terms)} (cori/plain, k={args.k}) — "
+            f"{'bit-identical' if identical else 'MISMATCH'}"
+        )
+        scored = pruned.candidates_scored
+        if scored is not None:
+            print(
+                f"candidates:      {scored} of {len(summaries)} scored "
+                f"({scored / len(summaries) * 100:.1f}%)"
+            )
+        print(
+            f"probe wall:      full {full_wall:.3f} s, "
+            f"pruned {pruned_wall:.3f} s (includes bound build)"
+        )
+        if not identical:
+            return 1
+    return 0
+
+
+def _cmd_verify_prune(args: argparse.Namespace) -> int:
+    from repro.evaluation import harness
+    from repro.serving import loadgen
+
+    _configure_harness(args)
+    cell = harness.get_cell(args.dataset, args.sampler, args.freq_est, args.scale)
+    metasearcher = cell.metasearcher
+    algorithms = tuple(
+        name.strip() for name in args.algorithms.split(",") if name.strip()
+    )
+    strategies = tuple(
+        name.strip() for name in args.strategies.split(",") if name.strip()
+    )
+    needs_shrunk = any(strategy != "plain" for strategy in strategies)
+    if needs_shrunk and harness.universe_size(args.dataset) is None:
+        # Universe cells have no sampling pipeline behind them; the
+        # metasearcher shrinks lazily on first adaptive selection.
+        harness.ensure_shrunk(cell)
+    summaries = metasearcher.sampled_summaries
+    vocabulary = next(iter(summaries.values())).vocab.to_list()[:5000]
+    queries = loadgen.generate_queries(vocabulary, args.queries, seed=args.seed)
+
+    total = len(summaries)
+    checked = 0
+    mismatches = 0
+    scored_fractions = []
+    for algorithm in algorithms:
+        for strategy in strategies:
+            for terms in queries:
+                full = metasearcher.select(
+                    terms, algorithm=algorithm, strategy=strategy, k=args.k
+                )
+                pruned = metasearcher.select(
+                    terms, algorithm=algorithm, strategy=strategy, k=args.k,
+                    prune=True,
+                )
+                checked += 1
+                problems = []
+                if pruned.names != full.names:
+                    problems.append(
+                        f"selected names differ: {pruned.names[:3]}... "
+                        f"vs {full.names[:3]}..."
+                    )
+                if not set(pruned.scores) <= set(full.scores):
+                    problems.append("pruned pool contains unknown names")
+                for name, score in pruned.scores.items():
+                    if name in full.scores and score != full.scores[name]:
+                        problems.append(
+                            f"score differs for {name}: {score!r} "
+                            f"vs {full.scores[name]!r}"
+                        )
+                        break
+                if pruned.candidates_scored is not None:
+                    scored_fractions.append(pruned.candidates_scored / total)
+                if problems:
+                    mismatches += 1
+                    print(
+                        f"MISMATCH {algorithm}/{strategy} "
+                        f"[{' '.join(terms)}]: {'; '.join(problems)}"
+                    )
+
+    pruned_runs = len(scored_fractions)
+    mean_fraction = float(np.mean(scored_fractions)) if scored_fractions else 1.0
+    print(
+        f"verify-prune: {checked} selections checked "
+        f"({len(algorithms)} algorithms x {len(strategies)} strategies x "
+        f"{len(queries)} queries), {mismatches} mismatches"
+    )
+    print(
+        f"verify-prune: pruned engine engaged on {pruned_runs}/{checked}; "
+        f"mean candidates scored {mean_fraction * 100:.1f}% "
+        f"of {total} databases"
+    )
+    if args.max_scored_fraction is not None:
+        if mean_fraction > args.max_scored_fraction:
+            print(
+                f"verify-prune: WARNING mean scored fraction "
+                f"{mean_fraction:.3f} exceeds target "
+                f"{args.max_scored_fraction:.3f}"
+            )
+        else:
+            print(
+                f"verify-prune: scored fraction within target "
+                f"{args.max_scored_fraction:.3f}"
+            )
+    return 1 if mismatches else 0
+
+
 def _service_config(args: argparse.Namespace):
     from repro.serving.service import ServiceConfig
 
+    extra = {}
+    strategies = getattr(args, "strategies", None)
+    if strategies:
+        extra["strategies"] = tuple(
+            name.strip() for name in strategies.split(",") if name.strip()
+        )
     return ServiceConfig(
         dataset=args.dataset,
         sampler=args.sampler,
@@ -301,6 +481,9 @@ def _service_config(args: argparse.Namespace):
             None if args.request_timeout <= 0 else args.request_timeout
         ),
         response_cache_size=args.response_cache,
+        prune=bool(getattr(args, "prune", False)),
+        ranking_limit=getattr(args, "topk", None),
+        **extra,
     )
 
 
@@ -595,6 +778,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "strategy": args.strategy,
             "requests": args.requests,
             "k": args.k,
+            "prune": bool(args.prune),
+            "topk": args.topk,
+            "served_strategies": args.strategies or "all",
         }
         # The record's wall is the *load* wall — service preload and
         # worker boot happen before run_load's clock starts, so the
@@ -761,6 +947,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(handler=_cmd_bench)
 
+    testbed = commands.add_parser(
+        "testbed",
+        help="synthesize a large universe-<N> cell and report its shape",
+    )
+    testbed.add_argument(
+        "--databases", type=int, default=10_000, metavar="N",
+        help="universe size (log-uniform database sizes, closed-form "
+        "summaries; memory is bounded by columnar arrays)",
+    )
+    testbed.add_argument("--sampler", choices=("qbs", "fps"), default="qbs")
+    testbed.add_argument(
+        "--freq-est", action="store_true",
+        help="apply Appendix A frequency estimation",
+    )
+    testbed.add_argument(
+        "--scale", choices=("small", "bench", "paper"), default="small",
+        help="corpus scale controlling the vocabulary (small ~ 9k words)",
+    )
+    testbed.add_argument(
+        "--probe", action="store_true",
+        help="run one pruned-vs-full probe query and report the touch rate",
+    )
+    testbed.add_argument("--k", type=int, default=10)
+    _add_runtime_arguments(testbed)
+    testbed.set_defaults(handler=_cmd_testbed)
+
+    verify_prune = commands.add_parser(
+        "verify-prune",
+        help="prove pruned top-k selection bit-identical to a full scan",
+    )
+    _add_cell_arguments(verify_prune)
+    verify_prune.add_argument(
+        "--algorithms", default="bgloss,cori,lm", metavar="LIST",
+        help="comma-separated algorithms to check",
+    )
+    verify_prune.add_argument(
+        "--strategies", default="plain,shrinkage,universal", metavar="LIST",
+        help="comma-separated strategies to check",
+    )
+    verify_prune.add_argument(
+        "--queries", type=int, default=25, metavar="N",
+        help="distinct sample queries (includes OOV terms)",
+    )
+    verify_prune.add_argument("--k", type=int, default=10)
+    verify_prune.add_argument("--seed", type=int, default=0)
+    verify_prune.add_argument(
+        "--max-scored-fraction", type=float, default=None, metavar="F",
+        help="warn when the mean scored fraction exceeds F (e.g. 0.5)",
+    )
+    verify_prune.set_defaults(handler=_cmd_verify_prune)
+
     serve = commands.add_parser(
         "serve",
         help="long-lived selection server over a preloaded cell",
@@ -790,6 +1027,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--reuseport", action="store_true",
         help="give each worker its own SO_REUSEPORT acceptor instead of "
         "one shared listening socket",
+    )
+    serve.add_argument(
+        "--prune", action="store_true",
+        help="answer queries through the pruned exact top-k engine "
+        "(bit-identical to a full scan, sublinear candidate touch)",
+    )
+    serve.add_argument(
+        "--topk", type=int, default=None, metavar="K",
+        help="truncate returned rankings to their first K entries",
+    )
+    serve.add_argument(
+        "--strategies", metavar="LIST",
+        help="comma-separated strategies to serve (default plain,"
+        "shrinkage,universal; plain-only skips the EM shrinkage build)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
@@ -906,6 +1157,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--response-cache", type=int, default=1024, metavar="N"
+    )
+    loadgen.add_argument(
+        "--prune", action="store_true",
+        help="serve through the pruned exact top-k engine",
+    )
+    loadgen.add_argument(
+        "--topk", type=int, default=None, metavar="K",
+        help="truncate returned rankings to their first K entries",
+    )
+    loadgen.add_argument(
+        "--strategies", metavar="LIST",
+        help="comma-separated strategies the booted service serves",
     )
     loadgen.add_argument(
         "--trajectory", metavar="FILE",

@@ -120,6 +120,42 @@ def _draw_lengths(
     return np.maximum(lengths.round().astype(int), 5)
 
 
+def synthesize_summary_arrays(
+    rng: np.random.Generator,
+    ids: np.ndarray,
+    probabilities: np.ndarray,
+    num_docs: int,
+    doc_length: float,
+    tilt_sigma: float = 0.6,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Closed-form content-summary statistics for one database.
+
+    Large-universe testbeds cannot afford to synthesize (let alone
+    sample) documents for every database, so this derives the summary a
+    document sample would converge to directly from a topic model's
+    unigram distribution: each word's rate gets a log-normal
+    database-level tilt (standing in for facet preferences and topical
+    drift), the document frequency follows the Poisson occurrence
+    probability ``1 - exp(-p * tilt * doc_length)``, and words whose
+    expected document count falls below half a document are dropped —
+    a sample would never observe them.
+
+    ``ids``/``probabilities`` are the topic model's distribution in
+    columnar form (sorted vocabulary ids). Returns ``(ids, df, tf)``
+    arrays restricted to the supported words; the id order (and hence
+    sortedness) is preserved.
+    """
+    tilt = rng.lognormal(mean=0.0, sigma=tilt_sigma, size=ids.size)
+    df = 1.0 - np.exp(-probabilities * tilt * doc_length)
+    support = df * num_docs >= 0.5
+    ids = ids[support]
+    df = df[support]
+    tilted = probabilities[support] * tilt[support]
+    total = tilted.sum()
+    tf = tilted / total if total > 0.0 else tilted
+    return ids, df, tf
+
+
 def generate_database(
     corpus_model: CorpusModel,
     spec: DatabaseSpec,

@@ -16,10 +16,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.corpus.generator import DatabaseSpec, generate_database
+from repro.corpus.generator import (
+    DatabaseSpec,
+    generate_database,
+    synthesize_summary_arrays,
+)
 from repro.corpus.hierarchy import Hierarchy, default_hierarchy
 from repro.corpus.language_model import CorpusModel, CorpusModelConfig
+from repro.core.vocab import Vocabulary
 from repro.index.engine import TextDatabase
+from repro.summaries.summary import SampledSummary
 
 
 @dataclass
@@ -115,6 +121,91 @@ def build_trec_style_testbed(
             generate_database(corpus_model, spec, seed=int(rng.integers(2**31)))
         )
     return Testbed(name, hierarchy, corpus_model, databases)
+
+
+def build_summary_universe(
+    name: str = "universe",
+    num_databases: int = 10_000,
+    size_range: tuple[int, int] = (100, 376_000),
+    seed: int = 97,
+    doc_length_median: float = 110.0,
+    tilt_sigma: float = 0.6,
+    hierarchy: Hierarchy | None = None,
+    config: CorpusModelConfig | None = None,
+) -> tuple[Testbed, dict[str, SampledSummary], dict[str, tuple[str, ...]]]:
+    """Build a summary-only universe: 10k–100k databases, no documents.
+
+    The web-style layout scaled past the point where per-document
+    synthesis (and query-based sampling) is affordable: databases
+    round-robin over the leaf categories with log-uniform sizes spanning
+    the paper's 100..376,000 range, but each database exists *only* as a
+    closed-form :class:`SampledSummary` derived from its topic model (see
+    :func:`~repro.corpus.generator.synthesize_summary_arrays`). Memory
+    stays bounded by the columnar arrays — no per-database word dicts,
+    no document lists — so a 100k universe builds in a few GB.
+
+    Returns ``(testbed, summaries, classifications)``; the testbed
+    carries the hierarchy and corpus model but an empty database list,
+    and classifications are the generating (ground-truth) leaf paths.
+    The summaries share one :class:`Vocabulary`, so they stack into the
+    batched engines. Sample statistics are empty (``sample_size=0``):
+    the adaptive strategy's uncertainty model has no sample to reason
+    about here, so universe cells are meant for the plain/universal
+    strategies.
+    """
+    if num_databases <= 0:
+        raise ValueError("num_databases must be positive")
+    hierarchy = hierarchy or default_hierarchy()
+    corpus_model = CorpusModel(hierarchy, config)
+    vocab = Vocabulary()
+
+    # One columnar unigram distribution per leaf, interned into the shared
+    # vocabulary in deterministic hierarchy order.
+    leaves = [leaf.path for leaf in hierarchy.leaves()]
+    leaf_arrays: list[tuple[np.ndarray, np.ndarray]] = []
+    for leaf in leaves:
+        probabilities = corpus_model.topic_model(leaf).term_probabilities()
+        ids = vocab.intern_many(probabilities.keys())
+        values = np.fromiter(
+            probabilities.values(), dtype=np.float64, count=ids.size
+        )
+        order = np.argsort(ids, kind="stable")
+        leaf_arrays.append((ids[order], values[order]))
+
+    log_low, log_high = np.log(size_range[0]), np.log(size_range[1])
+    width = max(6, len(str(num_databases - 1)))
+    summaries: dict[str, SampledSummary] = {}
+    classifications: dict[str, tuple[str, ...]] = {}
+    for index in range(num_databases):
+        leaf_index = index % len(leaves)
+        ids, probabilities = leaf_arrays[leaf_index]
+        db_rng = np.random.default_rng([seed, index])
+        num_docs = max(
+            int(round(np.exp(db_rng.uniform(log_low, log_high)))), 10
+        )
+        db_ids, df, tf = synthesize_summary_arrays(
+            db_rng,
+            ids,
+            probabilities,
+            num_docs,
+            doc_length_median,
+            tilt_sigma=tilt_sigma,
+        )
+        db_name = f"{name}-db{index:0{width}d}"
+        summaries[db_name] = SampledSummary(
+            size=num_docs,
+            df_probs=(db_ids, df),
+            tf_probs=(db_ids, tf),
+            sample_size=0,
+            sample_df={},
+            vocab=vocab,
+        )
+        classifications[db_name] = leaves[leaf_index]
+    return (
+        Testbed(name, hierarchy, corpus_model, []),
+        summaries,
+        classifications,
+    )
 
 
 def build_web_style_testbed(

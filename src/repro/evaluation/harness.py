@@ -46,6 +46,7 @@ from repro.corpus.language_model import CorpusModel, CorpusModelConfig
 from repro.corpus.queries import QueryWorkload, RelevanceJudgments, generate_workload
 from repro.corpus.testbeds import (
     Testbed,
+    build_summary_universe,
     build_trec_style_testbed,
     build_web_style_testbed,
 )
@@ -69,6 +70,25 @@ from repro.summaries.summary import ContentSummary, SampledSummary, build_exact_
 
 DATASETS = ("trec4", "trec6", "web")
 SAMPLERS = ("qbs", "fps")
+
+#: Summary-only large-universe datasets are named ``universe-<N>`` with
+#: ``N`` the database count (e.g. ``universe-10000``); see
+#: :func:`repro.corpus.testbeds.build_summary_universe`.
+UNIVERSE_PREFIX = "universe-"
+
+#: Seed stream for universe synthesis (per-database streams derive from it).
+UNIVERSE_SEED = 97
+
+
+def universe_size(dataset: str) -> int | None:
+    """The database count of a ``universe-<N>`` dataset name, else None."""
+    if not dataset.startswith(UNIVERSE_PREFIX):
+        return None
+    try:
+        count = int(dataset[len(UNIVERSE_PREFIX):])
+    except ValueError:
+        return None
+    return count if count > 0 else None
 
 
 @dataclass(frozen=True)
@@ -273,15 +293,18 @@ def clear_caches() -> None:
 def _testbed_config(dataset: str, scale: str) -> dict:
     """Everything the testbed artifact depends on, for fingerprinting."""
     profile = SCALES[scale]
+    num_universe = universe_size(dataset)
     config: dict = {
         "artifact": "testbed",
         "pipeline": store_mod.PIPELINE_VERSION,
         "dataset": dataset,
-        "seed": TESTBED_SEEDS[dataset],
+        "seed": UNIVERSE_SEED if num_universe else TESTBED_SEEDS[dataset],
         "corpus": profile.corpus_config,
         "doc_length_median": profile.doc_length_median,
     }
-    if dataset == "web":
+    if num_universe:
+        config["universe"] = {"databases": num_universe}
+    elif dataset == "web":
         config["web"] = {
             "databases_per_leaf": profile.web_databases_per_leaf,
             "extra_databases": profile.web_extra_databases,
@@ -407,8 +430,21 @@ def _build_testbed(dataset: str, scale: str) -> Testbed:
 
 def get_testbed(dataset: str, scale: str = "bench") -> Testbed:
     """The (cached) testbed for a dataset at the given scale."""
+    if universe_size(dataset) is not None:
+        # Universe testbeds carry no documents; the cell synthesizes its
+        # summaries directly (see get_cell), so only the hierarchy and
+        # corpus model exist here. Nothing worth persisting.
+        key = (dataset, scale)
+        if key not in _TESTBEDS:
+            profile = SCALES[scale]
+            hierarchy = default_hierarchy()
+            corpus_model = CorpusModel(hierarchy, profile.corpus_config)
+            _TESTBEDS[key] = Testbed(dataset, hierarchy, corpus_model, [])
+        return _TESTBEDS[key]
     if dataset not in DATASETS:
-        raise ValueError(f"dataset must be one of {DATASETS}")
+        raise ValueError(
+            f"dataset must be one of {DATASETS} or 'universe-<N>'"
+        )
     profile = SCALES[scale]
     key = (dataset, scale)
     if key in _TESTBEDS:
@@ -648,6 +684,37 @@ def get_cell(
     key = (dataset, sampler, frequency_estimation, scale)
     if key in _CELLS:
         return _CELLS[key]
+
+    num_universe = universe_size(dataset)
+    if num_universe is not None:
+        # Summary-only universe: synthesis is vectorized and cheaper than
+        # any (de)serialization of 10k+ summaries, so the cell is rebuilt
+        # per process instead of persisted. Sampler/frequency-estimation
+        # knobs do not apply (there is no document sample).
+        testbed = get_testbed(dataset, scale)
+        profile = SCALES[scale]
+        with span("universe.synthesize", databases=num_universe):
+            _testbed, summaries, classifications = build_summary_universe(
+                name=dataset,
+                num_databases=num_universe,
+                seed=UNIVERSE_SEED,
+                doc_length_median=profile.doc_length_median,
+                hierarchy=testbed.hierarchy,
+                config=profile.corpus_config,
+            )
+        count("universe.synthesized", num_universe)
+        cell = ExperimentCell(
+            dataset=dataset,
+            sampler=sampler,
+            frequency_estimation=frequency_estimation,
+            scale=scale,
+            testbed=testbed,
+            summaries=summaries,
+            classifications=classifications,
+            exact_summaries={},
+        )
+        _CELLS[key] = cell
+        return cell
 
     testbed = get_testbed(dataset, scale)
     store = _CONFIG.store

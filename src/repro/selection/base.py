@@ -54,6 +54,11 @@ class DatabaseScorer(ABC):
     #: score variance analytically, word by word.
     word_decomposition: str | None = None
 
+    #: Probability regime the pruned top-k engine bounds this scorer in
+    #: ("df" or "tf"). ``None`` marks the scorer unsupported: the top-k
+    #: engine refuses it and callers take the full-scan path.
+    topk_regime: str | None = None
+
     def prepare(self, summaries: Mapping[str, ContentSummary]) -> None:
         """Compute corpus-level statistics over the candidate summaries."""
 
@@ -219,6 +224,71 @@ class DatabaseScorer(ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not support mixed batch scoring"
         )
+
+    # -- pruned top-k hooks ----------------------------------------------------
+
+    def topk_group_bounds(
+        self,
+        query_terms: Sequence[str],
+        pmax: np.ndarray,
+        size_ub: np.ndarray,
+        cw_lb: np.ndarray | None = None,
+        i_values: np.ndarray | None = None,
+        mean_cw: float | None = None,
+    ) -> np.ndarray:
+        """Score upper bounds from per-word probability upper bounds.
+
+        ``pmax`` is a (candidates, words) matrix of per-word maximum
+        probabilities (over a group of rows, or per-row refinements);
+        ``size_ub`` / ``cw_lb`` bound the group's |D| from above and cw(D)
+        from below. The returned array must dominate — as IEEE-754
+        floats — the exact score of every row the bounds cover, and a row
+        of all-zero ``pmax`` must fold to *exactly* the scorer's floor
+        (the top-k engine's zero-overlap elimination depends on that
+        equality). Scorers the top-k engine supports override this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support top-k bounds"
+        )
+
+    def batch_scores_rows(
+        self,
+        query_terms: Sequence[str],
+        matrix: SummarySetMatrix,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """Exact scores for a row subset: ``batch_scores(...)[0][rows]``
+        bit-for-bit, computed without touching the other rows."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support row-subset scoring"
+        )
+
+    def batch_scores_mixed_rows(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+        rows: np.ndarray,
+        i_values: np.ndarray | None = None,
+        mean_cw: float | None = None,
+    ) -> np.ndarray:
+        """Exact mixed-set scores for a row subset (see
+        :meth:`batch_scores_mixed`); corpus statistics of the mixed set
+        arrive precomputed via ``i_values``/``mean_cw`` when the scorer
+        needs them."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support row-subset scoring"
+        )
+
+    def topk_mixed_context(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+    ) -> dict:
+        """Per-query corpus statistics of the mixed set, computed once and
+        passed to every bound/row-scoring call (CORI's cf/mcw)."""
+        return {}
 
 
 def rank_databases(

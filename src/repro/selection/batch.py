@@ -101,6 +101,8 @@ class SummarySetMatrix:
         self._width = len(self.vocab)
         self._dense: dict[str, np.ndarray] = {}
         self._defaults: dict[str, np.ndarray] = {}
+        self._colmax: dict[str, np.ndarray] = {}
+        self._rowmax: dict[str, np.ndarray] = {}
         self._present: np.ndarray | None = None
         self._cw: np.ndarray | None = None
         self._ids_cache = LruCache(_QUERY_IDS_CACHE_SIZE)
@@ -181,6 +183,40 @@ class SummarySetMatrix:
             self._build(regime)
         return self._dense[regime]
 
+    # -- top-k pruning bounds --------------------------------------------------
+
+    def column_max(self, regime: str = "df") -> np.ndarray:
+        """Per-vocabulary-id maximum probability across all rows.
+
+        The per-term column upper bound of the top-k engine: no database
+        can contribute more than ``column_max()[id]`` at word ``id``.
+        Exact maxima (no arithmetic), so a zero entry certifies that every
+        database scores its floor component at that word.
+        """
+        if regime not in self._colmax:
+            self._colmax[regime] = self.dense(regime).max(axis=0)
+        return self._colmax[regime]
+
+    def row_max(self, regime: str = "df") -> np.ndarray:
+        """Per-database maximum probability across the whole vocabulary.
+
+        The global per-row residual bound: whatever the query, row ``i``
+        never sees a per-word probability above ``row_max()[i]`` (the
+        default is included, covering out-of-vocabulary lookups).
+        """
+        if regime not in self._rowmax:
+            dense = self.dense(regime)
+            self._rowmax[regime] = np.maximum(
+                dense.max(axis=1), self._defaults[regime]
+            )
+        return self._rowmax[regime]
+
+    def default_max(self, regime: str = "df") -> float:
+        """Upper bound on what any row returns for an unknown/invalid id."""
+        self.dense(regime)
+        defaults = self._defaults[regime]
+        return float(defaults.max()) if defaults.size else 0.0
+
     # -- external-buffer (de)materialization ----------------------------------
 
     def export_arrays(self) -> dict[str, np.ndarray]:
@@ -197,6 +233,10 @@ class SummarySetMatrix:
         for regime, dense in self._dense.items():
             arrays[f"dense.{regime}"] = dense
             arrays[f"defaults.{regime}"] = self._defaults[regime]
+        for regime, colmax in self._colmax.items():
+            arrays[f"colmax.{regime}"] = colmax
+        for regime, rowmax in self._rowmax.items():
+            arrays[f"rowmax.{regime}"] = rowmax
         if self._present is not None:
             arrays["present"] = self._present
         if self._cw is not None:
@@ -232,6 +272,20 @@ class SummarySetMatrix:
                         f"got {array.dtype} {array.shape}"
                     )
                 self._defaults[regime] = array
+            elif field == "colmax":
+                if array.shape != (self._width,) or array.dtype != np.float64:
+                    raise ValueError(
+                        f"{key}: expected float64 {(self._width,)}, "
+                        f"got {array.dtype} {array.shape}"
+                    )
+                self._colmax[regime] = array
+            elif field == "rowmax":
+                if array.shape != (n,) or array.dtype != np.float64:
+                    raise ValueError(
+                        f"{key}: expected float64 {(n,)}, "
+                        f"got {array.dtype} {array.shape}"
+                    )
+                self._rowmax[regime] = array
             elif field == "present":
                 if array.shape != (n, self._width) or array.dtype != np.bool_:
                     raise ValueError(
@@ -276,6 +330,22 @@ class SummarySetMatrix:
         safe = np.where(valid, ids, 0)
         out = dense[:, safe]
         out[:, ~valid] = self._defaults[regime][:, None]
+        return out
+
+    def gather_rows(
+        self, rows: np.ndarray, ids: np.ndarray, regime: str = "df"
+    ) -> np.ndarray:
+        """Row subset of :meth:`gather`: ``gather(ids, regime)[rows]``
+        without materializing the full matrix (pure selection, bitwise
+        identical to slicing the full gather)."""
+        dense = self.dense(regime)
+        rows = np.asarray(rows, dtype=np.int64)
+        ids = np.asarray(ids, dtype=np.int64)
+        valid = (ids >= 0) & (ids < self._width)
+        safe = np.where(valid, ids, 0)
+        out = dense[rows[:, None], safe[None, :]]
+        if not valid.all():
+            out[:, ~valid] = self._defaults[regime][rows][:, None]
         return out
 
     # -- CORI corpus statistics ------------------------------------------------
@@ -334,10 +404,37 @@ def batch_floor_map(
 
 
 def ranked_from_arrays(
-    names: Sequence[str], scores: np.ndarray, floors: np.ndarray
+    names: Sequence[str],
+    scores: np.ndarray,
+    floors: np.ndarray,
+    k: int | None = None,
 ) -> list[RankedDatabase]:
     """Assemble the final ranking exactly as ``rank_databases`` does:
-    strict ``score > floor`` for the selected flag, ties broken on name."""
+    strict ``score > floor`` for the selected flag, ties broken on name.
+
+    With ``k`` given, returns exactly the first ``k`` entries of the full
+    ranking without sorting all candidates: an ``argpartition`` isolates
+    the k largest scores, every row tied with the k-th score joins the
+    pool (so the name tie-break sees all contenders), and only that pool
+    is sorted. Bit-identical to ``ranked_from_arrays(...)[:k]``.
+    """
+    if k is not None and k < len(names):
+        if k <= 0:
+            return []
+        kept = np.argpartition(-scores, k - 1)[:k]
+        kth = scores[kept].min()
+        candidates = np.flatnonzero(scores >= kth)
+        ranking = [
+            RankedDatabase(name=names[i], score=score, selected=score > floor)
+            for i, score, floor in zip(
+                candidates.tolist(),
+                scores[candidates].tolist(),
+                floors[candidates].tolist(),
+            )
+        ]
+        ranking.sort(key=lambda entry: (-entry.score, entry.name))
+        del ranking[k:]
+        return ranking
     ranking = [
         RankedDatabase(name=name, score=score, selected=score > floor)
         for name, score, floor in zip(
@@ -362,11 +459,23 @@ class BatchSelectionEngine:
         summaries: Mapping[str, ContentSummary],
         prepare: bool = True,
         previous_matrix: SummarySetMatrix | None = None,
+        matrix: SummarySetMatrix | None = None,
     ) -> None:
         if prepare:
             scorer.prepare(summaries)
         self.scorer = scorer
-        self.matrix = SummarySetMatrix(summaries, previous=previous_matrix)
+        if matrix is not None:
+            # Matrices depend only on the summary set, not the scorer, so
+            # one matrix per set is shared across all algorithms' engines.
+            if matrix.names != tuple(sorted(summaries)):
+                raise UnsupportedSummarySet(
+                    "shared matrix names a different summary set"
+                )
+            self.matrix = matrix
+        else:
+            self.matrix = SummarySetMatrix(
+                summaries, previous=previous_matrix
+            )
         self.names = self.matrix.names
 
     def score_arrays(
@@ -415,14 +524,28 @@ class AdaptiveBatchEngine:
         shrunk: Mapping[str, ContentSummary],
         previous_plain: SummarySetMatrix | None = None,
         previous_shrunk: SummarySetMatrix | None = None,
+        plain_matrix: SummarySetMatrix | None = None,
+        shrunk_matrix: SummarySetMatrix | None = None,
     ) -> None:
         if set(sampled) != set(shrunk):
             raise UnsupportedSummarySet(
                 "sampled and shrunk sets name different databases"
             )
         self.scorer = scorer
-        self.plain = SummarySetMatrix(sampled, previous=previous_plain)
-        self.shrunk = SummarySetMatrix(shrunk, previous=previous_shrunk)
+        self.plain = (
+            plain_matrix
+            if plain_matrix is not None
+            else SummarySetMatrix(sampled, previous=previous_plain)
+        )
+        self.shrunk = (
+            shrunk_matrix
+            if shrunk_matrix is not None
+            else SummarySetMatrix(shrunk, previous=previous_shrunk)
+        )
+        if self.plain.names != tuple(sorted(sampled)):
+            raise UnsupportedSummarySet(
+                "shared matrix names a different summary set"
+            )
         if self.plain.vocab is not self.shrunk.vocab:
             raise UnsupportedSummarySet(
                 "sampled and shrunk sets use different vocabularies"
@@ -452,6 +575,15 @@ class AdaptiveBatchEngine:
         plain = self.plain.gather(ids, regime)
         shrunk = self.shrunk.gather(ids, regime)
         return np.where(mask[:, None], shrunk, plain)
+
+    def gather_mixed_rows(
+        self, rows: np.ndarray, ids: np.ndarray, regime: str, mask: np.ndarray
+    ) -> np.ndarray:
+        """Row subset of :meth:`gather_mixed` (pure selection)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        plain = self.plain.gather_rows(rows, ids, regime)
+        shrunk = self.shrunk.gather_rows(rows, ids, regime)
+        return np.where(mask[rows][:, None], shrunk, plain)
 
     def cw_mixed(self, mask: np.ndarray) -> np.ndarray:
         """Per-database cw(D) of the chosen summaries."""

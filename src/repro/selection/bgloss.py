@@ -38,6 +38,7 @@ class BGlossScorer(DatabaseScorer):
 
     name = "bGlOSS"
     word_decomposition = "product"
+    topk_regime = "df"
 
     def score(
         self, query_terms: Sequence[str], summary: ContentSummary
@@ -94,3 +95,43 @@ class BGlossScorer(DatabaseScorer):
         word_scores = engine.gather_mixed(ids, "df", mask)
         scores = _fold_product(engine.sizes, word_scores)
         return scores, self._floors(query_terms, engine.sizes)
+
+    # -- pruned top-k hooks ----------------------------------------------------
+
+    def topk_group_bounds(
+        self,
+        query_terms: Sequence[str],
+        pmax: np.ndarray,
+        size_ub: np.ndarray,
+        cw_lb: np.ndarray | None = None,
+        i_values: np.ndarray | None = None,
+        mean_cw: float | None = None,
+    ) -> np.ndarray:
+        # |D| * prod p(w|D) is monotone in every input and rounding is
+        # monotone per operation, so folding the per-word maxima through
+        # the same sequential product dominates every covered row's score;
+        # a zero pmax column zeroes the bound exactly like the floor fold.
+        return _fold_product(size_ub, pmax)
+
+    def batch_scores_rows(
+        self,
+        query_terms: Sequence[str],
+        matrix: SummarySetMatrix,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        ids = matrix.query_ids(query_terms)
+        word_scores = matrix.gather_rows(rows, ids, "df")
+        return _fold_product(matrix.sizes[rows], word_scores)
+
+    def batch_scores_mixed_rows(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+        rows: np.ndarray,
+        i_values: np.ndarray | None = None,
+        mean_cw: float | None = None,
+    ) -> np.ndarray:
+        ids = engine.query_ids(query_terms)
+        word_scores = engine.gather_mixed_rows(rows, ids, "df", mask)
+        return _fold_product(engine.sizes[rows], word_scores)

@@ -48,6 +48,14 @@ if TYPE_CHECKING:
 #: Bound on the per-query I-factor cache (see base.QUERY_IDS_CACHE_SIZE).
 _I_CACHE_SIZE = 512
 
+#: Multiplicative slack on the top-k T upper bound. T = df / (df + c) is
+#: monotone in df and anti-monotone in c in *real* arithmetic, but its
+#: numerator and denominator round independently, so the computed bound
+#: can undershoot a covered row's computed T by a few ulp. 1e-9 dwarfs
+#: that ~1e-15 relative error while preserving exact zeros (0 * guard
+#: == 0, keeping the all-zero bound fold exactly equal to the floor).
+_T_BOUND_GUARD = 1.0 + 1e-9
+
 
 def _present_ids(summary: ContentSummary) -> np.ndarray:
     """Ids counted as present for cf purposes (the round rule for R(D))."""
@@ -68,6 +76,7 @@ class CoriScorer(DatabaseScorer):
 
     name = "CORI"
     word_decomposition = "sum"
+    topk_regime = "df"
 
     def __init__(self, df_base: float = 50.0, df_factor: float = 150.0) -> None:
         self.df_base = df_base
@@ -326,3 +335,112 @@ class CoriScorer(DatabaseScorer):
         word_scores = 0.4 + 0.6 * t_values * i_values
         scores = self._fold_mean(word_scores, len(query_terms))
         return scores, self._floor_array(query_terms, count)
+
+    # -- pruned top-k hooks ----------------------------------------------------
+
+    def _mixed_i_values(
+        self, engine: AdaptiveBatchEngine, ids: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Per-word I factors of the mixed set (same fold as the serial
+        re-prepare on the materialized mixed dict)."""
+        count = len(engine)
+        denominator = math.log(count + 1.0)
+        return np.array(
+            [
+                math.log((count + 0.5) / max(cf, 1)) / denominator
+                for cf in engine.cf_at(ids, mask).tolist()
+            ],
+            dtype=np.float64,
+        )
+
+    def topk_mixed_context(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+    ) -> dict:
+        ids = engine.query_ids(query_terms)
+        return {
+            "i_values": self._mixed_i_values(engine, ids, mask),
+            "mean_cw": engine.mean_cw(mask),
+        }
+
+    def topk_group_bounds(
+        self,
+        query_terms: Sequence[str],
+        pmax: np.ndarray,
+        size_ub: np.ndarray,
+        cw_lb: np.ndarray | None = None,
+        i_values: np.ndarray | None = None,
+        mean_cw: float | None = None,
+    ) -> np.ndarray:
+        """Upper bounds via T(df_ub, cw_lb): T is increasing in df and
+        decreasing in cw, and I > 0 always (cf <= m), so maximizing df
+        and minimizing cw dominates every covered row; the guard absorbs
+        the independent numerator/denominator rounding. All-zero pmax
+        folds to exactly the 0.4-per-word floor."""
+        if i_values is None:
+            if self._num_databases == 0:
+                raise RuntimeError(
+                    "CoriScorer.prepare must run before scoring"
+                )
+            i_values = self._i_values(tuple(query_terms))
+        if mean_cw is None:
+            mean_cw = self._mean_cw
+        if cw_lb is None:
+            raise ValueError("CORI top-k bounds need a cw lower bound")
+        document_frequency = pmax * size_ub[:, None]
+        t_bounds = document_frequency / (
+            document_frequency
+            + self.df_base
+            + (self.df_factor * cw_lb / mean_cw)[:, None]
+        )
+        t_bounds = t_bounds * _T_BOUND_GUARD
+        word_bounds = 0.4 + 0.6 * t_bounds * i_values
+        return self._fold_mean(word_bounds, len(query_terms))
+
+    def batch_scores_rows(
+        self,
+        query_terms: Sequence[str],
+        matrix: SummarySetMatrix,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        if self._num_databases == 0:
+            raise RuntimeError("CoriScorer.prepare must run before scoring")
+        ids = matrix.query_ids(query_terms)
+        probabilities = matrix.gather_rows(rows, ids, "df")
+        cw = np.array(
+            [
+                self._database_cw(matrix.summaries[row])
+                for row in np.asarray(rows).tolist()
+            ],
+            dtype=np.float64,
+        )
+        t_values = self._t_matrix(
+            probabilities, matrix.sizes[rows], cw, self._mean_cw
+        )
+        i_values = self._i_values(tuple(query_terms))
+        word_scores = 0.4 + 0.6 * t_values * i_values
+        return self._fold_mean(word_scores, len(query_terms))
+
+    def batch_scores_mixed_rows(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+        rows: np.ndarray,
+        i_values: np.ndarray | None = None,
+        mean_cw: float | None = None,
+    ) -> np.ndarray:
+        ids = engine.query_ids(query_terms)
+        probabilities = engine.gather_mixed_rows(rows, ids, "df", mask)
+        cw = engine.cw_mixed(mask)[rows]
+        if mean_cw is None:
+            mean_cw = engine.mean_cw(mask)
+        if i_values is None:
+            i_values = self._mixed_i_values(engine, ids, mask)
+        t_values = self._t_matrix(
+            probabilities, engine.sizes[rows], cw, mean_cw
+        )
+        word_scores = 0.4 + 0.6 * t_values * i_values
+        return self._fold_mean(word_scores, len(query_terms))

@@ -19,6 +19,7 @@ from collections.abc import Mapping, Sequence
 
 from repro.core.category import CategorySummaryBuilder
 from repro.selection.base import DatabaseScorer, rank_databases
+from repro.selection.batch import BatchSelectionEngine, UnsupportedSummarySet
 from repro.summaries.summary import ContentSummary
 
 
@@ -34,6 +35,11 @@ class HierarchicalSelector:
         self.scorer = scorer
         self.builder = builder
         self.summaries = dict(summaries)
+        #: Per-subtree batch engines for the leaf rankings (None for
+        #: summary sets that do not stack; those stay serial).
+        self._engines: dict[
+            tuple[str, ...], BatchSelectionEngine | None
+        ] = {}
 
     def select(self, query_terms: Sequence[str], k: int) -> list[str]:
         """Select up to ``k`` databases, best-category-first."""
@@ -96,12 +102,34 @@ class HierarchicalSelector:
         names = self.builder.databases_under(path)
         if not names:
             return []
-        ranked = rank_databases(
-            self.scorer,
-            query_terms,
-            {name: self.summaries[name] for name in names},
-        )
+        summaries = {name: self.summaries[name] for name in names}
+        engine = self._subtree_engine(path, summaries)
+        if engine is not None:
+            # The scorer is shared across subtrees, so its corpus-level
+            # statistics must be re-prepared on this subtree's set — the
+            # same preparation rank_databases performs, keeping the two
+            # paths bit-identical.
+            self.scorer.prepare(summaries)
+            ranked = engine.rank(query_terms)
+        else:
+            ranked = rank_databases(self.scorer, query_terms, summaries)
         return [entry.name for entry in ranked if entry.selected][:k]
+
+    def _subtree_engine(
+        self,
+        path: tuple[str, ...],
+        summaries: Mapping[str, ContentSummary],
+    ) -> BatchSelectionEngine | None:
+        """A cached batch engine for one subtree's database set."""
+        if path not in self._engines:
+            try:
+                engine = BatchSelectionEngine(
+                    self.scorer, summaries, prepare=False
+                )
+            except UnsupportedSummarySet:
+                engine = None
+            self._engines[path] = engine
+        return self._engines[path]
 
     def _direct_databases(self, node) -> list[str]:
         """Databases classified exactly at ``node`` (not under a child)."""

@@ -39,6 +39,7 @@ class LanguageModelScorer(DatabaseScorer):
 
     name = "LM"
     word_decomposition = "product"
+    topk_regime = "tf"
 
     def __init__(
         self,
@@ -192,3 +193,55 @@ class LanguageModelScorer(DatabaseScorer):
         return self._batch_from_probabilities(
             query_terms, engine.gather_mixed(ids, "tf", mask)
         )
+
+    # -- pruned top-k hooks ----------------------------------------------------
+
+    def topk_group_bounds(
+        self,
+        query_terms: Sequence[str],
+        pmax: np.ndarray,
+        size_ub: np.ndarray,
+        cw_lb: np.ndarray | None = None,
+        i_values: np.ndarray | None = None,
+        mean_cw: float | None = None,
+    ) -> np.ndarray:
+        # lambda * p + (1 - lambda) * p(w|G) is a single monotone rounded
+        # chain in p, so evaluating it at the per-word maxima — with the
+        # exact expression the scoring path uses — dominates every covered
+        # row, and a zero pmax entry reproduces the floor factor exactly.
+        word_bounds = (
+            self.smoothing_lambda * pmax
+            + (1.0 - self.smoothing_lambda)
+            * self._global_vector(tuple(query_terms))
+        )
+        bounds = np.ones(pmax.shape[0], dtype=np.float64)
+        for column in word_bounds.T:
+            bounds = bounds * column
+        return bounds
+
+    def batch_scores_rows(
+        self,
+        query_terms: Sequence[str],
+        matrix: SummarySetMatrix,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        ids = matrix.query_ids(query_terms)
+        scores, _ = self._batch_from_probabilities(
+            query_terms, matrix.gather_rows(rows, ids, "tf")
+        )
+        return scores
+
+    def batch_scores_mixed_rows(
+        self,
+        query_terms: Sequence[str],
+        engine: AdaptiveBatchEngine,
+        mask: np.ndarray,
+        rows: np.ndarray,
+        i_values: np.ndarray | None = None,
+        mean_cw: float | None = None,
+    ) -> np.ndarray:
+        ids = engine.query_ids(query_terms)
+        scores, _ = self._batch_from_probabilities(
+            query_terms, engine.gather_mixed_rows(rows, ids, "tf", mask)
+        )
+        return scores

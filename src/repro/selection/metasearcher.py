@@ -33,7 +33,14 @@ from repro.selection.base import DatabaseScorer, rank_databases
 from repro.selection.batch import (
     AdaptiveBatchEngine,
     BatchSelectionEngine,
+    SummarySetMatrix,
     UnsupportedSummarySet,
+)
+from repro.selection.topk import (
+    GroupIndex,
+    MixedTopKEngine,
+    TopKEngine,
+    group_labels,
 )
 from repro.selection.bgloss import BGlossScorer
 from repro.selection.cori import CoriScorer
@@ -72,6 +79,9 @@ class SelectionOutcome:
     scores: dict[str, float] = field(default_factory=dict)
     #: Per-database adaptive decisions (SHRINKAGE strategy only).
     decisions: dict[str, AdaptiveDecision] | None = None
+    #: How many candidate rows the pruned top-k engine scored exactly
+    #: (``None`` when the query ran through a full scan).
+    candidates_scored: int | None = None
 
     @property
     def shrinkage_applications(self) -> int:
@@ -123,64 +133,73 @@ class Metasearcher:
         self.use_batched = True
         self._engines: dict[tuple[str, str], BatchSelectionEngine | None] = {}
         self._adaptive_engines: dict[str, AdaptiveBatchEngine | None] = {}
+        #: One score matrix per summary *set* ("plain"/"shrunk"), shared
+        #: by every algorithm's engines — matrices depend only on the
+        #: summaries, so stacking them once per set instead of once per
+        #: (algorithm, set) cuts snapshot memory by the algorithm count.
+        self._set_matrices: dict[str, SummarySetMatrix | None] = {}
+        self._group_indexes: dict[str, GroupIndex | None] = {}
+        self._topk: dict[tuple[str, str], TopKEngine | None] = {}
+        self._mixed_topk: dict[str, MixedTopKEngine | None] = {}
+        self._hierarchical: dict[str, HierarchicalSelector] = {}
         #: Copy-on-write seeds: previous-snapshot matrices engines may
         #: reuse rows from (see :meth:`seed_matrices_from`).
-        self._matrix_seeds: dict[tuple, object] = {}
+        self._matrix_seeds: dict[str, SummarySetMatrix] = {}
 
     def seed_matrices_from(self, previous: "Metasearcher") -> None:
         """Adopt a previous snapshot's score matrices as COW seeds.
 
-        Engines built later copy rows for summaries that are the *same
+        Matrices built later copy rows for summaries that are the *same
         object* in both snapshots (bitwise-identical by construction)
         instead of re-densifying them — the "prebuilt SummarySetMatrix
         stacks" part of the snapshot contract.
         """
-        for cache_key, engine in previous._engines.items():
-            if engine is not None:
-                self._matrix_seeds[cache_key] = engine.matrix
-        for algorithm, adaptive in previous._adaptive_engines.items():
-            if adaptive is not None:
-                self._matrix_seeds[("adaptive", algorithm, "plain")] = (
-                    adaptive.plain
-                )
-                self._matrix_seeds[("adaptive", algorithm, "shrunk")] = (
-                    adaptive.shrunk
-                )
+        for key, matrix in previous._set_matrices.items():
+            if matrix is not None:
+                self._matrix_seeds[key] = matrix
 
-    def ensure_engines(self) -> None:
-        """Construct every batched engine without issuing a query.
+    def ensure_engines(self, roles: set[str] | None = None) -> None:
+        """Construct batched engines without issuing a query.
 
         Engine construction is cheap (name sort + size stack); the heavy
         dense matrices stay lazy. Callers that want to install external
         buffers (shared-memory views, see :mod:`repro.serving.shm`) call
         this first so the matrices exist to adopt into, *before* any
         select densifies them locally.
+
+        ``roles`` — snapshot role keys (``set:plain``/``set:shrunk``) —
+        limits construction to the sets a manifest actually carries:
+        adopting a plain-only snapshot must not force the shrunk set into
+        existence (that would run EM in every attaching worker). ``None``
+        builds everything.
         """
+        want_plain = roles is None or "set:plain" in roles
+        want_shrunk = roles is None or "set:shrunk" in roles
         for algorithm in _ALGORITHMS:
-            self._batched_engine(algorithm, "plain", self.sampled_summaries)
-            self._batched_engine(
-                algorithm, "universal", self.shrunk_summaries
-            )
-            self._adaptive_engine(algorithm)
+            if want_plain:
+                self._batched_engine(
+                    algorithm, "plain", self.sampled_summaries
+                )
+            if want_shrunk:
+                self._batched_engine(
+                    algorithm, "universal", self.shrunk_summaries
+                )
+            if want_plain and want_shrunk:
+                self._adaptive_engine(algorithm)
 
     def engine_matrices(self) -> dict[str, "object"]:
         """Every live score matrix, keyed by its stable snapshot role.
 
-        Keys are ``engine:<algorithm>:<set>`` for the fixed-set engines
-        and ``adaptive:<algorithm>:plain|shrunk`` for the mixed-set pair —
-        the naming the shared-memory manifest uses, stable across
-        processes because it derives only from (algorithm, summary-set)
-        identity, never from object ids.
+        One key per summary set — ``set:plain`` / ``set:shrunk`` — the
+        naming the shared-memory manifest uses, stable across processes
+        because it derives only from summary-set identity, never from
+        object ids.
         """
-        matrices: dict[str, object] = {}
-        for (algorithm, key), engine in self._engines.items():
-            if engine is not None:
-                matrices[f"engine:{algorithm}:{key}"] = engine.matrix
-        for algorithm, engine in self._adaptive_engines.items():
-            if engine is not None:
-                matrices[f"adaptive:{algorithm}:plain"] = engine.plain
-                matrices[f"adaptive:{algorithm}:shrunk"] = engine.shrunk
-        return matrices
+        return {
+            f"set:{key}": matrix
+            for key, matrix in self._set_matrices.items()
+            if matrix is not None
+        }
 
     @property
     def shrunk_summaries(self) -> dict[str, ShrunkSummary]:
@@ -224,6 +243,15 @@ class Metasearcher:
             if key[1] != "universal"
         }
         self._adaptive_engines = {}
+        self._set_matrices.pop("shrunk", None)
+        self._matrix_seeds.pop("shrunk", None)
+        self._group_indexes.pop("shrunk", None)
+        self._topk = {
+            key: engine
+            for key, engine in self._topk.items()
+            if key[1] != "universal"
+        }
+        self._mixed_topk = {}
 
     def make_scorer(self, algorithm: str) -> DatabaseScorer:
         """A fresh scorer instance for ``algorithm`` (bgloss/cori/lm)."""
@@ -250,6 +278,7 @@ class Metasearcher:
         strategy: SelectionStrategy | str = SelectionStrategy.SHRINKAGE,
         k: int = 10,
         deadline: float | None = None,
+        prune: bool = False,
     ) -> SelectionOutcome:
         """Run one query through the chosen algorithm and strategy.
 
@@ -257,25 +286,39 @@ class Metasearcher:
         adaptive strategy's per-database decision loop runs past it,
         :class:`SelectionDeadlineExceeded` is raised (other strategies are
         a single batched matrix pass and ignore the deadline).
+
+        ``prune`` enables the bound-based exact top-k engine: the ranking
+        it returns is bit-identical to the full scan truncated to ``k``
+        (scores, floors, selected flags and ordering — see
+        :mod:`repro.selection.topk`), but only a small candidate fraction
+        is scored exactly. When pruning does not apply the full scan runs
+        as before, so the flag is always safe to pass.
         """
         strategy = SelectionStrategy(strategy)
 
         if strategy is SelectionStrategy.HIERARCHICAL:
-            selector = HierarchicalSelector(
-                self.make_scorer(algorithm), self.builder, self.sampled_summaries
-            )
+            selector = self._hierarchical_selector(algorithm)
             return SelectionOutcome(names=selector.select(query_terms, k))
 
+        pruned = None
         if strategy is SelectionStrategy.PLAIN:
-            ranking = self._fixed_set_ranking(
-                algorithm, "plain", self.sampled_summaries, query_terms
-            )
             decisions = None
+            if prune:
+                pruned = self._pruned_fixed(algorithm, "plain", query_terms, k)
+            if pruned is None:
+                ranking = self._fixed_set_ranking(
+                    algorithm, "plain", self.sampled_summaries, query_terms
+                )
         elif strategy is SelectionStrategy.UNIVERSAL:
-            ranking = self._fixed_set_ranking(
-                algorithm, "universal", self.shrunk_summaries, query_terms
-            )
             decisions = None
+            if prune:
+                pruned = self._pruned_fixed(
+                    algorithm, "universal", query_terms, k
+                )
+            if pruned is None:
+                ranking = self._fixed_set_ranking(
+                    algorithm, "universal", self.shrunk_summaries, query_terms
+                )
         else:  # SHRINKAGE: the adaptive algorithm of Figure 3
             decision_scorer = self._prepared_scorer(
                 algorithm, "plain", self.sampled_summaries
@@ -286,11 +329,50 @@ class Metasearcher:
                 self._batched_floors(algorithm, decision_scorer, query_terms),
                 deadline=deadline,
             )
-            ranking = self._mixed_set_ranking(algorithm, query_terms, decisions)
+            if prune:
+                pruned = self._pruned_mixed(
+                    algorithm, query_terms, decisions, k
+                )
+            if pruned is None:
+                ranking = self._mixed_set_ranking(
+                    algorithm, query_terms, decisions
+                )
+
+        candidates_scored = None
+        if pruned is not None:
+            from repro.evaluation.instrument import count, observe
+
+            ranking, stats = pruned
+            candidates_scored = stats.candidates_scored
+            observe("select.candidates_scored", float(stats.candidates_scored))
+            count("select.subtrees_pruned", stats.groups_pruned)
+            count("select.rows_pruned", stats.rows_pruned)
 
         names = [entry.name for entry in ranking if entry.selected][:k]
         scores = {entry.name: entry.score for entry in ranking}
-        return SelectionOutcome(names=names, scores=scores, decisions=decisions)
+        return SelectionOutcome(
+            names=names,
+            scores=scores,
+            decisions=decisions,
+            candidates_scored=candidates_scored,
+        )
+
+    def _hierarchical_selector(self, algorithm: str) -> HierarchicalSelector:
+        """One cached hierarchical selector per algorithm.
+
+        Reuse keeps the selector's per-subtree batch engines warm across
+        queries instead of rebuilding them on every select call.
+        """
+        key = algorithm.lower()
+        selector = self._hierarchical.get(key)
+        if selector is None:
+            selector = HierarchicalSelector(
+                self.make_scorer(algorithm),
+                self.builder,
+                self.sampled_summaries,
+            )
+            self._hierarchical[key] = selector
+        return selector
 
     # -- batched engines ---------------------------------------------------------
 
@@ -339,6 +421,32 @@ class Metasearcher:
             self.make_scorer(algorithm), query_terms, summaries
         )
 
+    def _set_matrix(self, key: str) -> SummarySetMatrix | None:
+        """The one shared score matrix for a summary set ("plain"/"shrunk"),
+        or ``None`` when the set does not stack (mixed vocabularies,
+        unknown summary types)."""
+        if key not in self._set_matrices:
+            from repro.evaluation.instrument import span
+
+            summaries = (
+                self.sampled_summaries
+                if key == "plain"
+                else self.shrunk_summaries
+            )
+            try:
+                with span(
+                    "matrix.build",
+                    summary_set=key,
+                    databases=len(summaries),
+                ):
+                    matrix = SummarySetMatrix(
+                        summaries, previous=self._matrix_seeds.get(key)
+                    )
+            except UnsupportedSummarySet:
+                matrix = None
+            self._set_matrices[key] = matrix
+        return self._set_matrices[key]
+
     def _batched_engine(
         self,
         algorithm: str,
@@ -355,21 +463,25 @@ class Metasearcher:
             from repro.evaluation.instrument import span
 
             scorer = self._prepared_scorer(algorithm, key, summaries)
-            try:
-                with span(
-                    "engine.build",
-                    algorithm=algorithm.lower(),
-                    summary_set=key,
-                    databases=len(summaries),
-                ):
-                    engine = BatchSelectionEngine(
-                        scorer,
-                        summaries,
-                        prepare=False,
-                        previous_matrix=self._matrix_seeds.get(cache_key),
-                    )
-            except UnsupportedSummarySet:
+            matrix = self._set_matrix("plain" if key == "plain" else "shrunk")
+            if matrix is None:
                 engine = None
+            else:
+                try:
+                    with span(
+                        "engine.build",
+                        algorithm=algorithm.lower(),
+                        summary_set=key,
+                        databases=len(summaries),
+                    ):
+                        engine = BatchSelectionEngine(
+                            scorer,
+                            summaries,
+                            prepare=False,
+                            matrix=matrix,
+                        )
+                except UnsupportedSummarySet:
+                    engine = None
             self._engines[cache_key] = engine
         return self._engines[cache_key]
 
@@ -381,28 +493,122 @@ class Metasearcher:
         if key not in self._adaptive_engines:
             from repro.evaluation.instrument import span
 
-            try:
-                with span(
-                    "engine.build",
-                    algorithm=key,
-                    summary_set="adaptive",
-                    databases=len(self.sampled_summaries),
-                ):
-                    engine = AdaptiveBatchEngine(
-                        self.make_scorer(algorithm),
-                        self.sampled_summaries,
-                        self.shrunk_summaries,
-                        previous_plain=self._matrix_seeds.get(
-                            ("adaptive", key, "plain")
-                        ),
-                        previous_shrunk=self._matrix_seeds.get(
-                            ("adaptive", key, "shrunk")
-                        ),
-                    )
-            except UnsupportedSummarySet:
+            plain_matrix = self._set_matrix("plain")
+            shrunk_matrix = self._set_matrix("shrunk")
+            if plain_matrix is None or shrunk_matrix is None:
                 engine = None
+            else:
+                try:
+                    with span(
+                        "engine.build",
+                        algorithm=key,
+                        summary_set="adaptive",
+                        databases=len(self.sampled_summaries),
+                    ):
+                        engine = AdaptiveBatchEngine(
+                            self.make_scorer(algorithm),
+                            self.sampled_summaries,
+                            self.shrunk_summaries,
+                            plain_matrix=plain_matrix,
+                            shrunk_matrix=shrunk_matrix,
+                        )
+                except UnsupportedSummarySet:
+                    engine = None
             self._adaptive_engines[key] = engine
         return self._adaptive_engines[key]
+
+    # -- pruned top-k ------------------------------------------------------------
+
+    def _group_index(self, key: str) -> GroupIndex | None:
+        """The cached per-category-subtree bound index for a set matrix."""
+        if key not in self._group_indexes:
+            matrix = self._set_matrix(key)
+            if matrix is None:
+                index = None
+            else:
+                index = GroupIndex(
+                    matrix, group_labels(matrix.names, self.classifications)
+                )
+            self._group_indexes[key] = index
+        return self._group_indexes[key]
+
+    def _topk_engine(self, algorithm: str, key: str) -> TopKEngine | None:
+        """The cached pruned top-k engine for a fixed summary set."""
+        cache_key = (algorithm.lower(), key)
+        if cache_key not in self._topk:
+            summaries = (
+                self.sampled_summaries
+                if key == "plain"
+                else self.shrunk_summaries
+            )
+            engine = self._batched_engine(algorithm, key, summaries)
+            set_key = "plain" if key == "plain" else "shrunk"
+            groups = self._group_index(set_key)
+            if (
+                engine is None
+                or groups is None
+                or engine.scorer.topk_regime is None
+            ):
+                topk = None
+            else:
+                topk = TopKEngine(engine.scorer, engine.matrix, groups)
+            self._topk[cache_key] = topk
+        return self._topk[cache_key]
+
+    def _mixed_topk_engine(self, algorithm: str) -> MixedTopKEngine | None:
+        """The cached pruned top-k engine over per-query plain/shrunk mixes."""
+        key = algorithm.lower()
+        if key not in self._mixed_topk:
+            engine = self._adaptive_engine(algorithm)
+            plain_groups = self._group_index("plain")
+            shrunk_groups = self._group_index("shrunk")
+            if (
+                engine is None
+                or plain_groups is None
+                or shrunk_groups is None
+                or engine.scorer.topk_regime is None
+            ):
+                topk = None
+            else:
+                topk = MixedTopKEngine(
+                    engine.scorer, engine, plain_groups, shrunk_groups
+                )
+            self._mixed_topk[key] = topk
+        return self._mixed_topk[key]
+
+    def _pruned_fixed(
+        self,
+        algorithm: str,
+        key: str,
+        query_terms: Sequence[str],
+        k: int,
+    ):
+        """Pruned exact top-k over a fixed set, or None (full scan)."""
+        if not self.use_batched:
+            return None
+        topk = self._topk_engine(algorithm, key)
+        if topk is None:
+            return None
+        return topk.rank(query_terms, k)
+
+    def _pruned_mixed(
+        self,
+        algorithm: str,
+        query_terms: Sequence[str],
+        decisions: Mapping[str, AdaptiveDecision],
+        k: int,
+    ):
+        """Pruned exact top-k over the adaptive mix, or None (full scan)."""
+        if not self.use_batched:
+            return None
+        topk = self._mixed_topk_engine(algorithm)
+        if topk is None:
+            return None
+        mask = np.array(
+            [decisions[name].use_shrinkage for name in topk.engine.names],
+            dtype=bool,
+        )
+        return topk.rank(query_terms, mask, k)
 
     def _batched_floors(
         self,

@@ -610,6 +610,28 @@ def verify_against_rebuild(
             ):
                 mismatches.append(f"{name}: {regime} probabilities")
 
+    # The pruned top-k engine scores against per-term bound arrays; a
+    # stale or corrupted bound silently breaks its exactness guarantee,
+    # so the bounds are held to the same bitwise standard as the dense
+    # matrices they summarize.
+    for key in ("plain", "shrunk"):
+        mine = metasearcher._set_matrix(key)
+        theirs = fresh._set_matrix(key)
+        if (mine is None) != (theirs is None):
+            mismatches.append(f"set:{key}: matrix support differs")
+            continue
+        if mine is None:
+            continue
+        for regime in ("df", "tf"):
+            if not np.array_equal(
+                mine.column_max(regime), theirs.column_max(regime)
+            ):
+                mismatches.append(f"set:{key}: colmax.{regime}")
+            if not np.array_equal(
+                mine.row_max(regime), theirs.row_max(regime)
+            ):
+                mismatches.append(f"set:{key}: rowmax.{regime}")
+
     if queries is None:
         queries = probe_queries(metasearcher)
     checked = 0
@@ -630,6 +652,23 @@ def verify_against_rebuild(
                 elif ours.scores != theirs.scores:
                     mismatches.append(
                         f"{algorithm}/{strategy} {query}: scores differ"
+                    )
+                # Pruned top-k must reproduce the full scan's top k bit
+                # for bit (names, scores, selected flags via names).
+                pruned = metasearcher.select(
+                    list(query),
+                    algorithm=algorithm,
+                    strategy=strategy,
+                    k=k,
+                    prune=True,
+                )
+                if pruned.names != ours.names or any(
+                    pruned.scores[name] != ours.scores[name]
+                    for name in pruned.scores
+                    if name in ours.scores
+                ) or not set(pruned.scores) <= set(ours.scores):
+                    mismatches.append(
+                        f"{algorithm}/{strategy} {query}: pruned != full"
                     )
 
     return {

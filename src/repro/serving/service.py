@@ -71,6 +71,19 @@ class ServiceConfig:
     request_timeout_seconds: float | None = 0.5
     #: Bound on each snapshot's (algorithm, strategy, query, k) cache.
     response_cache_size: int = 1024
+    #: Route requests through the pruned exact top-k engine (bit-identical
+    #: rankings, sublinear candidate touch — see repro.selection.topk).
+    prune: bool = False
+    #: Cap on how many ranking entries a response carries (``--topk``).
+    #: ``None`` returns the full ranking; large universes need the cap to
+    #: keep response size (and JSON encode time) independent of the
+    #: database count.
+    ranking_limit: int | None = None
+    #: Which strategies this deployment serves. Universe-scale cells skip
+    #: EM entirely by serving ``("plain",)`` — the shrunk summary set is
+    #: then never materialized, and requests for other strategies are
+    #: rejected with a 400 instead of silently triggering EM.
+    strategies: tuple[str, ...] = _STRATEGIES
 
 
 class ServiceStats:
@@ -206,7 +219,12 @@ class SelectionService:
                 config.frequency_estimation,
                 config.scale,
             )
-            harness.ensure_shrunk(cell)
+            needs_shrunk = any(s != "plain" for s in config.strategies)
+            if needs_shrunk and harness.universe_size(config.dataset) is None:
+                # Universe cells have no sampling pipeline; the
+                # metasearcher shrinks lazily if an adaptive strategy
+                # is actually queried.
+                harness.ensure_shrunk(cell)
             service = cls(
                 cell.metasearcher,
                 config,
@@ -233,16 +251,25 @@ class SelectionService:
         One throwaway query per (algorithm, strategy) forces scorer
         prepare, matrix stacking, and the dense-regime builds, so request
         latency never includes one-time construction — and so the
-        lock-free request path never races a lazy engine build.
+        lock-free request path never races a lazy engine build. With
+        pruning on, the warmup also builds the column/row bound arrays,
+        so a shared-memory pack right after warmup covers them.
         """
-        self._warm(self._snapshot.metasearcher)
+        self._warm(self._snapshot.metasearcher, self.config)
 
     @staticmethod
-    def _warm(metasearcher: Metasearcher) -> None:
+    def _warm(
+        metasearcher: Metasearcher, config: ServiceConfig | None = None
+    ) -> None:
+        config = config or ServiceConfig()
         for algorithm in _ALGORITHMS:
-            for strategy in _STRATEGIES:
+            for strategy in config.strategies:
                 metasearcher.select(
-                    ["warmup"], algorithm=algorithm, strategy=strategy, k=1
+                    ["warmup"],
+                    algorithm=algorithm,
+                    strategy=strategy,
+                    k=1,
+                    prune=config.prune,
                 )
 
     # -- request path ----------------------------------------------------------
@@ -278,6 +305,11 @@ class SelectionService:
         if strategy not in _STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; pick from {_STRATEGIES}"
+            )
+        if strategy not in self.config.strategies:
+            raise ValueError(
+                f"strategy {strategy!r} not served by this deployment; "
+                f"pick from {tuple(self.config.strategies)}"
             )
         terms = normalize_query(query)
         if k is None:
@@ -328,6 +360,7 @@ class SelectionService:
         deadline = (
             arrival + timeout_seconds if timeout_seconds is not None else None
         )
+        prune = self.config.prune
         try:
             outcome = snapshot.metasearcher.select(
                 list(terms),
@@ -335,6 +368,7 @@ class SelectionService:
                 strategy=strategy,
                 k=k,
                 deadline=deadline,
+                prune=prune,
             )
         except SelectionDeadlineExceeded:
             self.stats.record_degraded()
@@ -344,10 +378,16 @@ class SelectionService:
                 algorithm=algorithm,
                 strategy=SelectionStrategy.PLAIN,
                 k=k,
+                prune=prune,
             )
         ranking = sorted(
             outcome.scores.items(), key=lambda item: (-item[1], item[0])
         )
+        limit = self.config.ranking_limit
+        if limit is not None:
+            # A pruned outcome already carries only its top-k pool; the
+            # cap makes the unpruned response comparable (and bounded).
+            ranking = ranking[:limit]
         selected = set(outcome.names)
         return {
             "query": list(terms),
@@ -367,6 +407,7 @@ class SelectionService:
                 for name, score in ranking
             ],
             "shrinkage_applications": outcome.shrinkage_applications,
+            "candidates_scored": outcome.candidates_scored,
         }
 
     # -- lifecycle -------------------------------------------------------------
@@ -507,7 +548,8 @@ class SelectionService:
             "databases": len(snapshot.databases),
             "snapshot_version": snapshot.version,
             "algorithms": list(_ALGORITHMS),
-            "strategies": list(_STRATEGIES),
+            "strategies": list(self.config.strategies),
+            "prune": self.config.prune,
         }
 
     def stats_snapshot(self) -> dict:

@@ -25,19 +25,22 @@ score against them zero-copy:
   receiver's matrices (``adopt_arrays``) before its first select, so the
   receiver never densifies locally.
 
-Manifest format (plain JSON, schema 1)::
+Manifest format (plain JSON, schema 2)::
 
-    {"schema": 1, "segment": "repro_shm_<pid>_<epoch>_<nonce>",
+    {"schema": 2, "segment": "repro_shm_<pid>_<epoch>_<nonce>",
      "digest": "<sha256 hex of bytes [0, total_bytes)>",
      "total_bytes": N, "epoch": E,
-     "arrays": {"engine:cori:plain/dense.df":
+     "arrays": {"set:plain/dense.df":
                     {"offset": 0, "dtype": "float64", "shape": [10, 4096]},
                 ...}}
 
 Array keys are ``<matrix role>/<field>`` where the role comes from
 :meth:`~repro.selection.metasearcher.Metasearcher.engine_matrices` —
-derived from (algorithm, summary-set) identity only, so publisher and
-attacher agree across processes by construction.
+one matrix per summary set (``set:plain``/``set:shrunk``), shared by all
+algorithms, so publisher and attacher agree across processes by
+construction. Schema 2 also packs each matrix's per-term column/row
+bound arrays (``colmax.*``/``rowmax.*``), which the pruned top-k engine
+scores against — digest-checked like every other buffer.
 
 Cleanup discipline: the *publisher* owns the segment name — only it ever
 calls :meth:`SnapshotSegment.unlink`. Attachers close their mapping when
@@ -57,8 +60,11 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-#: Manifest schema version.
-SCHEMA_VERSION = 1
+#: Manifest schema version. 2: one matrix per summary set
+#: (``set:plain``/``set:shrunk`` roles) plus packed column/row bound
+#: arrays for pruned top-k — schema-1 manifests (per-algorithm roles, no
+#: bounds) are not adoptable and fail loudly.
+SCHEMA_VERSION = 2
 
 #: Prefix for every segment this module creates — greppable in
 #: ``/dev/shm`` and asserted clean by the CI worker-smoke leg.
@@ -309,7 +315,13 @@ def adopt_snapshot(
     from repro.evaluation.instrument import span
 
     with span("shm.attach", segment=str(manifest.get("segment"))):
-        metasearcher.ensure_engines()
+        # Build only the summary sets the manifest actually carries: a
+        # plain-only snapshot (large universes skip EM) must not force
+        # the shrunk set into existence in every attaching worker.
+        roles = {
+            key.partition("/")[0] for key in manifest.get("arrays", {})
+        }
+        metasearcher.ensure_engines(roles)
         views, segment = attach(manifest)
         _adopt_views(metasearcher, views)
     return segment

@@ -552,7 +552,7 @@ class WorkerPool:
                 # Warm first so the pack covers the built matrices, then
                 # share them; the service's own warm pass after this is a
                 # cheap second visit over already-dense buffers.
-                SelectionService._warm(metasearcher)
+                SelectionService._warm(metasearcher, self.service.config)
                 packed["manifest"], packed["segment"] = shm.publish_snapshot(
                     metasearcher, epoch=version
                 )

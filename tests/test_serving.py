@@ -99,6 +99,55 @@ def service():
     return _make_service()
 
 
+class TestStrategyGatingAndPrune:
+    def test_unserved_strategy_rejected(self):
+        service = _make_service(strategies=("plain",))
+        with pytest.raises(ValueError, match="not served"):
+            service.select(["gen000"], strategy="shrinkage")
+        response = service.select(["gen000"], strategy="plain")
+        assert response["strategy"] == "plain"
+
+    def test_plain_only_service_never_shrinks(self):
+        service = _make_service(strategies=("plain",))
+        # Warmup covered only the served strategies, so the (expensive)
+        # EM shrinkage build must never have been triggered.
+        assert service.metasearcher._shrunk is None
+
+    def test_pruned_responses_match_full_first_k(self):
+        baseline = _make_service()
+        pruned = _make_service(prune=True)
+        for query in (["gen000", "gen001"], ["cancer000"], ["oov-term"]):
+            for strategy in ("plain", "universal", "shrinkage"):
+                a = baseline.select(
+                    query, algorithm="cori", strategy=strategy, k=3
+                )
+                b = pruned.select(
+                    query, algorithm="cori", strategy=strategy, k=3
+                )
+                assert b["selected"] == a["selected"]
+                assert b["ranking"][:3] == a["ranking"][:3]
+
+    def test_pruned_response_reports_candidates_scored(self):
+        service = _make_service(prune=True)
+        response = service.select(
+            ["gen000"], algorithm="cori", strategy="plain", k=3
+        )
+        databases = len(service.metasearcher.sampled_summaries)
+        assert response["candidates_scored"] is not None
+        assert 0 < response["candidates_scored"] <= databases
+
+    def test_ranking_limit_caps_response(self):
+        service = _make_service(ranking_limit=2)
+        response = service.select(["gen000"], strategy="plain", k=3)
+        assert len(response["ranking"]) <= 2
+
+    def test_describe_reports_gating(self):
+        service = _make_service(strategies=("plain",), prune=True)
+        description = service.describe()
+        assert description["strategies"] == ["plain"]
+        assert description["prune"] is True
+
+
 class TestNormalizeAndParse:
     def test_string_query_splits_and_lowercases(self):
         assert normalize_query("Breast Cancer") == ("breast", "cancer")

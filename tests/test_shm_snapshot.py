@@ -203,6 +203,73 @@ class TestWorkerAttachedSnapshotBitIdentity:
         assert _shm_entries() == before
 
 
+class TestBoundArraysInSnapshot:
+    """Schema-2 extension: pruning bounds ride along, digest-checked."""
+
+    @staticmethod
+    def _warm_pruned(metasearcher: Metasearcher) -> None:
+        for algorithm in ALGORITHMS:
+            metasearcher.select(
+                ["gen000", "gen001"], algorithm=algorithm, strategy="plain",
+                k=3, prune=True,
+            )
+
+    def test_bounds_packed_after_pruned_warmup(self):
+        publisher = _metasearcher()
+        _warm(publisher)
+        self._warm_pruned(publisher)
+        arrays = shm.snapshot_arrays(publisher)
+        assert any("/colmax." in key for key in arrays)
+        assert any("/rowmax." in key for key in arrays)
+
+    def test_tampered_bound_array_rejected(self):
+        publisher = _metasearcher()
+        _warm(publisher)
+        self._warm_pruned(publisher)
+        arrays = shm.snapshot_arrays(publisher)
+        key = next(k for k in sorted(arrays) if "/colmax." in k)
+        manifest, segment = shm.pack_arrays(arrays, epoch=3)
+        try:
+            # Flip one byte inside the bound array's own extent: the
+            # segment digest must catch corruption of bounds, not just
+            # of the dense score matrices.
+            offset = manifest["arrays"][key]["offset"]
+            segment.buf[offset] ^= 0xFF
+            with pytest.raises(shm.SegmentIntegrityError):
+                shm.attach(manifest)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_adopted_pruned_selection_identical(self):
+        publisher = _metasearcher()
+        _warm(publisher)
+        self._warm_pruned(publisher)
+        manifest, segment = shm.publish_snapshot(publisher, epoch=4)
+        adopter = _metasearcher()
+        adopted = shm.adopt_snapshot(adopter, manifest)
+        try:
+            for query in QUERIES:
+                for algorithm in ALGORITHMS:
+                    ours = publisher.select(
+                        list(query), algorithm=algorithm, strategy="plain",
+                        k=5, prune=True,
+                    )
+                    theirs = adopter.select(
+                        list(query), algorithm=algorithm, strategy="plain",
+                        k=5, prune=True,
+                    )
+                    assert ours.names == theirs.names
+                    assert sorted(ours.scores.items()) == sorted(
+                        theirs.scores.items()
+                    )
+                    assert ours.candidates_scored == theirs.candidates_scored
+        finally:
+            adopted.close()
+            segment.close()
+            segment.unlink()
+
+
 class TestInProcessAdoptionBitIdentity:
     """Adopted views vs locally built matrices, over many random queries."""
 
