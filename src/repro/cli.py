@@ -483,6 +483,10 @@ def _service_config(args: argparse.Namespace):
         response_cache_size=args.response_cache,
         prune=bool(getattr(args, "prune", False)),
         ranking_limit=getattr(args, "topk", None),
+        slow_query_log_path=getattr(args, "slow_query_log", None),
+        slow_query_threshold_seconds=(
+            getattr(args, "slow_query_threshold_ms", 100.0) / 1000.0
+        ),
         **extra,
     )
 
@@ -683,6 +687,15 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _select_ok_count(metrics_text: str) -> int:
+    """The ok-status /select request count from a /metrics exposition."""
+    key = 'repro_serve_http_requests_total{endpoint="select",status="ok"}'
+    for line in metrics_text.splitlines():
+        if line.startswith(key + " "):
+            return int(float(line.rsplit(" ", 1)[1]))
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import os
 
@@ -692,6 +705,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     pool = None
     vocabulary = None
+    count_requests = None
     try:
         if args.url:
             from repro.serving.client import ServingClient
@@ -728,6 +742,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             )
             label = f"{pool.url} ({args.workers} workers)"
             databases = len(service.metasearcher.sampled_summaries)
+            # A /metrics scrape (fresh-polled by the dispatcher) before
+            # and after the run cross-checks the telemetry pipeline:
+            # the aggregated request count must match the load
+            # generator's completed count EXACTLY.
+            count_requests = lambda: _select_ok_count(client.metrics())  # noqa: E731
         else:
             from repro.serving.service import SelectionService
 
@@ -748,6 +767,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         queries = loadgen.generate_queries(
             vocabulary, args.requests, seed=args.seed
         )
+        requests_before = count_requests() if count_requests else 0
         summary = loadgen.run_load(
             select,
             queries,
@@ -756,11 +776,26 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             args.k,
             concurrency=args.concurrency,
         )
+        requests_after = count_requests() if count_requests else 0
     finally:
         if pool is not None:
             pool.shutdown()
     print(f"target: {label} ({databases} databases)")
     print(loadgen.format_summary(summary))
+    metrics_exact = None
+    if count_requests is not None:
+        counted = requests_after - requests_before
+        metrics_exact = counted == summary["requests"]
+        verdict = (
+            "EXACT MATCH"
+            if metrics_exact
+            else f"MISMATCH (counted {counted})"
+        )
+        print(
+            f"metrics cross-check: pool /metrics counted {counted} "
+            f"select requests, loadgen completed {summary['requests']} "
+            f"— {verdict}"
+        )
 
     if args.trajectory:
         context = {
@@ -791,6 +826,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             for key, value in summary.items()
             if isinstance(value, (int, float))
         }
+        if metrics_exact is not None:
+            record["load"]["metrics_exact"] = bool(metrics_exact)
         try:
             record["load"]["cores"] = len(os.sched_getaffinity(0))
         except AttributeError:  # pragma: no cover - non-Linux
@@ -801,6 +838,35 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if "serve.request_seconds" in report:
         print()
         print(report)
+    return 0 if metrics_exact in (None, True) else 1
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.evaluation import dashboard as dashboard_mod
+
+    trajectory = args.trajectory
+    if trajectory and not Path(trajectory).is_file():
+        print(f"dashboard: no trajectory file at {trajectory} (charts skipped)")
+        trajectory = None
+    try:
+        summary = dashboard_mod.write_dashboard(
+            args.out,
+            trajectory_path=trajectory,
+            store_stats_path=args.store_stats,
+            metrics_url=args.metrics_url,
+            title=args.title,
+        )
+    except OSError as error:
+        print(f"dashboard: {error}")
+        return 2
+    live = " + live /metrics" if summary["live_metrics"] else ""
+    print(
+        f"dashboard: wrote {summary['path']} ({summary['bytes']} bytes; "
+        f"{summary['records']} trajectory records, "
+        f"{summary['store_kinds']} store kinds{live})"
+    )
     return 0
 
 
@@ -1043,6 +1109,15 @@ def build_parser() -> argparse.ArgumentParser:
         "shrinkage,universal; plain-only skips the EM shrinkage build)",
     )
     serve.add_argument(
+        "--slow-query-log", metavar="FILE",
+        help="append requests slower than the threshold to this JSONL "
+        "file (bounded by one rotation; REPRO_SLOW_QUERY_LOG also works)",
+    )
+    serve.add_argument(
+        "--slow-query-threshold-ms", type=float, default=100.0,
+        metavar="MS", help="slow-query log threshold in milliseconds",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     serve.set_defaults(handler=_cmd_serve)
@@ -1171,10 +1246,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated strategies the booted service serves",
     )
     loadgen.add_argument(
+        "--slow-query-log", metavar="FILE",
+        help="slow-query JSONL log for the booted service",
+    )
+    loadgen.add_argument(
+        "--slow-query-threshold-ms", type=float, default=100.0, metavar="MS"
+    )
+    loadgen.add_argument(
         "--trajectory", metavar="FILE",
         help="append a serve-load record and warn on latency regressions",
     )
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    dashboard = commands.add_parser(
+        "dashboard",
+        help="render a self-contained HTML dashboard from recorded "
+        "trajectory/stats artifacts",
+    )
+    dashboard.add_argument(
+        "--trajectory", default="BENCH_trajectory.json", metavar="FILE",
+        help="bench trajectory JSON to chart (perf across PRs)",
+    )
+    dashboard.add_argument(
+        "--store-stats", metavar="FILE",
+        help="an artifact store stats.json to tabulate",
+    )
+    dashboard.add_argument(
+        "--metrics-url", metavar="URL",
+        help="optionally scrape a live server's /metrics into the page "
+        "(off by default: the render needs zero network)",
+    )
+    dashboard.add_argument(
+        "--out", default="dashboard.html", metavar="FILE",
+        help="output HTML path",
+    )
+    dashboard.add_argument(
+        "--title", default="repro serving dashboard", metavar="TEXT"
+    )
+    dashboard.set_defaults(handler=_cmd_dashboard)
 
     trace = commands.add_parser(
         "trace", help="summarize a JSONL trace as a top-down span tree"

@@ -1,0 +1,483 @@
+"""Self-contained HTML dashboard over recorded serving/bench artifacts.
+
+``repro dashboard`` renders one static HTML file — inline CSS, inline
+SVG charts, zero external requests — from the artifacts the repo already
+records:
+
+* the bench trajectory (``BENCH_trajectory.json``): serve-load
+  throughput and latency percentiles plus bench-cell wall time, charted
+  across runs so the perf story of the stacked PRs is visible at a
+  glance;
+* an artifact store's ``stats.json`` sidecar: per-kind cache traffic;
+* optionally one live ``/metrics`` scrape (``--metrics-url``), embedded
+  as text — the only mode that touches the network, and it is off by
+  default.
+
+Charts follow the house dataviz rules: categorical colors in fixed
+order (blue, orange, aqua — the palette is CVD-validated per mode),
+one y-axis per chart, 2px lines with >=8px markers, recessive grid,
+text in ink tokens, a legend whenever a chart carries two series, a
+data table under every chart, and native ``<title>`` tooltips on every
+marker. Light and dark are separately chosen palettes selected via
+``prefers-color-scheme`` (overridable with ``data-theme``).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import time
+from pathlib import Path
+
+#: Chart geometry (CSS pixels). One size fits every chart on the page.
+_WIDTH = 720
+_HEIGHT = 260
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 16
+_MARGIN_BOTTOM = 44
+
+#: Fixed categorical assignment: slot N always wears color N.
+_CATEGORY_VARS = ("--cat1", "--cat2", "--cat3")
+
+
+# -- inputs ------------------------------------------------------------------------
+
+
+def load_trajectory(path) -> list[dict]:
+    """The trajectory's record list ([] when the file is missing/empty)."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    records = document.get("records") if isinstance(document, dict) else None
+    return list(records) if isinstance(records, list) else []
+
+
+def load_store_stats(path) -> dict:
+    """Per-kind traffic from an artifact store ``stats.json`` ({} if absent)."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    kinds = document.get("kinds") if isinstance(document, dict) else None
+    return dict(kinds) if isinstance(kinds, dict) else {}
+
+
+def scrape_metrics(url: str, timeout: float = 10.0) -> str:
+    """One live ``/metrics`` exposition body (explicit opt-in only)."""
+    import urllib.request
+
+    target = url if url.endswith("/metrics") else url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+# -- formatting helpers ------------------------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    """Compact human number for tick and tooltip labels."""
+    if value == int(value) and abs(value) < 10_000:
+        return str(int(value))
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def _tick_ceiling(peak: float) -> float:
+    """A 'nice' axis maximum at or above ``peak``."""
+    if peak <= 0:
+        return 1.0
+    magnitude = 10 ** len(str(int(peak)))
+    for fraction in (0.1, 0.2, 0.25, 0.5, 1.0):
+        candidate = magnitude * fraction
+        if candidate >= peak:
+            return candidate
+    return float(magnitude)
+
+
+def _short_stamp(timestamp: str) -> str:
+    """``2026-08-08T12:51:21Z`` -> ``08-08 12:51`` (best-effort)."""
+    if len(timestamp) >= 16 and "T" in timestamp:
+        date, _, clock = timestamp.partition("T")
+        return f"{date[5:]} {clock[:5]}"
+    return timestamp
+
+
+# -- chart rendering ---------------------------------------------------------------
+
+
+def _line_chart(
+    title: str,
+    series: list[tuple[str, list[float | None]]],
+    x_labels: list[str],
+    unit: str = "",
+) -> str:
+    """One SVG line chart + legend + collapsible data table.
+
+    ``series`` is ``[(name, values)]`` with one value (or None for a
+    gap) per x position; series colors come from the fixed categorical
+    order. Values are plotted against a single zero-based y-axis.
+    """
+    points = max(len(x_labels), 1)
+    peak = max(
+        (v for _, values in series for v in values if v is not None),
+        default=0.0,
+    )
+    top = _tick_ceiling(peak)
+    plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def x_at(index: int) -> float:
+        if points == 1:
+            return _MARGIN_LEFT + plot_w / 2
+        return _MARGIN_LEFT + plot_w * index / (points - 1)
+
+    def y_at(value: float) -> float:
+        return _MARGIN_TOP + plot_h * (1.0 - value / top)
+
+    parts: list[str] = [
+        f'<svg viewBox="0 0 {_WIDTH} {_HEIGHT}" role="img" '
+        f'aria-label="{html.escape(title)}">'
+    ]
+    # Recessive horizontal grid + tick labels on the single y-axis.
+    for step in range(5):
+        value = top * step / 4
+        y = y_at(value)
+        stroke = "var(--baseline)" if step == 0 else "var(--grid)"
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{_WIDTH - _MARGIN_RIGHT}" y2="{y:.1f}" '
+            f'stroke="{stroke}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end" class="tick">{_fmt(value)}</text>'
+        )
+    # Sparse x labels: at most 6, always including the last.
+    stride = max(1, (points + 5) // 6)
+    for index, label in enumerate(x_labels):
+        if index % stride and index != points - 1:
+            continue
+        parts.append(
+            f'<text x="{x_at(index):.1f}" y="{_HEIGHT - 20}" '
+            f'text-anchor="middle" class="tick">{html.escape(label)}</text>'
+        )
+    if unit:
+        parts.append(
+            f'<text x="{_MARGIN_LEFT}" y="{_HEIGHT - 4}" class="tick">'
+            f"{html.escape(unit)}</text>"
+        )
+    for slot, (name, values) in enumerate(series):
+        color = f"var({_CATEGORY_VARS[slot % len(_CATEGORY_VARS)]})"
+        coords = [
+            (x_at(index), y_at(value))
+            for index, value in enumerate(values)
+            if value is not None
+        ]
+        if len(coords) > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+        for index, value in enumerate(values):
+            if value is None:
+                continue
+            x, y = x_at(index), y_at(value)
+            tooltip = html.escape(
+                f"{name} — {x_labels[index]}: {_fmt(value)}{unit}"
+            )
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+                f'stroke="var(--surface)" stroke-width="2"/>'
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="11" fill="transparent">'
+                f"<title>{tooltip}</title></circle>"
+            )
+    parts.append("</svg>")
+    svg = "".join(parts)
+
+    legend = ""
+    if len(series) > 1:
+        swatches = "".join(
+            f'<span class="legend-item"><span class="swatch" '
+            f'style="background:var({_CATEGORY_VARS[slot % len(_CATEGORY_VARS)]})">'
+            f"</span>{html.escape(name)}</span>"
+            for slot, (name, _) in enumerate(series)
+        )
+        legend = f'<div class="legend">{swatches}</div>'
+
+    header = "".join(
+        f"<th>{html.escape(name)}</th>" for name, _ in series
+    )
+    rows = []
+    for index, label in enumerate(x_labels):
+        cells = "".join(
+            f'<td class="num">'
+            f"{_fmt(values[index]) if values[index] is not None else '—'}</td>"
+            for _, values in series
+        )
+        rows.append(f"<tr><td>{html.escape(label)}</td>{cells}</tr>")
+    table = (
+        "<details><summary>Data table</summary><table>"
+        f"<thead><tr><th>run</th>{header}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></details>"
+    )
+    return (
+        f'<section class="chart"><h2>{html.escape(title)}</h2>'
+        f"{legend}{svg}{table}</section>"
+    )
+
+
+def _stat_tiles(tiles: list[tuple[str, str]]) -> str:
+    """A row of hero numbers (label, value)."""
+    cells = "".join(
+        f'<div class="tile"><div class="tile-value">{html.escape(value)}</div>'
+        f'<div class="tile-label">{html.escape(label)}</div></div>'
+        for label, value in tiles
+    )
+    return f'<div class="tiles">{cells}</div>'
+
+
+# -- page assembly -----------------------------------------------------------------
+
+_CSS = """
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --cat1: #2a78d6; --cat2: #eb6834; --cat3: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #ffffff; --ink2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --cat1: #3987e5; --cat2: #d95926; --cat3: #199e70;
+  }
+}
+[data-theme="light"] {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --cat1: #2a78d6; --cat2: #eb6834; --cat3: #1baf7a;
+}
+[data-theme="dark"] {
+  --surface: #1a1a19; --ink: #ffffff; --ink2: #c3c2b7; --muted: #898781;
+  --grid: #2c2c2a; --baseline: #383835;
+  --cat1: #3987e5; --cat2: #d95926; --cat3: #199e70;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0 auto; padding: 24px; max-width: 820px;
+  background: var(--surface); color: var(--ink);
+  font: 15px/1.5 system-ui, sans-serif;
+}
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 0 0 8px; color: var(--ink); }
+.subtitle { color: var(--ink2); margin: 0 0 24px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 16px; margin: 0 0 28px; }
+.tile { min-width: 130px; }
+.tile-value { font-size: 26px; font-weight: 600; }
+.tile-label { font-size: 12px; color: var(--ink2); }
+.chart { margin: 0 0 32px; }
+.chart svg { width: 100%; height: auto; display: block; }
+.tick { font: 11px system-ui, sans-serif; fill: var(--muted); }
+.legend { display: flex; gap: 16px; font-size: 12px; color: var(--ink2);
+  margin: 0 0 6px; }
+.legend-item { display: inline-flex; align-items: center; gap: 6px; }
+.swatch { width: 10px; height: 10px; border-radius: 2px; display: inline-block; }
+details { margin-top: 4px; }
+summary { font-size: 12px; color: var(--muted); cursor: pointer; }
+table { border-collapse: collapse; font-size: 12px; margin-top: 6px; }
+th, td { text-align: left; padding: 2px 12px 2px 0; color: var(--ink2); }
+th { color: var(--ink); font-weight: 600;
+  border-bottom: 1px solid var(--grid); }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+pre.metrics { font: 11px/1.45 ui-monospace, monospace; overflow-x: auto;
+  border: 1px solid var(--grid); padding: 12px; border-radius: 6px;
+  color: var(--ink2); max-height: 420px; overflow-y: auto; }
+footer { color: var(--muted); font-size: 12px; margin-top: 24px; }
+"""
+
+
+def _run_label(record: dict) -> str:
+    context = record.get("context") or {}
+    stamp = _short_stamp(str(record.get("timestamp", "")))
+    target = context.get("target")
+    if target == "workers":
+        return f"{stamp} w{context.get('workers', '?')}"
+    if target:
+        return f"{stamp} {target}"
+    scale = context.get("scale")
+    return f"{stamp} {scale}" if scale else stamp
+
+
+def render_dashboard(
+    records: list[dict],
+    store_stats: dict | None = None,
+    metrics_text: str | None = None,
+    title: str = "repro serving dashboard",
+    sources: list[str] | None = None,
+) -> str:
+    """The full dashboard page as one self-contained HTML string."""
+    serve_load = [
+        record
+        for record in records
+        if (record.get("context") or {}).get("kind") == "serve-load"
+        and record.get("load")
+    ]
+    bench = [
+        record
+        for record in records
+        if (record.get("context") or {}).get("kind") == "bench-cell"
+    ]
+
+    sections: list[str] = []
+    tiles: list[tuple[str, str]] = []
+    if serve_load:
+        latest = serve_load[-1]["load"]
+        tiles.append(("latest qps", _fmt(latest.get("qps", 0.0))))
+        tiles.append(
+            ("latest p99 ms", _fmt(latest.get("latency_p99_ms", 0.0)))
+        )
+        if "cache_hit_rate" in latest:
+            tiles.append(
+                ("cache-hit rate", f"{latest['cache_hit_rate'] * 100:.1f}%")
+            )
+        if "degraded_fraction" in latest:
+            tiles.append(
+                ("degraded", f"{latest['degraded_fraction'] * 100:.1f}%")
+            )
+    tiles.append(("serve-load runs", str(len(serve_load))))
+    tiles.append(("bench runs", str(len(bench))))
+    sections.append(_stat_tiles(tiles))
+
+    if serve_load:
+        labels = [_run_label(record) for record in serve_load]
+        sections.append(
+            _line_chart(
+                "Serve-load throughput",
+                [("qps", [r["load"].get("qps") for r in serve_load])],
+                labels,
+                unit=" qps",
+            )
+        )
+        sections.append(
+            _line_chart(
+                "Serve-load latency",
+                [
+                    (
+                        "p50",
+                        [r["load"].get("latency_p50_ms") for r in serve_load],
+                    ),
+                    (
+                        "p99",
+                        [r["load"].get("latency_p99_ms") for r in serve_load],
+                    ),
+                ],
+                labels,
+                unit=" ms",
+            )
+        )
+    if bench:
+        sections.append(
+            _line_chart(
+                "Bench-cell wall time",
+                [
+                    (
+                        "wall seconds",
+                        [r.get("wall_seconds") for r in bench],
+                    )
+                ],
+                [_run_label(record) for record in bench],
+                unit=" s",
+            )
+        )
+    if not serve_load and not bench:
+        sections.append(
+            '<p class="subtitle">No trajectory records found — run '
+            "<code>repro loadgen --trajectory ...</code> or "
+            "<code>repro bench --trajectory ...</code> first.</p>"
+        )
+
+    if store_stats:
+        rows = []
+        for kind in sorted(store_stats):
+            totals = store_stats[kind]
+            rows.append(
+                f"<tr><td>{html.escape(kind)}</td>"
+                f'<td class="num">{totals.get("hits", 0)}</td>'
+                f'<td class="num">{totals.get("misses", 0)}</td>'
+                f'<td class="num">{totals.get("saves", 0)}</td>'
+                f'<td class="num">{totals.get("bytes_read", 0):,}</td>'
+                f'<td class="num">{totals.get("bytes_written", 0):,}</td></tr>'
+            )
+        sections.append(
+            '<section class="chart"><h2>Artifact store traffic</h2><table>'
+            '<thead><tr><th>kind</th><th class="num">hits</th>'
+            '<th class="num">misses</th><th class="num">saves</th>'
+            '<th class="num">read B</th><th class="num">written B</th>'
+            f"</tr></thead><tbody>{''.join(rows)}</tbody></table></section>"
+        )
+
+    if metrics_text:
+        sections.append(
+            '<section class="chart"><h2>Live /metrics snapshot</h2>'
+            f'<pre class="metrics">{html.escape(metrics_text)}</pre></section>'
+        )
+
+    generated = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+    source_note = (
+        " from " + ", ".join(html.escape(source) for source in sources)
+        if sources
+        else ""
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<style>{_CSS}</style></head>\n"
+        f"<body><h1>{html.escape(title)}</h1>\n"
+        '<p class="subtitle">Selection-service performance across '
+        "recorded runs</p>\n" + "\n".join(sections) + f"\n<footer>Generated {generated}{source_note}</footer>\n"
+        "</body></html>\n"
+    )
+
+
+def write_dashboard(
+    out_path,
+    trajectory_path=None,
+    store_stats_path=None,
+    metrics_url: str | None = None,
+    title: str = "repro serving dashboard",
+) -> dict:
+    """Render and write the dashboard; returns a small summary dict."""
+    records = load_trajectory(trajectory_path) if trajectory_path else []
+    store_stats = (
+        load_store_stats(store_stats_path) if store_stats_path else None
+    )
+    metrics_text = scrape_metrics(metrics_url) if metrics_url else None
+    sources = [
+        str(source)
+        for source in (trajectory_path, store_stats_path, metrics_url)
+        if source
+    ]
+    page = render_dashboard(
+        records,
+        store_stats=store_stats,
+        metrics_text=metrics_text,
+        title=title,
+        sources=sources,
+    )
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(page, encoding="utf-8")
+    return {
+        "path": str(out),
+        "bytes": len(page.encode("utf-8")),
+        "records": len(records),
+        "store_kinds": len(store_stats or {}),
+        "live_metrics": bool(metrics_text),
+    }

@@ -43,8 +43,10 @@ import json
 import math
 import os
 import sys
+import threading
 import time
 import uuid
+import zlib
 from contextlib import contextmanager
 
 try:  # pragma: no cover - resource is POSIX-only
@@ -58,6 +60,18 @@ TRACE_SCHEMA_VERSION = 1
 #: Histogram percentiles reported by summaries and ``report()``.
 _PERCENTILES = (50, 90, 99)
 
+#: Default per-histogram raw-value cap before reservoir sampling kicks in.
+#: Bench-scale histograms (hundreds to low thousands of observations) stay
+#: exact and bit-identical; only a long-running server ever crosses it.
+DEFAULT_HISTOGRAM_CAP = int(os.environ.get("REPRO_HISTOGRAM_CAP", "8192"))
+
+#: Max raw values shipped per histogram in a delta once in reservoir mode.
+_DELTA_SAMPLE_LIMIT = 256
+
+_LCG_MULTIPLIER = 6364136223846793005
+_LCG_INCREMENT = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
 
 def _percentile(sorted_values: list[float], q: float) -> float:
     """Nearest-rank percentile of an ascending list (deterministic)."""
@@ -67,21 +81,64 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
-class Instrumentation:
-    """A registry of named counters, cumulative timers, histograms, gauges."""
+def _reservoir_seed(name: str) -> int:
+    """Deterministic per-histogram LCG seed (stable across processes)."""
+    return (zlib.crc32(name.encode("utf-8")) << 1) | 1
 
-    def __init__(self) -> None:
+
+def _stride_sample(values: list[float], limit: int) -> list[float]:
+    """At most ``limit`` values picked at a deterministic stride."""
+    if len(values) <= limit:
+        return list(values)
+    n = len(values)
+    return [values[(i * n) // limit] for i in range(limit)]
+
+
+class Instrumentation:
+    """A registry of named counters, cumulative timers, histograms, gauges.
+
+    Thread-safe: the serving stack records from many handler threads at
+    once, and the exact-count contract (pool aggregate == completed
+    requests) tolerates no lost increments, so every mutation and every
+    snapshot happens under one reentrant lock.
+
+    Histogram storage is bounded: below ``histogram_cap`` raw values the
+    histogram keeps every observation and percentiles are exact (and
+    bit-identical to the unbounded behaviour); past the cap it switches
+    to a deterministic Algorithm-R reservoir (per-name LCG seed) while
+    exact count/sum/min/max totals keep accumulating, so a long-running
+    server cannot grow memory without bound.
+    """
+
+    def __init__(self, histogram_cap: int | None = None) -> None:
         self.counters: dict[str, int] = {}
         self.timer_seconds: dict[str, float] = {}
         self.timer_calls: dict[str, int] = {}
         self.histograms: dict[str, list[float]] = {}
+        #: Exact totals for histograms that crossed the cap, by name:
+        #: ``{"count", "sum", "min", "max", "rng"}``. Absent name == exact mode.
+        self.histogram_stats: dict[str, dict] = {}
         self.gauges: dict[str, float] = {}
+        self.histogram_cap = (
+            DEFAULT_HISTOGRAM_CAP if histogram_cap is None else int(histogram_cap)
+        )
+        self._lock = threading.RLock()
+
+    def locked(self):
+        """The registry's reentrant lock, as a context manager.
+
+        Fork-safety hook: a dispatcher holds this across ``os.fork`` so
+        a child never inherits the lock mid-held by some *other* thread
+        (its first baseline snapshot would deadlock forever otherwise).
+        """
+        return self._lock
 
     # -- recording -----------------------------------------------------------
 
     def count(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to the counter ``name`` (created at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + int(amount)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(amount)
 
     @contextmanager
     def timer(self, name: str):
@@ -90,135 +147,205 @@ class Instrumentation:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.timer_seconds[name] = self.timer_seconds.get(name, 0.0) + elapsed
-            self.timer_calls[name] = self.timer_calls.get(name, 0) + 1
+            self.add_time(name, time.perf_counter() - start)
 
     def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
         """Record ``seconds`` of wall time under ``name`` directly."""
-        self.timer_seconds[name] = self.timer_seconds.get(name, 0.0) + seconds
-        self.timer_calls[name] = self.timer_calls.get(name, 0) + calls
+        with self._lock:
+            self.timer_seconds[name] = self.timer_seconds.get(name, 0.0) + seconds
+            self.timer_calls[name] = self.timer_calls.get(name, 0) + calls
 
     def observe(self, name: str, value: float) -> None:
-        """Append one observation to the histogram ``name``."""
+        """Record one observation into the histogram ``name``."""
+        with self._lock:
+            self._observe(name, float(value))
+
+    def _observe(self, name: str, value: float) -> None:
         values = self.histograms.get(name)
         if values is None:
             values = self.histograms[name] = []
-        values.append(float(value))
+        stats = self.histogram_stats.get(name)
+        if stats is None:
+            if len(values) < self.histogram_cap:
+                values.append(value)
+                return
+            stats = self._enter_reservoir_mode(name, values)
+        stats["count"] += 1
+        stats["sum"] += value
+        if value < stats["min"]:
+            stats["min"] = value
+        if value > stats["max"]:
+            stats["max"] = value
+        # Algorithm R: keep each of the first ``cap`` slots with
+        # probability cap/count, driven by a deterministic per-name LCG.
+        slot = self._reservoir_rand(stats) % stats["count"]
+        if slot < len(values):
+            values[slot] = value
+
+    def _enter_reservoir_mode(self, name: str, values: list[float]) -> dict:
+        stats = self.histogram_stats[name] = {
+            "count": len(values),
+            "sum": sum(values),
+            "min": min(values) if values else math.inf,
+            "max": max(values) if values else -math.inf,
+            "rng": _reservoir_seed(name),
+        }
+        return stats
+
+    @staticmethod
+    def _reservoir_rand(stats: dict) -> int:
+        state = (stats["rng"] * _LCG_MULTIPLIER + _LCG_INCREMENT) & _LCG_MASK
+        stats["rng"] = state
+        return state >> 33
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` to ``value`` (last write wins)."""
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
 
     # -- histogram summaries -------------------------------------------------
 
     def histogram_summary(self, name: str) -> dict | None:
-        """count/mean/min/max/percentiles of one histogram, or None."""
-        values = self.histograms.get(name)
-        if not values:
-            return None
-        ordered = sorted(values)
-        summary = {
-            "count": len(ordered),
-            "mean": sum(ordered) / len(ordered),
-            "min": ordered[0],
-            "max": ordered[-1],
-        }
-        for q in _PERCENTILES:
-            summary[f"p{q}"] = _percentile(ordered, q)
-        return summary
+        """count/mean/min/max/percentiles of one histogram, or None.
+
+        Exact below the cap. In reservoir mode, count/mean/min/max come
+        from the exact running totals and percentiles from the reservoir.
+        """
+        with self._lock:
+            values = self.histograms.get(name)
+            if not values:
+                return None
+            ordered = sorted(values)
+            stats = self.histogram_stats.get(name)
+            if stats is None:
+                summary = {
+                    "count": len(ordered),
+                    "mean": sum(ordered) / len(ordered),
+                    "min": ordered[0],
+                    "max": ordered[-1],
+                }
+            else:
+                summary = {
+                    "count": stats["count"],
+                    "mean": stats["sum"] / stats["count"],
+                    "min": stats["min"],
+                    "max": stats["max"],
+                }
+            for q in _PERCENTILES:
+                summary[f"p{q}"] = _percentile(ordered, q)
+            return summary
 
     def histogram_summaries(self) -> dict[str, dict]:
         """Summaries of every non-empty histogram, by name."""
-        return {
-            name: summary
-            for name in sorted(self.histograms)
-            if (summary := self.histogram_summary(name)) is not None
-        }
+        with self._lock:
+            return {
+                name: summary
+                for name in sorted(self.histograms)
+                if (summary := self.histogram_summary(name)) is not None
+            }
 
     # -- snapshots (for cross-process merging) -------------------------------
 
     def snapshot(self) -> dict:
-        """A picklable copy of the current state."""
-        return {
-            "counters": dict(self.counters),
-            "timer_seconds": dict(self.timer_seconds),
-            "timer_calls": dict(self.timer_calls),
-            "histograms": {name: list(v) for name, v in self.histograms.items()},
-            "gauges": dict(self.gauges),
-        }
+        """A picklable copy of the current state.
+
+        For histograms in reservoir mode, ``histograms[name]`` holds the
+        reservoir sample and ``histogram_stats[name]`` the exact totals;
+        exact-mode histograms carry every raw value and no stats entry.
+        """
+        with self._lock:
+            snapshot = {
+                "counters": dict(self.counters),
+                "timer_seconds": dict(self.timer_seconds),
+                "timer_calls": dict(self.timer_calls),
+                "histograms": {name: list(v) for name, v in self.histograms.items()},
+                "gauges": dict(self.gauges),
+            }
+            if self.histogram_stats:
+                snapshot["histogram_stats"] = {
+                    name: {key: stats[key] for key in ("count", "sum", "min", "max")}
+                    for name, stats in self.histogram_stats.items()
+                }
+            return snapshot
 
     def delta_since(self, snapshot: dict) -> dict:
         """The state accumulated since ``snapshot`` was taken.
 
         Worker processes are long-lived (one worker handles many tasks),
         so each task reports only its own contribution: snapshot on entry,
-        delta on exit. Histograms are append-only between resets, so the
-        delta is the suffix of new observations, preserving order.
+        delta on exit. Exact-mode histograms are append-only between
+        resets, so their delta is the suffix of new observations,
+        preserving order and bit-identity. Reservoir-mode histograms ship
+        exact count/sum deltas plus a bounded sample of reservoir values.
         """
-        before_counters = snapshot.get("counters", {})
-        before_seconds = snapshot.get("timer_seconds", {})
-        before_calls = snapshot.get("timer_calls", {})
-        before_histograms = snapshot.get("histograms", {})
-        before_gauges = snapshot.get("gauges", {})
-        return {
-            "counters": {
-                name: value - before_counters.get(name, 0)
-                for name, value in self.counters.items()
-                if value != before_counters.get(name, 0)
-            },
-            "timer_seconds": {
-                name: value - before_seconds.get(name, 0.0)
-                for name, value in self.timer_seconds.items()
-                if value != before_seconds.get(name, 0.0)
-            },
-            "timer_calls": {
-                name: value - before_calls.get(name, 0)
-                for name, value in self.timer_calls.items()
-                if value != before_calls.get(name, 0)
-            },
-            "histograms": {
-                name: values[len(before_histograms.get(name, ())):]
-                for name, values in self.histograms.items()
-                if len(values) > len(before_histograms.get(name, ()))
-            },
-            "gauges": {
-                name: value
-                for name, value in self.gauges.items()
-                if value != before_gauges.get(name)
-            },
-        }
+        with self._lock:
+            return snapshot_delta(snapshot, self.snapshot())
 
     def merge(self, snapshot: dict) -> None:
         """Fold a snapshot (or delta) from another process into this one."""
-        for name, value in snapshot.get("counters", {}).items():
-            self.count(name, value)
-        calls = snapshot.get("timer_calls", {})
-        for name, seconds in snapshot.get("timer_seconds", {}).items():
-            # Default to 0, not 1: a delta can carry seconds for a timer
-            # whose call count did not change (e.g. add_time(..., calls=0)),
-            # and inventing a call would inflate merged totals.
-            self.add_time(name, seconds, calls.get(name, 0))
-        for name, count_ in calls.items():
-            if name not in snapshot.get("timer_seconds", {}):
-                self.add_time(name, 0.0, count_)
-        for name, values in snapshot.get("histograms", {}).items():
-            own = self.histograms.get(name)
-            if own is None:
-                own = self.histograms[name] = []
-            own.extend(float(v) for v in values)
-        for name, value in snapshot.get("gauges", {}).items():
-            self.set_gauge(name, value)
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.count(name, value)
+            calls = snapshot.get("timer_calls", {})
+            for name, seconds in snapshot.get("timer_seconds", {}).items():
+                # Default to 0, not 1: a delta can carry seconds for a timer
+                # whose call count did not change (e.g. add_time(..., calls=0)),
+                # and inventing a call would inflate merged totals.
+                self.add_time(name, seconds, calls.get(name, 0))
+            for name, count_ in calls.items():
+                if name not in snapshot.get("timer_seconds", {}):
+                    self.add_time(name, 0.0, count_)
+            stats_payload = snapshot.get("histogram_stats", {})
+            for name, values in snapshot.get("histograms", {}).items():
+                if name in stats_payload:
+                    continue  # sampled values fold with their stats below
+                for value in values:
+                    self._observe(name, float(value))
+            for name, stats in stats_payload.items():
+                self._fold_histogram_stats(
+                    name, stats, snapshot.get("histograms", {}).get(name, ())
+                )
+            for name, value in snapshot.get("gauges", {}).items():
+                self.set_gauge(name, value)
+
+    def _fold_histogram_stats(self, name, stats, samples) -> None:
+        """Fold exact totals + a value sample from another process.
+
+        Totals (count/sum/min/max) stay exact; sampled values refresh
+        this registry's reservoir so percentiles track the union
+        approximately. Forces the local histogram into reservoir mode —
+        exact percentiles are unrecoverable once a source sampled.
+        """
+        values = self.histograms.get(name)
+        if values is None:
+            values = self.histograms[name] = []
+        own = self.histogram_stats.get(name)
+        if own is None:
+            own = self._enter_reservoir_mode(name, values)
+        own["count"] += int(stats["count"])
+        own["sum"] += float(stats["sum"])
+        own["min"] = min(own["min"], float(stats["min"]))
+        own["max"] = max(own["max"], float(stats["max"]))
+        for value in samples:
+            value = float(value)
+            if len(values) < self.histogram_cap:
+                values.append(value)
+            else:
+                slot = self._reservoir_rand(own) % max(own["count"], 1)
+                if slot < len(values):
+                    values[slot] = value
 
     # -- lifecycle -----------------------------------------------------------
 
     def reset(self) -> None:
         """Zero every counter, timer, histogram, and gauge."""
-        self.counters.clear()
-        self.timer_seconds.clear()
-        self.timer_calls.clear()
-        self.histograms.clear()
-        self.gauges.clear()
+        with self._lock:
+            self.counters.clear()
+            self.timer_seconds.clear()
+            self.timer_calls.clear()
+            self.histograms.clear()
+            self.histogram_stats.clear()
+            self.gauges.clear()
 
     # -- reporting -----------------------------------------------------------
 
@@ -268,6 +395,72 @@ class Instrumentation:
             for name in sorted(self.gauges):
                 lines.append(f"{name:<{width}} {self.gauges[name]:>10.4g}")
         return "\n".join(lines) if lines else "(no instrumentation recorded)"
+
+
+def snapshot_delta(before: dict, after: dict) -> dict:
+    """The state accumulated between two snapshots of one registry.
+
+    Equivalent to ``delta_since`` but computed from two already-taken
+    snapshots, so a shipper can snapshot once and reuse it as the next
+    baseline without racing concurrent recorders.
+    """
+    before_counters = before.get("counters", {})
+    before_seconds = before.get("timer_seconds", {})
+    before_calls = before.get("timer_calls", {})
+    before_histograms = before.get("histograms", {})
+    before_stats = before.get("histogram_stats", {})
+    before_gauges = before.get("gauges", {})
+    after_stats = after.get("histogram_stats", {})
+    histograms: dict[str, list[float]] = {}
+    stats_delta: dict[str, dict] = {}
+    for name, values in after.get("histograms", {}).items():
+        stats = after_stats.get(name)
+        if stats is None:
+            if len(values) > len(before_histograms.get(name, ())):
+                histograms[name] = values[len(before_histograms.get(name, ())):]
+            continue
+        prior = before_stats.get(name)
+        if prior is not None:
+            prior_count, prior_sum = prior["count"], prior["sum"]
+        else:
+            prior_values = before_histograms.get(name, ())
+            prior_count, prior_sum = len(prior_values), sum(prior_values)
+        count = stats["count"] - prior_count
+        if count <= 0:
+            continue
+        histograms[name] = _stride_sample(values, _DELTA_SAMPLE_LIMIT)
+        stats_delta[name] = {
+            "count": count,
+            "sum": stats["sum"] - prior_sum,
+            "min": stats["min"],
+            "max": stats["max"],
+        }
+    delta = {
+        "counters": {
+            name: value - before_counters.get(name, 0)
+            for name, value in after.get("counters", {}).items()
+            if value != before_counters.get(name, 0)
+        },
+        "timer_seconds": {
+            name: value - before_seconds.get(name, 0.0)
+            for name, value in after.get("timer_seconds", {}).items()
+            if value != before_seconds.get(name, 0.0)
+        },
+        "timer_calls": {
+            name: value - before_calls.get(name, 0)
+            for name, value in after.get("timer_calls", {}).items()
+            if value != before_calls.get(name, 0)
+        },
+        "histograms": histograms,
+        "gauges": {
+            name: value
+            for name, value in after.get("gauges", {}).items()
+            if value != before_gauges.get(name)
+        },
+    }
+    if stats_delta:
+        delta["histogram_stats"] = stats_delta
+    return delta
 
 
 #: The process-wide instance all harness code records into.

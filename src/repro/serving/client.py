@@ -59,6 +59,16 @@ class ServingClient:
     def stats(self) -> dict:
         return self._request("/stats")
 
+    def metrics(self) -> str:
+        """The raw ``/metrics`` Prometheus text exposition (not JSON)."""
+        url = f"{self.base_url}/metrics"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServingError(error.code, str(error.reason)) from error
+
     def select(
         self,
         query: str | Sequence[str],

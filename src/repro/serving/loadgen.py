@@ -73,6 +73,7 @@ def run_load(
     k: int = 10,
     concurrency: int = 1,
     clock: Callable[[], float] = time.perf_counter,
+    raise_errors: bool = True,
 ) -> dict:
     """Issue every query and summarize throughput/latency.
 
@@ -92,6 +93,12 @@ def run_load(
     to saturate a multi-worker server; a single serial client measures
     its own round-trip latency, not server capacity. ``clock`` is the
     monotonic time source, injectable for tests.
+
+    Failed requests abort the run by re-raising the first error
+    (``raise_errors=True``, the default — a load test against a broken
+    server measures nothing). With ``raise_errors=False`` the run
+    continues past failures and reports their count in the summary,
+    which is what a resilience drill wants.
     """
     import threading
 
@@ -115,7 +122,9 @@ def run_load(
             except BaseException as error:  # noqa: BLE001 - surfaced below
                 with lock:
                     errors.append(error)
-                return
+                if raise_errors:
+                    return
+                continue
             request_end = clock()
             with lock:
                 results.append((request_start, request_end, response))
@@ -132,13 +141,16 @@ def run_load(
             thread.start()
         for thread in threads:
             thread.join()
-    if errors:
+    if errors and raise_errors:
         raise errors[0]
     wall = clock() - start
 
     latencies = [end - begin for begin, end, _ in results]
     degraded = sum(
         1 for _, _, response in results if response.get("degraded")
+    )
+    cache_hits = sum(
+        1 for _, _, response in results if response.get("cached")
     )
     selected_total = sum(
         len(response.get("selected", ())) for _, _, response in results
@@ -173,6 +185,10 @@ def run_load(
         if requests
         else 0.0,
         "degraded": degraded,
+        "degraded_fraction": degraded / requests if requests else 0.0,
+        "cache_hits": cache_hits,
+        "cache_hit_rate": cache_hits / requests if requests else 0.0,
+        "errors": len(errors),
         "mean_selected": selected_total / requests if requests else 0.0,
     }
 
@@ -189,6 +205,10 @@ def format_summary(summary: dict) -> str:
         f"p50 {summary['latency_p50_ms']:.2f}  "
         f"p90 {summary['latency_p90_ms']:.2f}  "
         f"p99 {summary['latency_p99_ms']:.2f}\n"
-        f"degraded: {summary['degraded']}  "
+        f"degraded: {summary['degraded']} "
+        f"({summary.get('degraded_fraction', 0.0):.1%})  "
+        f"cache hits: {summary.get('cache_hits', 0)} "
+        f"({summary.get('cache_hit_rate', 0.0):.1%})  "
+        f"errors: {summary.get('errors', 0)}  "
         f"mean selected: {summary['mean_selected']:.1f}"
     )

@@ -15,8 +15,20 @@ Endpoints (all JSON):
   (the socket only starts listening after preload, so a successful
   connect already implies readiness). Lock-free: never queues behind
   scoring or updates.
-* ``GET /stats`` — request counters and current bounded-cache sizes,
-  equally lock-free.
+* ``GET /stats`` — ``{"local": ..., "pool": ...}``: this process's
+  request counters, cache sizes, snapshot epoch and shm segment, plus
+  the pool-wide aggregate (== local for a single-process server; the
+  dispatcher's merged cluster view under ``--workers N``). Equally
+  lock-free.
+* ``GET /metrics`` — Prometheus text exposition of the process-wide
+  metrics registry (see :mod:`repro.serving.telemetry`); worker
+  processes serve the dispatcher-aggregated pool registry instead, so
+  any worker reports cluster truth. Lock-free like ``/healthz`` (the
+  registry snapshot lock is never held across scoring or updates).
+
+Every request additionally publishes per-request telemetry — a request
+id, per-phase timings (parse, cache, select, serialize), and outcome
+tags — through :func:`repro.serving.telemetry.record_request`.
 
 ``ThreadingHTTPServer`` gives one thread per connection; the service's
 request path is lock-free over immutable snapshots (see service.py), so
@@ -35,12 +47,35 @@ from repro.serving.service import (
     parse_request,
     parse_update_request,
 )
+from repro.serving.telemetry import (
+    RequestTelemetry,
+    record_request,
+    render_prometheus,
+)
 
 #: Cap on accepted request bodies. A select request is a few hundred
 #: bytes; an admin update carrying a full summary payload can run to a
 #: few megabytes.
 MAX_BODY_BYTES = 1 << 20
 MAX_ADMIN_BODY_BYTES = 1 << 26
+
+
+def pool_section_from_local(local: dict) -> dict:
+    """The /stats ``pool`` section for a single-process deployment.
+
+    Shape-compatible with the dispatcher aggregate so consumers read one
+    schema: a one-worker pool whose totals are the local counters.
+    """
+    return {
+        "workers": 1,
+        "respawns": 0,
+        "epoch": local.get("epoch"),
+        "requests": local.get("requests", 0),
+        "cache_hits": local.get("cache_hits", 0),
+        "degraded": local.get("degraded", 0),
+        "errors": local.get("errors", 0),
+        "swaps": local.get("swaps", 0),
+    }
 
 
 class SelectionRequestHandler(BaseHTTPRequestHandler):
@@ -65,11 +100,46 @@ class SelectionRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- observability hooks (worker handlers override these) ------------------
+
+    def _pool_stats(self) -> dict | None:
+        """Pool-wide stats aggregate; None means single-process (== local)."""
+        return None
+
+    def _metrics_text(self) -> str:
+        """The /metrics exposition body (local registry by default)."""
+        return render_prometheus()
+
+    def _stats_payload(self) -> dict:
+        local = self.service.stats_snapshot()
+        pool = self._pool_stats()
+        if pool is None:
+            pool = pool_section_from_local(local)
+        return {"local": local, "pool": pool}
+
+    def _record_get(self, telemetry: RequestTelemetry) -> None:
+        telemetry.tag_outcome(epoch=self.service.snapshot.version)
+        record_request(telemetry)
+
     def do_GET(self) -> None:  # noqa: N802 (http.server's naming)
+        telemetry = RequestTelemetry(self.path.strip("/") or "root")
         if self.path == "/healthz":
             self._respond(200, self.service.describe())
+            self._record_get(telemetry)
         elif self.path == "/stats":
-            self._respond(200, self.service.stats_snapshot())
+            self._respond(200, self._stats_payload())
+            self._record_get(telemetry)
+        elif self.path == "/metrics":
+            self._respond_text(200, self._metrics_text())
+            self._record_get(telemetry)
         else:
             self._respond(404, {"error": f"unknown path {self.path!r}"})
 
@@ -97,12 +167,27 @@ class SelectionRequestHandler(BaseHTTPRequestHandler):
         # request, not silently on top of it.
         arrival = time.monotonic()
         if self.path == "/select":
-            payload = self._read_body(MAX_BODY_BYTES)
-            if payload is None:
+            # The telemetry record starts with the HTTP parse phase; the
+            # service adds cache/select/serialize and publishes it once.
+            telemetry = RequestTelemetry("select")
+            try:
+                with telemetry.phase("parse"):
+                    payload = self._read_body(MAX_BODY_BYTES)
+                    if payload is None:
+                        telemetry.error_class = "BadRequest"
+                        record_request(telemetry)
+                        return
+                    kwargs = parse_request(payload)
+            except ValueError as error:
+                self.service.stats.record_error()
+                telemetry.fail(error)
+                record_request(telemetry)
+                self._respond(400, {"error": str(error)})
                 return
             try:
-                kwargs = parse_request(payload)
-                response = self.service.select(arrival=arrival, **kwargs)
+                response = self.service.select(
+                    arrival=arrival, telemetry=telemetry, **kwargs
+                )
             except ValueError as error:
                 self.service.stats.record_error()
                 self._respond(400, {"error": str(error)})
@@ -113,20 +198,31 @@ class SelectionRequestHandler(BaseHTTPRequestHandler):
                 return
             self._respond(200, response)
         elif self.path == "/admin/update":
-            payload = self._read_body(MAX_ADMIN_BODY_BYTES)
+            telemetry = RequestTelemetry("admin_update")
+            with telemetry.phase("parse"):
+                payload = self._read_body(MAX_ADMIN_BODY_BYTES)
             if payload is None:
+                telemetry.error_class = "BadRequest"
+                record_request(telemetry)
                 return
             try:
                 kwargs = parse_update_request(payload)
-                response = self.service.apply_update(**kwargs)
+                with telemetry.phase("update"):
+                    response = self.service.apply_update(**kwargs)
             except ValueError as error:
                 self.service.stats.record_error()
+                telemetry.fail(error)
+                record_request(telemetry)
                 self._respond(400, {"error": str(error)})
                 return
             except Exception as error:  # pragma: no cover - defensive
                 self.service.stats.record_error()
+                telemetry.fail(error)
+                record_request(telemetry)
                 self._respond(500, {"error": f"{type(error).__name__}: {error}"})
                 return
+            telemetry.tag_outcome(epoch=response.get("snapshot_version"))
+            record_request(telemetry)
             self._respond(200, response)
         else:
             self._respond(404, {"error": f"unknown path {self.path!r}"})

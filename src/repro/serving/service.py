@@ -50,6 +50,7 @@ from repro.serving.lifecycle import (
     CellUpdater,
     verify_against_rebuild,
 )
+from repro.serving.telemetry import RequestTelemetry, SlowQueryLog, record_request
 
 _ALGORITHMS = ("bgloss", "cori", "lm")
 _STRATEGIES = ("plain", "shrinkage", "universal")
@@ -84,6 +85,13 @@ class ServiceConfig:
     #: then never materialized, and requests for other strategies are
     #: rejected with a 400 instead of silently triggering EM.
     strategies: tuple[str, ...] = _STRATEGIES
+    #: Slow-query log destination (JSONL). ``None`` falls back to the
+    #: ``REPRO_SLOW_QUERY_LOG`` environment variable; unset disables it.
+    slow_query_log_path: str | None = None
+    #: Requests slower than this (total, arrival to response) are logged.
+    slow_query_threshold_seconds: float = 0.1
+    #: Rotation bound for the slow-query log (~2x this on disk).
+    slow_query_log_max_bytes: int = 1 << 20
 
 
 class ServiceStats:
@@ -174,6 +182,14 @@ class SelectionService:
         self._store = store
         self._lifecycle_base = lifecycle_base
         self._harness_context = harness_context
+        if self.config.slow_query_log_path:
+            self.slow_query_log: SlowQueryLog | None = SlowQueryLog(
+                self.config.slow_query_log_path,
+                threshold_seconds=self.config.slow_query_threshold_seconds,
+                max_bytes=self.config.slow_query_log_max_bytes,
+            )
+        else:
+            self.slow_query_log = SlowQueryLog.from_env()
         #: Built lazily on first update (constructing it materializes the
         #: shrunk summaries, which plain-only services never need).
         self._updater: CellUpdater | None = None
@@ -282,6 +298,7 @@ class SelectionService:
         k: int | None = None,
         timeout_seconds: float | None = None,
         arrival: float | None = None,
+        telemetry: RequestTelemetry | None = None,
     ) -> dict:
         """Answer one selection request as a JSON-ready dict.
 
@@ -291,62 +308,115 @@ class SelectionService:
         against the budget. Raises ``ValueError`` for malformed requests
         (unknown algorithm or strategy, non-positive k) — the HTTP layer
         maps that to a 400.
+
+        ``telemetry`` is the request's accumulator when the HTTP layer
+        already timed its parse phase; in-process callers get a fresh
+        one. Either way the request is published to the metrics registry
+        (phases, outcome tags) exactly once, and slow requests land in
+        the slow-query log when one is configured.
         """
+        if telemetry is None:
+            telemetry = RequestTelemetry("select")
+        try:
+            return self._select(
+                query, algorithm, strategy, k, timeout_seconds, arrival, telemetry
+            )
+        except BaseException as error:
+            telemetry.fail(error)
+            raise
+        finally:
+            elapsed = record_request(telemetry)
+            if self.slow_query_log is not None:
+                self.slow_query_log.maybe_record(telemetry, elapsed)
+
+    def _select(
+        self,
+        query: str | Sequence[str],
+        algorithm: str,
+        strategy: str,
+        k: int | None,
+        timeout_seconds: float | None,
+        arrival: float | None,
+        telemetry: RequestTelemetry,
+    ) -> dict:
         from repro.evaluation.instrument import get_instrumentation
 
-        if arrival is None:
-            arrival = time.monotonic()
-        algorithm = str(algorithm).lower()
-        strategy = str(strategy).lower()
-        if algorithm not in _ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {algorithm!r}; pick from {_ALGORITHMS}"
-            )
-        if strategy not in _STRATEGIES:
-            raise ValueError(
-                f"unknown strategy {strategy!r}; pick from {_STRATEGIES}"
-            )
-        if strategy not in self.config.strategies:
-            raise ValueError(
-                f"strategy {strategy!r} not served by this deployment; "
-                f"pick from {tuple(self.config.strategies)}"
-            )
-        terms = normalize_query(query)
-        if k is None:
-            k = self.config.default_k
-        k = int(k)
-        if k <= 0:
-            raise ValueError("k must be positive")
-        if timeout_seconds is None:
-            timeout_seconds = self.config.request_timeout_seconds
+        with telemetry.phase("parse"):
+            if arrival is None:
+                arrival = time.monotonic()
+            algorithm = str(algorithm).lower()
+            strategy = str(strategy).lower()
+            if algorithm not in _ALGORITHMS:
+                raise ValueError(
+                    f"unknown algorithm {algorithm!r}; pick from {_ALGORITHMS}"
+                )
+            if strategy not in _STRATEGIES:
+                raise ValueError(
+                    f"unknown strategy {strategy!r}; pick from {_STRATEGIES}"
+                )
+            if strategy not in self.config.strategies:
+                raise ValueError(
+                    f"strategy {strategy!r} not served by this deployment; "
+                    f"pick from {tuple(self.config.strategies)}"
+                )
+            terms = normalize_query(query)
+            if k is None:
+                k = self.config.default_k
+            k = int(k)
+            if k <= 0:
+                raise ValueError("k must be positive")
+            if timeout_seconds is None:
+                timeout_seconds = self.config.request_timeout_seconds
 
         # One atomic snapshot read; the whole request runs against it even
         # if an update publishes a newer snapshot mid-flight.
         snapshot = self._snapshot
         start = time.perf_counter()
         self.stats.record_request()
+        telemetry.tag_outcome(
+            query=list(terms),
+            algorithm=algorithm,
+            strategy=strategy,
+            k=k,
+            epoch=snapshot.version,
+        )
         cache_key = (algorithm, strategy, terms, k)
-        cached = snapshot.cache.get(cache_key)
+        with telemetry.phase("cache"):
+            cached = snapshot.cache.get(cache_key)
         if cached is not None:
             self.stats.record_cache_hit()
+            telemetry.tag_outcome(cache_hit=True)
             response = dict(cached)
             response["cached"] = True
+            response["request_id"] = telemetry.request_id
             return response
-        response = self._compute(
-            snapshot, terms, algorithm, strategy, k, timeout_seconds, arrival
-        )
+        telemetry.tag_outcome(cache_hit=False)
+        with telemetry.phase("select"):
+            outcome, degraded = self._score(
+                snapshot, terms, algorithm, strategy, k, timeout_seconds, arrival
+            )
+        with telemetry.phase("serialize"):
+            response = self._serialize(
+                snapshot, terms, algorithm, strategy, k, outcome, degraded
+            )
         snapshot.cache.put(cache_key, response)
         elapsed = time.perf_counter() - start
+        telemetry.tag_outcome(
+            degraded=degraded,
+            pruned=bool(self.config.prune),
+            candidates_scored=outcome.candidates_scored,
+        )
         instrumentation = get_instrumentation()
         instrumentation.count("serve.requests")
         instrumentation.observe("serve.request_seconds", elapsed)
-        if response["degraded"]:
+        if degraded:
             instrumentation.count("serve.degraded")
         response = dict(response)
         response["elapsed_seconds"] = elapsed
+        response["request_id"] = telemetry.request_id
         return response
 
-    def _compute(
+    def _score(
         self,
         snapshot: CellSnapshot,
         terms: tuple[str, ...],
@@ -355,7 +425,8 @@ class SelectionService:
         k: int,
         timeout_seconds: float | None,
         arrival: float,
-    ) -> dict:
+    ):
+        """Score one query against a snapshot; returns (outcome, degraded)."""
         degraded = False
         deadline = (
             arrival + timeout_seconds if timeout_seconds is not None else None
@@ -380,6 +451,19 @@ class SelectionService:
                 k=k,
                 prune=prune,
             )
+        return outcome, degraded
+
+    def _serialize(
+        self,
+        snapshot: CellSnapshot,
+        terms: tuple[str, ...],
+        algorithm: str,
+        strategy: str,
+        k: int,
+        outcome,
+        degraded: bool,
+    ) -> dict:
+        """Build the JSON-ready (and cacheable) response dict."""
         ranking = sorted(
             outcome.scores.items(), key=lambda item: (-item[1], item[0])
         )
@@ -505,6 +589,8 @@ class SelectionService:
             instrumentation = get_instrumentation()
             instrumentation.count("lifecycle.swaps")
             instrumentation.observe("lifecycle.build_seconds", build_seconds)
+            instrumentation.observe("lifecycle.swap_seconds", swap_seconds)
+            instrumentation.set_gauge("serve.epoch", snapshot.version)
             result.update(
                 {
                     "snapshot_version": snapshot.version,
@@ -558,9 +644,16 @@ class SelectionService:
         Reads the published snapshot reference and the stats counters
         (each internally consistent); it never waits on scoring.
         """
+        import os
+
         snapshot = self._snapshot
         result = self.stats.snapshot()
+        result["pid"] = os.getpid()
         result["snapshot_version"] = snapshot.version
+        result["epoch"] = snapshot.version
+        result["shm_segment"] = (
+            snapshot.shm_manifest["segment"] if snapshot.shm_manifest else None
+        )
         result["cache_sizes"] = self.cache_sizes()
         result["response_cache_maxsize"] = snapshot.cache.maxsize
         return result

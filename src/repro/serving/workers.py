@@ -51,17 +51,37 @@ dead worker is reaped and a fresh one forked from the dispatcher's
 replay is needed. Workers own no segment names, so no path through
 worker death can orphan ``/dev/shm`` entries; the dispatcher unlinks
 everything it created on shutdown (and at exit, as a last resort).
+
+Telemetry aggregation (DESIGN.md §5h): each worker periodically ships
+its instrumentation delta (``snapshot_delta`` over the post-fork
+baseline) and service counters over the same control socketpair. A
+dispatcher-side reader thread per worker demultiplexes those pushes
+from ready/ack/bye protocol messages (which land in a per-worker
+inbox), merging deltas into one pool-wide registry under a dedicated
+telemetry lock — never the flip lock, so ``/metrics`` can't queue
+behind a multi-second update. On-demand scrapes send ``{"cmd":
+"poll"}`` and wait (bounded) for every live worker's echoed token, so
+a post-load ``/metrics`` read reflects every completed request
+exactly; if a worker is mid-flip the collector falls back to its last
+shipped state rather than blocking.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import queue
 import signal
 import socket
 import threading
 import time
 
+from repro.evaluation.instrument import (
+    Instrumentation,
+    get_instrumentation,
+    snapshot_delta,
+)
 from repro.serving import shm
 from repro.serving.server import (
     MAX_ADMIN_BODY_BYTES,
@@ -69,6 +89,7 @@ from repro.serving.server import (
     make_server,
 )
 from repro.serving.service import SelectionService, parse_update_request
+from repro.serving.telemetry import render_prometheus
 
 #: Seconds the dispatcher waits for one worker's flip ack before it
 #: declares the worker wedged, kills it, and respawns from current state.
@@ -76,6 +97,13 @@ FLIP_ACK_TIMEOUT = 60.0
 
 #: Seconds to wait for a worker's ready handshake at spawn.
 READY_TIMEOUT = 30.0
+
+#: Seconds between a worker's periodic telemetry pushes.
+TELEMETRY_INTERVAL = 1.0
+
+#: Seconds a fresh-telemetry collect waits for every worker's poll echo
+#: before serving the last shipped state instead.
+TELEMETRY_POLL_TIMEOUT = 5.0
 
 
 def fork_available() -> bool:
@@ -148,6 +176,40 @@ class WorkerRequestHandler(SelectionRequestHandler):
         else:
             super().do_GET()
 
+    # No deadlock risk in these proxies: the dispatcher thread answering
+    # them polls this worker's control_loop thread, which is distinct
+    # from the HTTP handler thread blocked here.
+
+    def _fetch_admin(self, path: str) -> bytes | None:
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(
+                f"{self.admin_url}{path}", timeout=TELEMETRY_POLL_TIMEOUT + 5.0
+            ) as response:
+                return response.read()
+        except (urllib.error.URLError, OSError):
+            return None
+
+    def _pool_stats(self) -> dict | None:
+        raw = self._fetch_admin("/stats")
+        if raw is None:
+            return None  # degrade to the local-as-pool section
+        try:
+            return json.loads(raw.decode("utf-8")).get("pool")
+        except ValueError:
+            return None
+
+    def _metrics_text(self) -> str:
+        raw = self._fetch_admin("/metrics")
+        if raw is None:
+            return (
+                "# NOTE dispatcher unreachable; this worker's local "
+                "registry follows\n" + render_prometheus()
+            )
+        return raw.decode("utf-8")
+
     def do_POST(self) -> None:  # noqa: N802
         if self.path != "/admin/update":
             super().do_POST()
@@ -199,12 +261,24 @@ class _WorkerRuntime:
         control: socket.socket,
         admin_url: str,
         verbose: bool = False,
+        telemetry_interval: float = TELEMETRY_INTERVAL,
     ) -> None:
         self.service = service
         self.control = control
         self.reader = _LineReader(control)
         self.segment: shm.SnapshotSegment | None = None
         self.journal_length = len(service.journal)
+        self.telemetry_interval = float(telemetry_interval)
+        #: Serializes all control-socket writes (acks vs. telemetry pushes).
+        self._send_lock = threading.Lock()
+        #: Serializes baseline-snapshot swaps between shipper threads.
+        self._telemetry_lock = threading.Lock()
+        #: Deltas are relative to the post-fork state: everything the
+        #: worker inherited from the dispatcher (preload counters, warm
+        #: timers) is already in the dispatcher's own registry and must
+        #: not be double-counted in the pool aggregate.
+        self._telemetry_baseline = get_instrumentation().snapshot()
+        self._telemetry_seq = 0
         self.server = make_server(
             service,
             sock=listener,
@@ -212,6 +286,37 @@ class _WorkerRuntime:
             handler_base=WorkerRequestHandler,
             handler_attrs={"admin_url": admin_url},
         )
+
+    def _send(self, message: dict) -> None:
+        with self._send_lock:
+            _send_line(self.control, message)
+
+    def ship_telemetry(self, poll: int | None = None) -> None:
+        """Push one instrumentation delta + service counters upstream."""
+        instrumentation = get_instrumentation()
+        with self._telemetry_lock:
+            current = instrumentation.snapshot()
+            delta = snapshot_delta(self._telemetry_baseline, current)
+            self._telemetry_baseline = current
+            self._telemetry_seq += 1
+            payload = {
+                "pid": os.getpid(),
+                "seq": self._telemetry_seq,
+                "poll": poll,
+                "epoch": self.service.snapshot.version,
+                "journal_length": self.journal_length,
+                "instrumentation": delta,
+                "service": self.service.stats_snapshot(),
+            }
+        self._send({"telemetry": payload})
+
+    def _telemetry_loop(self) -> None:
+        while True:
+            time.sleep(self.telemetry_interval)
+            try:
+                self.ship_telemetry()
+            except OSError:  # dispatcher went away; control_loop exits too
+                return
 
     def flip(self, epoch: int, ops: list, manifest: dict) -> dict:
         """Catch up to the dispatcher's epoch: replay ops, adopt segment."""
@@ -247,10 +352,15 @@ class _WorkerRuntime:
             cmd = message.get("cmd")
             if cmd == "stop":
                 try:
-                    _send_line(self.control, {"bye": os.getpid()})
+                    self._send({"bye": os.getpid()})
                 except OSError:
                     pass
                 os._exit(0)
+            elif cmd == "poll":
+                try:
+                    self.ship_telemetry(poll=message.get("token"))
+                except OSError:
+                    os._exit(0)
             elif cmd == "flip":
                 try:
                     ack = self.flip(
@@ -267,7 +377,7 @@ class _WorkerRuntime:
                         "journal_length": self.journal_length,
                     }
                 try:
-                    _send_line(self.control, ack)
+                    self._send(ack)
                 except OSError:
                     os._exit(0)
 
@@ -275,8 +385,8 @@ class _WorkerRuntime:
         signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
         signal.signal(signal.SIGINT, signal.SIG_IGN)
         threading.Thread(target=self.control_loop, daemon=True).start()
-        _send_line(
-            self.control,
+        threading.Thread(target=self._telemetry_loop, daemon=True).start()
+        self._send(
             {
                 "ready": os.getpid(),
                 "epoch": self.service.snapshot.version,
@@ -294,6 +404,12 @@ class DispatcherAdminHandler(SelectionRequestHandler):
     """The dispatcher's private endpoint: updates orchestrate epoch flips."""
 
     pool: "WorkerPool"
+
+    def _pool_stats(self) -> dict | None:
+        return self.pool.pool_stats()
+
+    def _metrics_text(self) -> str:
+        return self.pool.metrics_text()
 
     def do_POST(self) -> None:  # noqa: N802
         if self.path != "/admin/update":
@@ -317,11 +433,22 @@ class DispatcherAdminHandler(SelectionRequestHandler):
 
 
 class _WorkerHandle:
+    """Dispatcher-side view of one worker: control socket + reader thread.
+
+    The reader thread drains the control socket continuously,
+    demultiplexing asynchronous ``telemetry`` pushes (absorbed via the
+    pool callback) from protocol messages — ready, flip acks, bye —
+    which land in :attr:`inbox` for the synchronous call sites. Without
+    it, a telemetry push arriving between a flip broadcast and its ack
+    read would corrupt the flip barrier.
+    """
+
     def __init__(
         self,
         pid: int,
         control: socket.socket,
         listener: socket.socket | None,
+        absorb_telemetry=None,
     ) -> None:
         self.pid = pid
         self.control = control
@@ -330,6 +457,44 @@ class _WorkerHandle:
         self.listener = listener
         self.journal_length = 0
         self.epoch = 0
+        self.inbox: queue.Queue = queue.Queue()
+        #: Last telemetry payload shipped by this worker (absolute
+        #: service counters; the instrumentation delta is merged away).
+        self.telemetry: dict | None = None
+        #: Token of the last answered ``poll`` (freshness barrier).
+        self.last_poll: int | None = None
+        self._send_lock = threading.Lock()
+        self._eof = False
+        self._absorb = absorb_telemetry
+        self._reader_thread = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader_thread.start()
+
+    def _read_loop(self) -> None:
+        while True:
+            message = self.reader.read(None)
+            if message is None:  # EOF (worker died or handle closed)
+                self.inbox.put(None)
+                return
+            if "telemetry" in message and self._absorb is not None:
+                self._absorb(self, message["telemetry"])
+            else:
+                self.inbox.put(message)
+
+    def send(self, message: dict) -> None:
+        with self._send_lock:
+            _send_line(self.control, message)
+
+    def recv(self, timeout: float | None = None) -> dict | None:
+        """Next protocol message from the inbox, or None on EOF/timeout."""
+        if self._eof:
+            return None
+        try:
+            message = self.inbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if message is None:
+            self._eof = True
+        return message
 
     def close(self) -> None:
         try:
@@ -360,6 +525,7 @@ class WorkerPool:
         workers: int = 2,
         verbose: bool = False,
         reuseport: bool = False,
+        telemetry_interval: float = TELEMETRY_INTERVAL,
     ) -> None:
         if not fork_available():  # pragma: no cover - non-POSIX
             raise RuntimeError(
@@ -370,6 +536,7 @@ class WorkerPool:
         self.requested_port = port
         self.worker_count = max(1, int(workers))
         self.verbose = verbose
+        self.telemetry_interval = float(telemetry_interval)
         self.reuseport = bool(reuseport) and hasattr(socket, "SO_REUSEPORT")
         self.host: str | None = None
         self.port: int | None = None
@@ -384,6 +551,15 @@ class WorkerPool:
         self._segment: shm.SnapshotSegment | None = None
         self._manifest: dict | None = None
         self._flip_lock = threading.Lock()
+        #: Guards the pool telemetry registry and per-handle telemetry —
+        #: deliberately NOT the flip lock: a /metrics scrape must never
+        #: queue behind a multi-second update build.
+        self._telemetry_cv = threading.Condition()
+        #: Merged instrumentation deltas from every worker (cumulative,
+        #: survives worker respawns). Pool truth = this + the
+        #: dispatcher's own process-wide registry.
+        self._pool_instrumentation = Instrumentation()
+        self._poll_tokens = itertools.count(1)
         #: Reuseport acceptors created but not yet handed to a worker.
         self._pending: list[socket.socket | None] = []
         self._started = False
@@ -483,7 +659,12 @@ class WorkerPool:
             # fresh SO_REUSEPORT socket for the replacement.
             listener = _make_listener(self.requested_host, self.port, True)
         parent_side, child_side = socket.socketpair()
-        pid = os.fork()
+        # Hold the global registry lock across fork: admin-handler and
+        # reader threads record into it concurrently, and a child forked
+        # while another thread holds it would deadlock on its very first
+        # baseline snapshot (locks fork in their instantaneous state).
+        with get_instrumentation().locked():
+            pid = os.fork()
         if pid == 0:  # ---- worker process ----
             status = 1
             try:
@@ -509,6 +690,7 @@ class WorkerPool:
                     child_side,
                     admin_url=self.admin_url,
                     verbose=self.verbose,
+                    telemetry_interval=self.telemetry_interval,
                 )
                 runtime.run()
                 status = 0
@@ -516,14 +698,16 @@ class WorkerPool:
                 os._exit(status)
         # ---- dispatcher continues ----
         child_side.close()
-        handle = _WorkerHandle(pid, parent_side, listener)
+        handle = _WorkerHandle(
+            pid, parent_side, listener, absorb_telemetry=self._absorb_telemetry
+        )
         handle.journal_length = len(self.service.journal)
         handle.epoch = self.service.snapshot.version
         self._workers[pid] = handle
         return pid
 
     def _await_ready(self, handle: _WorkerHandle) -> None:
-        message = handle.reader.read(timeout=READY_TIMEOUT)
+        message = handle.recv(timeout=READY_TIMEOUT)
         if not message or "ready" not in message:
             raise RuntimeError(
                 f"worker {handle.pid} failed its ready handshake: {message!r}"
@@ -532,6 +716,116 @@ class WorkerPool:
         handle.journal_length = int(
             message.get("journal_length", handle.journal_length)
         )
+
+    # -- telemetry aggregation -------------------------------------------------
+
+    def _absorb_telemetry(self, handle: _WorkerHandle, payload: dict) -> None:
+        """Merge one worker's shipped delta into the pool registry.
+
+        Runs on the worker's reader thread; only the telemetry condition
+        is held, so absorption never contends with flips.
+        """
+        with self._telemetry_cv:
+            delta = payload.get("instrumentation")
+            if delta:
+                self._pool_instrumentation.merge(delta)
+            handle.telemetry = payload
+            handle.epoch = int(payload.get("epoch", handle.epoch))
+            token = payload.get("poll")
+            if token is not None:
+                handle.last_poll = int(token)
+            self._telemetry_cv.notify_all()
+
+    def collect_telemetry(self, timeout: float = TELEMETRY_POLL_TIMEOUT) -> bool:
+        """Poll every live worker and wait for fresh telemetry.
+
+        Sends each worker a tokened ``poll`` and blocks (bounded by
+        ``timeout``) until every one of them has echoed its token. True
+        means the pool registry now reflects every request each worker
+        had completed when it answered — the exactness contract a
+        post-load ``/metrics`` scrape relies on. False means at least
+        one worker didn't answer in time (mid-flip, mid-respawn): the
+        aggregate still serves, from that worker's last shipped state.
+        """
+        tokens: dict[_WorkerHandle, int] = {}
+        for handle in list(self._workers.values()):
+            token = next(self._poll_tokens)
+            try:
+                handle.send({"cmd": "poll", "token": token})
+            except OSError:
+                continue  # dying worker; the reaper will replace it
+            tokens[handle] = token
+        if not tokens:
+            return True
+        deadline = time.monotonic() + timeout
+
+        def fresh() -> bool:
+            return all(
+                handle.last_poll is not None and handle.last_poll >= token
+                for handle, token in tokens.items()
+            )
+
+        with self._telemetry_cv:
+            while not fresh():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._telemetry_cv.wait(remaining)
+        return True
+
+    def aggregate_registry(self) -> Instrumentation:
+        """Pool-wide registry: the dispatcher's own + every worker delta."""
+        aggregate = Instrumentation()
+        aggregate.merge(get_instrumentation().snapshot())
+        with self._telemetry_cv:
+            aggregate.merge(self._pool_instrumentation.snapshot())
+        return aggregate
+
+    def pool_stats(self) -> dict:
+        """The /stats ``pool`` section: summed worker counters + detail."""
+        with self._telemetry_cv:
+            reports = [
+                (handle.pid, dict(handle.telemetry or {}))
+                for handle in self._workers.values()
+            ]
+        totals = {"requests": 0, "cache_hits": 0, "degraded": 0, "errors": 0}
+        detail = []
+        for pid, payload in sorted(reports):
+            service = payload.get("service") or {}
+            for key in totals:
+                totals[key] += int(service.get(key, 0))
+            detail.append(
+                {
+                    "pid": pid,
+                    "epoch": payload.get("epoch"),
+                    "seq": payload.get("seq"),
+                    "requests": service.get("requests", 0),
+                    "cache_hits": service.get("cache_hits", 0),
+                    "degraded": service.get("degraded", 0),
+                    "errors": service.get("errors", 0),
+                    "shm_segment": service.get("shm_segment"),
+                }
+            )
+        local = self.service.stats_snapshot()
+        return {
+            "workers": len(reports),
+            "respawns": self.respawns,
+            "epoch": self.service.snapshot.version,
+            "swaps": local.get("swaps", 0),
+            "worker_detail": detail,
+            **totals,
+        }
+
+    def metrics_text(self, fresh: bool = True) -> str:
+        """Pool-wide Prometheus exposition (optionally freshly polled)."""
+        polled = self.collect_telemetry() if fresh else True
+        body = render_prometheus(self.aggregate_registry())
+        if not polled:
+            body = (
+                "# NOTE some workers did not answer the freshness poll; "
+                "their last shipped state is included instead\n" + body
+            )
+        return body
 
     # -- epoch flips -----------------------------------------------------------
 
@@ -588,8 +882,7 @@ class WorkerPool:
         for pid, handle in list(self._workers.items()):
             suffix = journal[handle.journal_length:]
             try:
-                _send_line(
-                    handle.control,
+                handle.send(
                     {
                         "cmd": "flip",
                         "epoch": epoch,
@@ -597,7 +890,7 @@ class WorkerPool:
                         "manifest": manifest,
                     },
                 )
-                ack = handle.reader.read(timeout=FLIP_ACK_TIMEOUT)
+                ack = handle.recv(timeout=FLIP_ACK_TIMEOUT)
             except OSError:
                 ack = None
             if ack and ack.get("ack") == epoch:
@@ -674,7 +967,7 @@ class WorkerPool:
             self._admin_server.server_close()
         for handle in list(self._workers.values()):
             try:
-                _send_line(handle.control, {"cmd": "stop"})
+                handle.send({"cmd": "stop"})
             except OSError:
                 pass
         deadline = time.monotonic() + 5.0

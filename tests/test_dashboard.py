@@ -1,0 +1,111 @@
+"""The dashboard renders offline, self-contained, and chart-correct."""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.evaluation.dashboard import (
+    load_store_stats,
+    load_trajectory,
+    render_dashboard,
+    write_dashboard,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COMMITTED_TRAJECTORY = REPO_ROOT / "BENCH_trajectory.json"
+
+
+def _serve_load_record(qps: float, p50: float, p99: float) -> dict:
+    return {
+        "timestamp": "2026-08-08T12:00:00Z",
+        "context": {"kind": "serve-load", "target": "workers", "workers": 2},
+        "wall_seconds": 1.0,
+        "load": {
+            "qps": qps,
+            "latency_p50_ms": p50,
+            "latency_p99_ms": p99,
+            "requests": 100,
+            "cache_hit_rate": 0.25,
+            "degraded_fraction": 0.01,
+        },
+    }
+
+
+class TestOfflineRender:
+    def test_committed_trajectory_renders_self_contained(self, tmp_path):
+        """The ISSUE acceptance bar: a real render from the committed
+        trajectory, producing one HTML file with zero network use."""
+        assert COMMITTED_TRAJECTORY.is_file()
+        out = tmp_path / "dash.html"
+        summary = write_dashboard(
+            out, trajectory_path=COMMITTED_TRAJECTORY
+        )
+        assert summary["records"] >= 9
+        assert summary["live_metrics"] is False
+        page = out.read_text(encoding="utf-8")
+        assert page.startswith("<!DOCTYPE html>")
+        # Self-contained: no external fetches of any kind.
+        for needle in ("http://", "https://", "<script src", "<link"):
+            assert needle not in page, needle
+        # Three charts with data, legend on the two-series latency chart.
+        assert page.count("<svg") == 3
+        assert 'class="legend"' in page
+        assert "NaN" not in page
+
+    def test_marker_coordinates_stay_inside_viewbox(self):
+        page = render_dashboard(
+            [_serve_load_record(100.0, 5.0, 50.0) for _ in range(7)]
+        )
+        for x, y in re.findall(r'<circle cx="([\d.]+)" cy="([\d.]+)"', page):
+            assert 0.0 <= float(x) <= 720.0
+            assert 0.0 <= float(y) <= 260.0
+
+    def test_tooltips_and_tables_accompany_every_chart(self):
+        page = render_dashboard([_serve_load_record(100.0, 5.0, 50.0)])
+        assert "<title>" in page  # hover tooltips on markers
+        assert page.count("Data table") == page.count("<svg")
+
+    def test_stat_tiles_surface_latest_run(self):
+        page = render_dashboard([_serve_load_record(123.0, 5.0, 50.0)])
+        assert "123" in page
+        assert "cache-hit rate" in page
+        assert "25.0%" in page
+
+    def test_empty_trajectory_renders_guidance(self):
+        page = render_dashboard([])
+        assert "No trajectory records" in page
+        assert "<svg" not in page
+
+    def test_store_stats_table(self, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        stats_path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "kinds": {
+                        "summaries": {
+                            "hits": 3, "misses": 1, "corrupt": 0,
+                            "saves": 1, "bytes_read": 100, "bytes_written": 50,
+                        }
+                    },
+                }
+            )
+        )
+        stats = load_store_stats(stats_path)
+        assert stats["summaries"]["hits"] == 3
+        page = render_dashboard([], store_stats=stats)
+        assert "Artifact store traffic" in page
+        assert "summaries" in page
+
+    def test_metrics_text_embeds_escaped(self):
+        page = render_dashboard(
+            [], metrics_text='repro_x_total{a="<b>"} 1\n'
+        )
+        assert "Live /metrics snapshot" in page
+        assert "&lt;b&gt;" in page
+
+    def test_missing_inputs_degrade_to_empty(self, tmp_path):
+        assert load_trajectory(tmp_path / "absent.json") == []
+        assert load_store_stats(tmp_path / "absent.json") == {}

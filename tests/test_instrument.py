@@ -407,3 +407,87 @@ class TestTraceExport:
         parsed = [json.loads(line) for line in lines]
         by_name = {e.get("name"): e for e in parsed if e["type"] == "span"}
         assert by_name["child"]["parent"] == by_name["root"]["id"]
+
+
+class TestBoundedHistograms:
+    """Raw-value storage is bounded: exact below the cap, deterministic
+    reservoir (with exact count/sum/min/max) past it."""
+
+    def test_below_cap_is_bit_identical_to_unbounded(self):
+        bounded = Instrumentation(histogram_cap=64)
+        unbounded = Instrumentation(histogram_cap=1 << 30)
+        values = [float(i * 7 % 13) for i in range(63)]
+        for value in values:
+            bounded.observe("h", value)
+            unbounded.observe("h", value)
+        assert bounded.histograms["h"] == unbounded.histograms["h"] == values
+        assert "h" not in bounded.histogram_stats
+        assert (
+            bounded.histogram_summary("h") == unbounded.histogram_summary("h")
+        )
+
+    def test_past_cap_storage_bounded_totals_exact(self):
+        inst = Instrumentation(histogram_cap=8)
+        values = [float(i) for i in range(1000)]
+        for value in values:
+            inst.observe("h", value)
+        assert len(inst.histograms["h"]) == 8
+        summary = inst.histogram_summary("h")
+        assert summary["count"] == 1000
+        assert summary["mean"] == pytest.approx(sum(values) / 1000)
+        assert summary["min"] == 0.0
+        assert summary["max"] == 999.0
+        # Percentiles come from the reservoir: inside the value range.
+        assert 0.0 <= summary["p50"] <= 999.0
+
+    def test_reservoir_is_deterministic_per_name(self):
+        first = Instrumentation(histogram_cap=8)
+        second = Instrumentation(histogram_cap=8)
+        for index in range(500):
+            first.observe("h", float(index))
+            second.observe("h", float(index))
+        assert first.histograms["h"] == second.histograms["h"]
+        # A different name seeds a different LCG stream.
+        third = Instrumentation(histogram_cap=8)
+        for index in range(500):
+            third.observe("other", float(index))
+        assert third.histograms["other"] != first.histograms["h"]
+
+    def test_delta_merge_parity_across_cap_boundary(self):
+        """Worker-delta shipping keeps exact counts through the overflow."""
+        aggregate = Instrumentation(histogram_cap=8)
+        worker = Instrumentation(histogram_cap=8)
+        shipped = 0
+        baseline = worker.snapshot()
+        for round_ in range(5):
+            for index in range(round_ * 40, (round_ + 1) * 40):
+                worker.observe("h", float(index))
+                shipped += 1
+            delta = worker.delta_since(baseline)
+            baseline = worker.snapshot()
+            aggregate.merge(delta)
+        summary = aggregate.histogram_summary("h")
+        assert summary["count"] == shipped == 200
+        assert summary["mean"] == pytest.approx(sum(range(200)) / 200)
+        assert summary["min"] == 0.0
+        assert summary["max"] == 199.0
+
+    def test_merge_of_exact_lists_respects_cap(self):
+        aggregate = Instrumentation(histogram_cap=8)
+        worker = Instrumentation(histogram_cap=1 << 30)
+        for index in range(100):
+            worker.observe("h", float(index))
+        aggregate.merge(worker.snapshot())
+        assert len(aggregate.histograms["h"]) == 8
+        assert aggregate.histogram_summary("h")["count"] == 100
+
+    def test_snapshot_delta_is_json_serializable(self):
+        inst = Instrumentation(histogram_cap=4)
+        before = inst.snapshot()
+        for index in range(20):
+            inst.observe("h", float(index))
+        delta = inst.delta_since(before)
+        round_tripped = json.loads(json.dumps(delta))
+        other = Instrumentation(histogram_cap=4)
+        other.merge(round_tripped)
+        assert other.histogram_summary("h")["count"] == 20

@@ -349,11 +349,18 @@ class TestHttpRoundTrip:
     def test_stats_reports_bounded_caches(self, server_and_client):
         _, _, client = server_and_client
         stats = client.stats()
-        assert stats["requests"] >= 1
+        local, pool = stats["local"], stats["pool"]
+        assert local["requests"] >= 1
         assert (
-            stats["cache_sizes"]["responses"]
-            <= stats["response_cache_maxsize"]
+            local["cache_sizes"]["responses"]
+            <= local["response_cache_maxsize"]
         )
+        # Single-process server: the pool section is a one-worker view
+        # of the same counters, plus the snapshot epoch.
+        assert pool["workers"] == 1
+        assert pool["requests"] == local["requests"]
+        assert pool["epoch"] == local["epoch"] == local["snapshot_version"]
+        assert "shm_segment" in local
 
     def test_concurrent_http_clients(self, server_and_client):
         service, _, client = server_and_client
