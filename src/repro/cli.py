@@ -704,6 +704,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serving import loadgen
 
     pool = None
+    cluster = None
     vocabulary = None
     count_requests = None
     try:
@@ -720,6 +721,37 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             )
             label = args.url
             databases = health.get("databases", 0)
+        elif args.cluster > 0:
+            # Scatter-gather over an in-process sharded cluster: the
+            # same cell partitioned N ways, merged bit-identically (see
+            # repro cluster / DESIGN.md §5i). Clusters serve the
+            # fixed-set strategies only, so the shrinkage defaults are
+            # swapped for plain rather than tripping the validator.
+            from repro.serving.cluster import Cluster, ClusterConfig
+
+            _configure_harness(args)
+            if args.strategy == "shrinkage":
+                print(
+                    "loadgen: clusters serve fixed-set strategies; "
+                    "using strategy=plain"
+                )
+                args.strategy = "plain"
+            if not args.strategies:
+                args.strategies = args.strategy
+            cluster = Cluster.from_harness(
+                _service_config(args),
+                ClusterConfig(shards=args.cluster),
+            )
+            cluster.start()
+            frontend = cluster.frontend
+            vocabulary = loadgen.service_vocabulary(cluster)
+            select = (
+                lambda terms, algorithm, strategy, k: frontend.select(
+                    terms, algorithm=algorithm, strategy=strategy, k=k
+                )
+            )
+            label = f"in-process cluster ({args.cluster} shards)"
+            databases = len(cluster.metasearcher.sampled_summaries)
         elif args.workers > 0:
             # Boot a worker pool right here and drive it over HTTP — the
             # one-command way to record per-worker-count serve-load
@@ -780,6 +812,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     finally:
         if pool is not None:
             pool.shutdown()
+        if cluster is not None:
+            cluster.shutdown()
     print(f"target: {label} ({databases} databases)")
     print(loadgen.format_summary(summary))
     metrics_exact = None
@@ -801,8 +835,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         context = {
             "kind": "serve-load",
             "target": "http" if args.url else (
-                "workers" if args.workers > 0 else "in-process"
+                "cluster" if args.cluster > 0 else (
+                    "workers" if args.workers > 0 else "in-process"
+                )
             ),
+            "cluster_shards": args.cluster if not args.url else 0,
             "workers": args.workers if not args.url else 0,
             "concurrency": args.concurrency,
             "dataset": args.dataset,
@@ -839,6 +876,240 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print()
         print(report)
     return 0 if metrics_exact in (None, True) else 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json as json_module
+    import threading
+    import time
+
+    from repro.evaluation import trajectory as trajectory_mod
+    from repro.serving import loadgen
+    from repro.serving.cluster import (
+        Cluster,
+        ClusterConfig,
+        verify_against_single_cell,
+    )
+
+    _configure_harness(args)
+    if not args.strategies:
+        args.strategies = args.strategy
+    if args.failover_drill and args.replicas < 1:
+        print("cluster: --failover-drill needs --replicas >= 1")
+        return 2
+    config = _service_config(args)
+    cluster_config = ClusterConfig(
+        shards=args.shards,
+        replicas=args.replicas,
+        vnodes=args.vnodes,
+        shard_deadline_seconds=(
+            None
+            if args.shard_deadline_ms <= 0
+            else args.shard_deadline_ms / 1000.0
+        ),
+        workers=args.workers,
+    )
+    in_process = not args.serve and args.workers == 0
+    print(
+        f"cluster: preloading {args.dataset}/{args.sampler}"
+        f"{'/fe' if args.freq_est else ''} at scale={args.scale}; "
+        f"{args.shards} shards, {args.replicas} replicas"
+        f"{f', {args.workers} workers/shard' if args.workers else ''} "
+        f"({'in-process' if in_process else 'forked'}) ...",
+        flush=True,
+    )
+    exit_code = 0
+    with Cluster.from_harness(
+        config,
+        cluster_config,
+        in_process=in_process,
+        host=args.host,
+        verbose=args.verbose,
+    ) as cluster:
+        frontend = cluster.frontend
+        sizes = [len(part) for part in cluster.partitions]
+        print(
+            f"cluster: ready — shard sizes {sizes} "
+            f"({sum(sizes)} databases)",
+            flush=True,
+        )
+        if not in_process:
+            for group in cluster.groups:
+                urls = [target.base_url for target in group.targets]
+                print(
+                    f"cluster: shard {group.shard_index} endpoints {urls}"
+                )
+        vocabulary = loadgen.service_vocabulary(cluster)
+
+        verify_report = None
+        if args.verify > 0:
+            queries = loadgen.generate_queries(
+                vocabulary, args.verify, seed=args.seed
+            )
+            verify_report = verify_against_single_cell(
+                frontend,
+                cluster.metasearcher,
+                queries,
+                strategies=config.strategies,
+                k=args.k,
+            )
+            verdict = "OK" if verify_report["ok"] else "MISMATCH"
+            print(
+                f"cluster verify: {verify_report['selections_checked']} "
+                "scatter-gather selections vs the single cell — "
+                f"{len(verify_report['mismatches'])} mismatches [{verdict}]"
+            )
+            for mismatch in verify_report["mismatches"][:5]:
+                print(f"  - {json_module.dumps(mismatch)}")
+            if not verify_report["ok"]:
+                exit_code = 1
+
+        summary = None
+        drill: dict = {}
+        wrong = 0
+        partial = 0
+        if args.loadgen > 0:
+            queries = loadgen.generate_queries(
+                vocabulary, args.loadgen, seed=args.seed + 1
+            )
+            counts_lock = threading.Lock()
+
+            if args.failover_drill:
+                # The drill's bar is *zero wrong responses*, not zero
+                # degraded ones: while the primary dies, every
+                # non-partial merged response is checked against the
+                # single cell; partial responses (the kill-to-promote
+                # window) are flagged, counted and reported.
+                reference = cluster.metasearcher
+                reference.select(
+                    ["warm"],
+                    algorithm=args.algorithm,
+                    strategy=args.strategy,
+                    k=args.k,
+                )
+
+                def select(terms, algorithm, strategy, k):
+                    nonlocal wrong, partial
+                    response = frontend.select(
+                        terms, algorithm=algorithm, strategy=strategy, k=k
+                    )
+                    if response.get("partial"):
+                        with counts_lock:
+                            partial += 1
+                        return response
+                    outcome = reference.select(
+                        terms, algorithm=algorithm, strategy=strategy, k=k
+                    )
+                    if list(response["selected"]) != list(outcome.names):
+                        with counts_lock:
+                            wrong += 1
+                    return response
+
+                def chaos():
+                    time.sleep(args.drill_after)
+                    drill["killed"] = cluster.kill_active(args.drill_shard)
+                    drill["promotion"] = cluster.promote(args.drill_shard)
+
+                saboteur = threading.Thread(target=chaos)
+                saboteur.start()
+            else:
+
+                def select(terms, algorithm, strategy, k):
+                    nonlocal partial
+                    response = frontend.select(
+                        terms, algorithm=algorithm, strategy=strategy, k=k
+                    )
+                    if response.get("partial"):
+                        with counts_lock:
+                            partial += 1
+                    return response
+
+            summary = loadgen.run_load(
+                select,
+                queries,
+                args.algorithm,
+                args.strategy,
+                args.k,
+                concurrency=args.concurrency,
+            )
+            if args.failover_drill:
+                saboteur.join()
+            print(loadgen.format_summary(summary))
+            print(f"cluster: partial responses {partial}")
+            if args.failover_drill:
+                killed = drill["killed"]
+                promotion = drill["promotion"]
+                print(
+                    f"cluster failover: killed shard {killed['shard']} "
+                    f"target {killed['target']} mid-run; promoted replica "
+                    f"{promotion['promoted']} in "
+                    f"{promotion['promotion_seconds'] * 1000:.1f}ms "
+                    f"(replayed {promotion['replayed_batches']} journal "
+                    f"batches); wrong responses {wrong} "
+                    f"[{'OK' if wrong == 0 else 'FAIL'}]"
+                )
+                if wrong:
+                    exit_code = 1
+
+        if args.trajectory:
+            context = {
+                "kind": "serve-cluster",
+                "shards": args.shards,
+                "replicas": args.replicas,
+                "workers": args.workers,
+                "mode": "in-process" if in_process else "forked",
+                "dataset": args.dataset,
+                "sampler": args.sampler,
+                "frequency_estimation": args.freq_est,
+                "scale": args.scale,
+                "algorithm": args.algorithm,
+                "strategy": args.strategy,
+                "requests": args.loadgen,
+                "k": args.k,
+                "concurrency": args.concurrency,
+                "prune": bool(args.prune),
+                "served_strategies": args.strategies,
+                "failover_drill": bool(args.failover_drill),
+            }
+            wall = summary["wall_seconds"] if summary else 0.0
+            record = trajectory_mod.build_record(context, wall)
+            if summary is not None:
+                record["load"] = {
+                    key: value
+                    for key, value in summary.items()
+                    if isinstance(value, (int, float))
+                }
+                record["load"]["partial_responses"] = partial
+            if verify_report is not None:
+                record["verify"] = {
+                    "selections_checked": verify_report[
+                        "selections_checked"
+                    ],
+                    "mismatches": len(verify_report["mismatches"]),
+                }
+            if drill:
+                record["failover"] = {
+                    "promotion_seconds": drill["promotion"][
+                        "promotion_seconds"
+                    ],
+                    "replayed_batches": drill["promotion"][
+                        "replayed_batches"
+                    ],
+                    "wrong_responses": wrong,
+                }
+            trajectory_mod.append_and_compare(args.trajectory, record)
+
+        if args.serve:
+            print(
+                "cluster: serving until interrupted (ctrl-c to stop)",
+                flush=True,
+            )
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                print("cluster: shutting down", flush=True)
+    return exit_code
 
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
@@ -1222,6 +1493,11 @@ def build_parser() -> argparse.ArgumentParser:
         "HTTP (0 = call the service in-process; ignored with --url)",
     )
     loadgen.add_argument(
+        "--cluster", type=int, default=0, metavar="N",
+        help="scatter-gather over an in-process N-shard cluster of the "
+        "same cell (0 = unsharded; ignored with --url)",
+    )
+    loadgen.add_argument(
         "--concurrency", type=int, default=1, metavar="N",
         help="issue queries from N client threads (needed to saturate "
         "a multi-worker server)",
@@ -1257,6 +1533,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a serve-load record and warn on latency regressions",
     )
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="sharded scatter-gather serving over one partitioned cell",
+    )
+    _add_cell_arguments(cluster)
+    cluster.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="partition the cell across N shards by consistent hashing",
+    )
+    cluster.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="journal-replicated standby replicas per shard",
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes per shard primary (forks the cluster: "
+        "each primary becomes a shared-memory WorkerPool cell)",
+    )
+    cluster.add_argument(
+        "--vnodes", type=int, default=64, metavar="N",
+        help="virtual nodes per shard on the hash ring",
+    )
+    cluster.add_argument(
+        "--shard-deadline-ms", type=float, default=0.0, metavar="MS",
+        help="scatter fan-in deadline per request; a shard missing it "
+        "degrades the response to partial (<= 0 waits forever)",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--algorithm", choices=("bgloss", "cori", "lm"), default="cori"
+    )
+    cluster.add_argument(
+        "--strategy", choices=("plain", "universal"), default="plain",
+        help="strategy for --loadgen traffic (clusters serve the "
+        "fixed-set strategies only)",
+    )
+    cluster.add_argument("--k", type=int, default=10)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--verify", type=int, default=25, metavar="N",
+        help="check N scatter-gather selections bit-identical to the "
+        "single cell, every algorithm and served strategy (0 skips)",
+    )
+    cluster.add_argument(
+        "--loadgen", type=int, default=0, metavar="N",
+        help="issue N distinct queries through the front end",
+    )
+    cluster.add_argument(
+        "--concurrency", type=int, default=1, metavar="N",
+        help="loadgen client threads",
+    )
+    cluster.add_argument(
+        "--failover-drill", action="store_true",
+        help="kill the drill shard's primary mid-loadgen, promote its "
+        "replica via journal catch-up, and prove zero wrong responses",
+    )
+    cluster.add_argument(
+        "--drill-shard", type=int, default=0, metavar="S",
+        help="which shard the failover drill crashes",
+    )
+    cluster.add_argument(
+        "--drill-after", type=float, default=0.3, metavar="SECONDS",
+        help="delay before the drill kills the primary",
+    )
+    cluster.add_argument(
+        "--serve", action="store_true",
+        help="fork HTTP shard nodes and keep serving until interrupted "
+        "(endpoints are printed in shard order for ClusterClient)",
+    )
+    cluster.add_argument(
+        "--request-timeout", type=float, default=0.5, metavar="SECONDS"
+    )
+    cluster.add_argument(
+        "--response-cache", type=int, default=1024, metavar="N"
+    )
+    cluster.add_argument(
+        "--prune", action="store_true",
+        help="answer through each shard's pruned exact top-k engine",
+    )
+    cluster.add_argument(
+        "--topk", type=int, default=None, metavar="K",
+        help="truncate merged rankings to their first K entries",
+    )
+    cluster.add_argument(
+        "--strategies", metavar="LIST",
+        help="comma-separated strategies to serve (plain, universal; "
+        "defaults to --strategy)",
+    )
+    cluster.add_argument(
+        "--verbose", action="store_true", help="log shard HTTP requests"
+    )
+    cluster.add_argument(
+        "--trajectory", metavar="FILE",
+        help="append a serve-cluster record (scatter-gather latency "
+        "percentiles plus failover promotion latency)",
+    )
+    cluster.set_defaults(handler=_cmd_cluster)
 
     dashboard = commands.add_parser(
         "dashboard",

@@ -34,6 +34,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.lru import MISSING
 from repro.summaries.summary import ContentSummary, SampledSummary
 
 
@@ -193,8 +194,8 @@ class ScoreDistributionModel:
     ) -> tuple[float, float]:
         """E[g] and E[g^2] of the per-word score component."""
         if self.moment_cache is not None:
-            cached = self.moment_cache.get((scorer.name, word))
-            if cached is not None:
+            cached = self.moment_cache.get((scorer.name, word), MISSING)
+            if cached is not MISSING:
                 return cached
         support, probabilities = self.word_posterior(word)
         database_size = max(self.summary.size, 1.0)

@@ -16,6 +16,22 @@ from collections import OrderedDict
 from typing import Any, Hashable
 
 
+class _Missing:
+    """Canonical miss sentinel (its own class, so reprs read clearly)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISSING>"
+
+
+#: Pass as ``default`` to :meth:`LruCache.get` to distinguish a cached
+#: ``None``/falsy value from a miss: ``value is MISSING`` is true only
+#: when the key is genuinely absent. No caller-supplied value can collide
+#: with it, unlike the historical ``default=None`` idiom.
+MISSING: Any = _Missing()
+
+
 class LruCache:
     """Bounded mapping with least-recently-used eviction.
 
@@ -35,7 +51,13 @@ class LruCache:
         self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """The cached value (refreshing its recency), or ``default``."""
+        """The cached value (refreshing its recency), or ``default``.
+
+        With the historical ``default=None`` a cached ``None`` is
+        indistinguishable from a miss; callers that may legitimately
+        cache ``None``/falsy values pass :data:`MISSING` as the default
+        and test ``value is MISSING`` instead (or use ``in``).
+        """
         with self._lock:
             try:
                 self._data.move_to_end(key)

@@ -28,6 +28,7 @@ from collections.abc import Mapping, MutableMapping, Sequence
 import numpy as np
 
 from repro.core.category import CategorySummaryBuilder
+from repro.core.lru import MISSING
 from repro.core.vocab import Vocabulary
 from repro.summaries.summary import ContentSummary, IdProbs, SampledSummary
 
@@ -350,14 +351,14 @@ def shrink_database_summary(
             for j, summary in enumerate(components, start=1):
                 columns[j] = summary.lookup_ids(ids, regime)
             columns[-1] = em_values
-            lambdas = None
+            lambdas = MISSING
             digest = None
             if em_cache is not None:
                 digest = em_input_digest(columns, config)
-                lambdas = em_cache.get(digest)
-                if lambdas is not None:
+                lambdas = em_cache.get(digest, MISSING)
+                if lambdas is not MISSING:
                     count("em.cache_hit")
-            if lambdas is None:
+            if lambdas is MISSING:
                 lambdas = _em_core(columns, config)
                 if em_cache is not None:
                     em_cache[digest] = lambdas

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.lru import LruCache
+from repro.core.lru import MISSING, LruCache
 from repro.summaries.summary import ContentSummary
 
 if TYPE_CHECKING:
@@ -82,8 +82,8 @@ class DatabaseScorer(ABC):
         if cache is None:
             cache = self._query_ids_cache = LruCache(QUERY_IDS_CACHE_SIZE)
         key = (id(summary.vocab), tuple(query_terms))
-        entry = cache.get(key)
-        if entry is not None and entry[0] is summary.vocab:
+        entry = cache.get(key, MISSING)
+        if entry is not MISSING and entry[0] is summary.vocab:
             ids = entry[1]
         else:
             ids = summary.vocab.ids_of(query_terms)

@@ -34,7 +34,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.lru import LruCache
+from repro.core.lru import MISSING, LruCache
 from repro.core.shrinkage import ShrunkSummary
 from repro.selection.base import DatabaseScorer, RankedDatabase
 from repro.summaries.summary import ContentSummary, SampledSummary
@@ -313,8 +313,8 @@ class SummarySetMatrix:
     def query_ids(self, query_terms: Sequence[str]) -> np.ndarray:
         """Vocabulary ids of the query's words (−1 when unknown), cached."""
         key = tuple(query_terms)
-        ids = self._ids_cache.get(key)
-        if ids is None:
+        ids = self._ids_cache.get(key, MISSING)
+        if ids is MISSING:
             ids = self.vocab.ids_of(key)
             self._ids_cache.put(key, ids)
         return ids

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.lru import LruCache
+from repro.core.lru import MISSING, LruCache
 from repro.core.shrinkage import ShrunkSummary
 from repro.core.vocab import Vocabulary
 from repro.selection.base import DatabaseScorer
@@ -139,8 +139,8 @@ class CoriScorer(DatabaseScorer):
     def _i_values(self, query_terms: tuple[str, ...]) -> np.ndarray:
         """Per-word I factors; cf(w) and m are fixed between prepares, so
         the array is cached per query."""
-        cached = self._i_cache.get(query_terms)
-        if cached is None:
+        cached = self._i_cache.get(query_terms, MISSING)
+        if cached is MISSING:
             m = self._num_databases
             denominator = math.log(m + 1.0)
             cached = np.array(

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.lru import LruCache
+from repro.core.lru import MISSING, LruCache
 from repro.selection.base import DatabaseScorer
 from repro.summaries.summary import ContentSummary
 
@@ -75,8 +75,8 @@ class LanguageModelScorer(DatabaseScorer):
 
     def _global_vector(self, query_terms: tuple[str, ...]) -> np.ndarray:
         """Per-word p(w|G) for a query, cached per query tuple."""
-        cached = self._global_cache.get(query_terms)
-        if cached is None:
+        cached = self._global_cache.get(query_terms, MISSING)
+        if cached is MISSING:
             if self._global_summary is not None:
                 cached = self._global_summary.query_probabilities(
                     query_terms, "tf"

@@ -29,7 +29,7 @@ from repro.core.category import CategorySummaryBuilder
 from repro.core.lru import LruCache
 from repro.core.shrinkage import ShrinkageConfig, ShrunkSummary, shrink_all_summaries
 from repro.corpus.hierarchy import Hierarchy
-from repro.selection.base import DatabaseScorer, rank_databases
+from repro.selection.base import DatabaseScorer, RankedDatabase, rank_databases
 from repro.selection.batch import (
     AdaptiveBatchEngine,
     BatchSelectionEngine,
@@ -694,3 +694,99 @@ class Metasearcher:
             sum(1 for d in decisions.values() if d.use_shrinkage),
         )
         return decisions
+
+
+# -- scatter-gather merge ------------------------------------------------------
+
+
+def merge_shard_outcomes(
+    outcomes: Sequence[SelectionOutcome], k: int
+) -> SelectionOutcome:
+    """Merge disjoint per-shard selection outcomes into the global outcome.
+
+    Exactness argument (the scatter-gather contract of
+    :mod:`repro.serving.cluster`): shard scores are bit-identical to the
+    single-cell scores when every shard scores with *globally* prepared
+    corpus statistics, and the shards partition the database set. The
+    single-cell ranking sorts by ``(-score, name)`` (see
+    :func:`repro.selection.base.rank_databases`); concatenating the
+    disjoint shard score maps and sorting by the same key therefore
+    reproduces the global order entry for entry, ties included.
+
+    Per-shard ``k' = k`` suffices for the selected set: take any database
+    that is globally among the selected top ``k``. Within its own shard it
+    is preceded only by shard-mates that also precede it globally, so it
+    ranks at position <= k among its shard's selected entries and appears
+    in that shard's ``names`` list. Hence the global ``names`` is exactly
+    the first ``k`` merged entries that appear in *some* shard's ``names``
+    — which is what this function computes.
+
+    ``decisions`` merge only when every shard reports them;
+    ``candidates_scored`` sums per-shard counts when every shard pruned
+    (mirroring the single-cell "None means full scan" convention).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    scores: dict[str, float] = {}
+    shard_selected: set[str] = set()
+    for outcome in outcomes:
+        for name in outcome.scores:
+            if name in scores:
+                raise ValueError(
+                    f"shard outcomes are not disjoint: {name!r} was scored "
+                    "by more than one shard (check the partitioning)"
+                )
+        scores.update(outcome.scores)
+        shard_selected.update(outcome.names)
+    ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    names = [name for name, _ in ordered if name in shard_selected][:k]
+
+    decisions: dict[str, AdaptiveDecision] | None = {}
+    for outcome in outcomes:
+        if outcome.decisions is None:
+            decisions = None
+            break
+        decisions.update(outcome.decisions)
+    if not outcomes:
+        decisions = None
+
+    candidates_scored: int | None = 0
+    for outcome in outcomes:
+        if outcome.candidates_scored is None:
+            candidates_scored = None
+            break
+        candidates_scored += outcome.candidates_scored
+    if not outcomes:
+        candidates_scored = None
+
+    return SelectionOutcome(
+        names=names,
+        scores=scores,
+        decisions=decisions,
+        candidates_scored=candidates_scored,
+    )
+
+
+def merge_shard_rankings(
+    rankings: Sequence[Sequence[RankedDatabase]],
+) -> list[RankedDatabase]:
+    """Concatenate disjoint shard rankings into the global ranking order.
+
+    Entries keep their per-shard ``selected`` flags (score strictly above
+    floor — a per-database property, identical under global statistics);
+    the merged list is sorted by the single-cell sort key ``(-score,
+    name)``, so it equals the single-cell ranking entry for entry.
+    """
+    merged: list[RankedDatabase] = []
+    seen: set[str] = set()
+    for ranking in rankings:
+        for entry in ranking:
+            if entry.name in seen:
+                raise ValueError(
+                    f"shard rankings are not disjoint: {entry.name!r} "
+                    "appears in more than one shard"
+                )
+            seen.add(entry.name)
+            merged.append(entry)
+    merged.sort(key=lambda entry: (-entry.score, entry.name))
+    return merged

@@ -39,6 +39,16 @@ def generate_queries(
     """
     if not vocabulary:
         raise ValueError("cannot generate queries from an empty vocabulary")
+    if min_terms < 1:
+        raise ValueError(f"min_terms must be at least 1, got {min_terms}")
+    if max_terms < min_terms:
+        raise ValueError(
+            f"max_terms ({max_terms}) must be >= min_terms ({min_terms})"
+        )
+    if not 0.0 <= oov_rate <= 1.0:
+        raise ValueError(
+            f"oov_rate must be within [0, 1], got {oov_rate}"
+        )
     rng = np.random.default_rng(seed)
     words = list(vocabulary)
     queries: list[list[str]] = []
@@ -60,6 +70,11 @@ def generate_queries(
 def service_vocabulary(service: SelectionService, limit: int = 5000) -> list[str]:
     """A word pool for query generation: the cell's interned vocabulary."""
     summaries = service.metasearcher.sampled_summaries
+    if not summaries:
+        raise ValueError(
+            "cannot build a load-generation vocabulary: the service's cell "
+            "has no sampled summaries (empty or misconfigured cell)"
+        )
     first = next(iter(summaries.values()))
     words = first.vocab.to_list()
     return words[:limit] if len(words) > limit else words
@@ -96,9 +111,13 @@ def run_load(
 
     Failed requests abort the run by re-raising the first error
     (``raise_errors=True``, the default — a load test against a broken
-    server measures nothing). With ``raise_errors=False`` the run
-    continues past failures and reports their count in the summary,
-    which is what a resilience drill wants.
+    server measures nothing). The abort is prompt at any concurrency: a
+    shared stop flag is checked before each issue, so the first error
+    stops *every* worker thread instead of only the one that saw it
+    (the others would otherwise replay the full remaining stream against
+    a broken server before the error finally surfaced after join). With
+    ``raise_errors=False`` the run continues past failures and reports
+    their count in the summary, which is what a resilience drill wants.
     """
     import threading
 
@@ -109,9 +128,10 @@ def run_load(
     errors: list[BaseException] = []
     lock = threading.Lock()
     cursor = iter(range(len(queries)))
+    stop = threading.Event()
 
     def issue() -> None:
-        while True:
+        while not stop.is_set():
             with lock:
                 index = next(cursor, None)
             if index is None:
@@ -123,6 +143,7 @@ def run_load(
                 with lock:
                     errors.append(error)
                 if raise_errors:
+                    stop.set()
                     return
                 continue
             request_end = clock()

@@ -39,7 +39,7 @@ import time
 from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
-from repro.core.lru import LruCache
+from repro.core.lru import MISSING, LruCache
 from repro.selection.metasearcher import (
     Metasearcher,
     SelectionDeadlineExceeded,
@@ -382,8 +382,10 @@ class SelectionService:
         )
         cache_key = (algorithm, strategy, terms, k)
         with telemetry.phase("cache"):
-            cached = snapshot.cache.get(cache_key)
-        if cached is not None:
+            # Sentinel miss: a cached falsy value (however a future
+            # response shape ends up falsy) must still count as a hit.
+            cached = snapshot.cache.get(cache_key, MISSING)
+        if cached is not MISSING:
             self.stats.record_cache_hit()
             telemetry.tag_outcome(cache_hit=True)
             response = dict(cached)

@@ -1,0 +1,497 @@
+"""Sharded scatter-gather cluster serving (DESIGN.md §5i).
+
+The load-bearing claim under test: a cluster's merged ``/select`` is
+**bit-identical** to the single-cell selection over the same universe —
+same scores (``==`` on the floats, no tolerance), same floors, same tie
+order, same selected set — at 2, 3 and 4 shards, for every algorithm,
+under OOV-heavy queries and tie-heavy score tables. Plus the failure
+modes: shard-deadline degradation, replica journal catch-up, and the
+SIGKILL failover drill in forked mode.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import threading
+import time
+import types
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.instrument import get_instrumentation
+from repro.selection.metasearcher import (
+    Metasearcher,
+    SelectionOutcome,
+    merge_shard_outcomes,
+    merge_shard_rankings,
+)
+from repro.serving.client import ClusterClient
+from repro.serving.cluster import (
+    CLUSTERABLE_STRATEGIES,
+    Cluster,
+    ClusterConfig,
+    ClusterError,
+    HashRing,
+    merge_select_responses,
+    partition_names,
+    verify_against_single_cell,
+)
+from repro.serving.service import ServiceConfig
+from repro.serving.telemetry import render_prometheus
+from repro.selection.base import RankedDatabase
+from tests.test_columnar_equivalence import _synthetic_cell
+
+#: Words that appear across the synthetic cell's vocabularies, plus
+#: guaranteed misses — both scoring paths, per query.
+_WORDS = (
+    "gen000",
+    "gen007",
+    "gen023",
+    "cancer000",
+    "aids003",
+    "java002",
+    "databases001",
+    "zz-oov-a",
+    "zz-oov-b",
+)
+
+_QUERIES = [
+    ["gen000"],
+    ["gen007", "cancer000"],
+    ["java002", "databases001", "gen023"],
+    ["zz-oov-a"],
+    ["gen000", "zz-oov-b"],
+]
+
+
+@pytest.fixture(scope="module")
+def source() -> Metasearcher:
+    """The universe cell: cluster source *and* single-cell reference.
+
+    24 databases so every ring up to 4 shards owns a non-empty partition
+    (8 databases left a shard empty at 3 shards — see
+    ``test_empty_shard_rejected``).
+    """
+    hierarchy, summaries, classifications = _synthetic_cell(
+        shared_vocab=True, num_databases=24
+    )
+    return Metasearcher(hierarchy, summaries, classifications)
+
+
+def _plain_config(**kwargs) -> ServiceConfig:
+    defaults = dict(
+        scale="synthetic",
+        request_timeout_seconds=None,
+        default_k=5,
+        strategies=("plain",),
+    )
+    defaults.update(kwargs)
+    return ServiceConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def two_shard(source):
+    """A started 2-shard in-process cluster shared by the read-only tests."""
+    with Cluster(source, _plain_config(), ClusterConfig(shards=2)) as cluster:
+        yield cluster
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        first = HashRing(4)
+        second = HashRing(4)
+        names = [f"db{i:03d}" for i in range(200)]
+        assert [first.shard_of(n) for n in names] == [
+            second.shard_of(n) for n in names
+        ]
+
+    def test_every_shard_owns_something(self):
+        ring = HashRing(4)
+        names = [f"db{i:03d}" for i in range(200)]
+        parts = partition_names(names, ring)
+        assert sorted(name for part in parts for name in part) == names
+        assert all(parts), [len(p) for p in parts]
+
+    def test_ownership_is_independent_of_other_names(self):
+        # The consistent-hashing property the update router relies on:
+        # a name's owner never depends on which other names exist.
+        ring = HashRing(3)
+        names = [f"db{i:03d}" for i in range(60)]
+        full = partition_names(names, ring)
+        subset = partition_names(names[::3], ring)
+        for shard, part in enumerate(subset):
+            assert part == [n for n in full[shard] if n in set(names[::3])]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+
+class TestMergeHelpers:
+    def test_duplicate_name_across_outcomes_rejected(self):
+        one = SelectionOutcome(names=["a"], scores={"a": 1.0})
+        with pytest.raises(ValueError, match="not disjoint"):
+            merge_shard_outcomes([one, one], k=2)
+
+    def test_duplicate_name_across_rankings_rejected(self):
+        entry = RankedDatabase(name="a", score=1.0, selected=True)
+        with pytest.raises(ValueError, match="not disjoint"):
+            merge_shard_rankings([[entry], [entry]])
+
+    def test_duplicate_name_across_responses_rejected(self):
+        response = {
+            "selected": ["a"],
+            "ranking": [{"name": "a", "score": 1.0, "selected": True}],
+        }
+        with pytest.raises(ValueError, match="not disjoint"):
+            merge_select_responses([response, dict(response)], k=2)
+
+    def test_zero_responses_rejected(self):
+        with pytest.raises(ValueError):
+            merge_select_responses([], k=2)
+
+    def test_rankings_merge_in_tie_order(self):
+        left = [
+            RankedDatabase(name="b", score=1.0, selected=True),
+            RankedDatabase(name="d", score=0.5, selected=False),
+        ]
+        right = [
+            RankedDatabase(name="a", score=1.0, selected=True),
+            RankedDatabase(name="c", score=1.0, selected=False),
+        ]
+        merged = merge_shard_rankings([left, right])
+        assert [entry.name for entry in merged] == ["a", "b", "c", "d"]
+
+    @given(
+        table=st.dictionaries(
+            keys=st.sampled_from([f"db{i:02d}" for i in range(12)]),
+            # Scores from a tiny pool so cross-shard ties are the norm,
+            # not the exception — the merge must break them exactly like
+            # the single-cell serializer (by name).
+            values=st.tuples(
+                st.sampled_from([0.0, 0.125, 0.25, 0.5, 1.0]),
+                st.integers(min_value=0, max_value=2),
+                st.booleans(),
+            ),
+            min_size=1,
+        ),
+        k=st.integers(min_value=0, max_value=14),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_merge_matches_single_cell_reference(self, table, k):
+        by_shard: dict[int, dict[str, tuple[float, bool]]] = {}
+        for name, (score, shard, selected) in table.items():
+            by_shard.setdefault(shard, {})[name] = (score, selected)
+        outcomes = []
+        for rows in by_shard.values():
+            ordered = sorted(rows.items(), key=lambda i: (-i[1][0], i[0]))
+            outcomes.append(
+                SelectionOutcome(
+                    names=[n for n, (_, sel) in ordered if sel][:k],
+                    scores={n: s for n, (s, _) in rows.items()},
+                )
+            )
+        merged = merge_shard_outcomes(outcomes, k)
+        ordered = sorted(table.items(), key=lambda i: (-i[1][0], i[0]))
+        assert merged.names == [
+            n for n, (_, _, sel) in ordered if sel
+        ][:k]
+        assert merged.scores == {
+            n: s for n, (s, _, _) in table.items()
+        }
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            merge_shard_outcomes(
+                [SelectionOutcome(names=[], scores={})], k=-1
+            )
+
+
+class TestClusterBitIdentity:
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_scatter_gather_matches_single_cell(self, source, shards):
+        config = _plain_config(strategies=("plain", "universal"))
+        with Cluster(
+            source, config, ClusterConfig(shards=shards)
+        ) as cluster:
+            report = verify_against_single_cell(
+                cluster.frontend,
+                source,
+                _QUERIES,
+                strategies=("plain", "universal"),
+                k=5,
+            )
+        assert report["ok"], report["mismatches"]
+        assert report["selections_checked"] == len(_QUERIES) * 3 * 2
+
+    def test_ranking_limit_truncates_after_selection(self, source):
+        config = _plain_config(ranking_limit=3)
+        with Cluster(source, config, ClusterConfig(shards=2)) as cluster:
+            merged = cluster.frontend.select(["gen000"], k=5)
+            outcome = source.select(
+                ["gen000"], algorithm="cori", strategy="plain", k=5
+            )
+        assert len(merged["ranking"]) <= 3
+        # The selected list is computed before truncation, so it still
+        # matches the single cell even when k exceeds the limit.
+        assert merged["selected"] == outcome.names
+
+    @given(
+        terms=st.lists(
+            st.sampled_from(_WORDS), min_size=1, max_size=4
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_oov_and_mixed_queries(self, two_shard, source, terms):
+        for algorithm in ("bgloss", "cori", "lm"):
+            merged = two_shard.frontend.select(
+                list(terms), algorithm=algorithm, strategy="plain", k=5
+            )
+            outcome = source.select(
+                list(terms), algorithm=algorithm, strategy="plain", k=5
+            )
+            assert not merged["partial"]
+            assert merged["selected"] == outcome.names
+            reference = sorted(
+                outcome.scores.items(), key=lambda i: (-i[1], i[0])
+            )
+            got = [(e["name"], e["score"]) for e in merged["ranking"]]
+            assert got == reference
+
+
+class TestClusterValidation:
+    def test_shrinkage_strategy_rejected(self, source):
+        for strategy in ("shrinkage", "hierarchical"):
+            assert strategy not in CLUSTERABLE_STRATEGIES
+            with pytest.raises(ClusterError, match="cannot shard exactly"):
+                Cluster(
+                    source,
+                    _plain_config(strategies=("plain", strategy)),
+                    ClusterConfig(shards=2),
+                )
+
+    def test_empty_shard_rejected(self):
+        # 8 databases over 3 shards leaves a shard with no partition on
+        # this ring; the cluster must refuse up front, not serve a shard
+        # that can never answer.
+        hierarchy, summaries, classifications = _synthetic_cell(
+            shared_vocab=True, num_databases=8
+        )
+        metasearcher = Metasearcher(hierarchy, summaries, classifications)
+        with pytest.raises(ClusterError, match="owns no databases"):
+            Cluster(metasearcher, _plain_config(), ClusterConfig(shards=3))
+
+    def test_unknown_shard_names_rejected(self, source):
+        from repro.serving.cluster import shard_metasearcher
+
+        with pytest.raises(ClusterError, match="not in the source cell"):
+            shard_metasearcher(source, ["nope"])
+
+
+class TestDegradation:
+    def test_shard_deadline_yields_partial_response(self, source):
+        config = _plain_config()
+        cluster_config = ClusterConfig(shards=2, shard_deadline_seconds=0.2)
+        with Cluster(source, config, cluster_config) as cluster:
+            group = cluster.groups[0]
+            inner = group.targets[0]
+
+            def slow_select(query, **kwargs):
+                time.sleep(1.0)
+                return inner.service.select(query, **kwargs)
+
+            group.targets[0] = types.SimpleNamespace(
+                select=slow_select,
+                update=inner.update,
+                healthz=inner.healthz,
+                service=inner.service,
+            )
+            merged = cluster.frontend.select(["gen000"], k=5)
+        assert merged["partial"] is True
+        assert merged["shards_answered"] == 1
+        assert [e["error"] for e in merged["shard_errors"]] == ["deadline"]
+        # The answering shard's databases still came back scored.
+        assert merged["ranking"]
+        metrics = render_prometheus(get_instrumentation())
+        assert "repro_serve_shard_errors" in metrics
+        assert 'reason="deadline"' in metrics
+
+    def test_dead_shard_is_skipped(self, source):
+        with Cluster(
+            source, _plain_config(), ClusterConfig(shards=2)
+        ) as cluster:
+            cluster.kill_active(0)
+            merged = cluster.frontend.select(["gen000"], k=5)
+            assert merged["partial"] is True
+            assert merged["shard_errors"] == [
+                {"shard": 0, "error": "target down"}
+            ]
+            # With the other shard down too, nothing can answer.
+            cluster.kill_active(1)
+            with pytest.raises(ClusterError, match="no shard answered"):
+                cluster.frontend.select(["gen000"], k=5)
+
+    def test_shard_error_degrades_not_fails(self, source):
+        with Cluster(
+            source, _plain_config(), ClusterConfig(shards=2)
+        ) as cluster:
+            group = cluster.groups[1]
+
+            def broken_select(query, **kwargs):
+                raise RuntimeError("snapshot corrupt")
+
+            group.targets[0] = types.SimpleNamespace(
+                select=broken_select,
+                update=group.targets[0].update,
+                healthz=group.targets[0].healthz,
+            )
+            merged = cluster.frontend.select(["gen000"], k=5)
+        assert merged["partial"] is True
+        assert "RuntimeError" in merged["shard_errors"][0]["error"]
+
+
+class TestReplicationAndFailover:
+    def test_update_routes_to_owner_and_replicates(self, source):
+        config = _plain_config()
+        cluster_config = ClusterConfig(shards=2, replicas=1)
+        with Cluster(source, config, cluster_config) as cluster:
+            name = cluster.groups[0].names[0]
+            owner = cluster.ring.shard_of(name)
+            assert owner == 0
+            report = cluster.frontend.update(
+                [{"op": "remove", "name": name}]
+            )
+            assert report["ops"] == 1
+            assert list(report["shards"]) == ["0"]
+            replica = report["shards"]["0"]["replicas"][0]
+            assert replica == {"target": 1, "applied": 1}
+            group = cluster.groups[0]
+            assert group.applied == [1, 1]
+            assert len(group.journal) == 1
+            # Both targets dropped the database; the untouched shard and
+            # the merged view agree with it being gone.
+            merged = cluster.frontend.select(["gen000"], k=30)
+            assert name not in [e["name"] for e in merged["ranking"]]
+
+    def test_failover_catches_up_from_journal(self, source):
+        config = _plain_config()
+        cluster_config = ClusterConfig(shards=2, replicas=1)
+        with Cluster(source, config, cluster_config) as cluster:
+            frontend = cluster.frontend
+            name = cluster.groups[0].names[0]
+            group = cluster.groups[0]
+            replica = group.targets[1]
+            original_update = replica.update
+            failures = {"count": 0}
+
+            def flaky_update(ops, verify=False, timeout=None):
+                # One transport failure: the replica misses the batch
+                # and must catch up from the journal at promote time.
+                if failures["count"] == 0:
+                    failures["count"] += 1
+                    raise ConnectionError("replica unreachable")
+                return original_update(ops, verify=verify, timeout=timeout)
+
+            replica.update = flaky_update
+            report = cluster.frontend.update(
+                [{"op": "remove", "name": name}]
+            )
+            lagged = report["shards"]["0"]["replicas"][0]
+            assert "ConnectionError" in lagged["error"]
+            assert group.applied == [1, 0]
+            counters = get_instrumentation().counters
+            assert counters.get("serve.replica_lag{shard=0}", 0) >= 1
+
+            expected = frontend.select(["gen000"], k=30)
+            assert name not in [e["name"] for e in expected["ranking"]]
+
+            killed = cluster.kill_active(0)
+            assert killed == {"shard": 0, "target": 0}
+            promotion = cluster.promote(0)
+            assert promotion["promoted"] == 1
+            assert promotion["replayed_batches"] == 1
+            assert promotion["promotion_seconds"] >= 0.0
+
+            after = frontend.select(["gen000"], k=30)
+            # Zero wrong responses: the promoted replica answers exactly
+            # as the dead primary did after the update.
+            assert after["selected"] == expected["selected"]
+            assert after["ranking"] == expected["ranking"]
+            assert after["snapshot_versions"] == expected[
+                "snapshot_versions"
+            ]
+            assert not after["partial"]
+            assert counters.get("serve.promotions{shard=0}", 0) >= 1
+
+    def test_promote_without_replica_fails(self, source):
+        with Cluster(
+            source, _plain_config(), ClusterConfig(shards=2)
+        ) as cluster:
+            cluster.kill_active(0)
+            with pytest.raises(ClusterError, match="no live replica"):
+                cluster.promote(0)
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+class TestForkedCluster:
+    def test_forked_nodes_failover_and_client(self, source):
+        before = set(glob.glob("/dev/shm/repro_shm_*"))
+        config = _plain_config()
+        cluster_config = ClusterConfig(shards=2, replicas=1, workers=1)
+        with Cluster(
+            source, config, cluster_config, in_process=False
+        ) as cluster:
+            report = verify_against_single_cell(
+                cluster.frontend,
+                source,
+                _QUERIES[:2],
+                algorithms=("cori",),
+                k=5,
+            )
+            assert report["ok"], report["mismatches"]
+
+            health = cluster.frontend.healthz()
+            assert [h["shard"] for h in health] == [0, 1]
+            assert all(h["status"] == "ok" for h in health)
+
+            # An independent scatter-gather client over the primary
+            # endpoints merges to the same single-cell answer.
+            endpoints = [cluster.nodes[s][0].url for s in range(2)]
+            client = ClusterClient(endpoints)
+            try:
+                merged = client.select(["gen000"], strategy="plain", k=5)
+                outcome = source.select(
+                    ["gen000"], algorithm="cori", strategy="plain", k=5
+                )
+                assert merged["selected"] == outcome.names
+            finally:
+                client.close()
+
+            baseline = cluster.frontend.select(["gen000"], k=5)
+            killed = cluster.kill_active(0)
+            assert killed["pids"]
+            promotion = cluster.promote(0)
+            assert promotion["promoted"] == 1
+            after = cluster.frontend.select(["gen000"], k=5)
+            assert after["selected"] == baseline["selected"]
+            assert after["ranking"] == baseline["ranking"]
+            assert not after["partial"]
+        # Every shared-memory snapshot segment was unlinked on shutdown.
+        leaked = set(glob.glob("/dev/shm/repro_shm_*")) - before
+        assert not leaked, leaked
+
+
+def test_thread_dump_sanity():
+    """No scatter executor threads leak across cluster shutdowns."""
+    lingering = [
+        thread.name
+        for thread in threading.enumerate()
+        if thread.name.startswith("scatter") and thread.is_alive()
+    ]
+    # Module-scoped clusters may still be alive; bound, don't forbid.
+    assert len(lingering) <= 8

@@ -11,11 +11,12 @@ covered by the CLI smoke tests.
 
 import json
 import threading
+import types
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
-from repro.core.lru import LruCache
+from repro.core.lru import MISSING, LruCache
 from repro.selection.base import QUERY_IDS_CACHE_SIZE
 from repro.selection.metasearcher import Metasearcher
 from repro.serving.client import ServingClient, ServingError
@@ -78,6 +79,20 @@ class TestLruCache:
         cache.put("a", 1)
         cache.clear()
         assert len(cache) == 0
+
+    def test_missing_sentinel_distinguishes_cached_falsy_values(self):
+        # Regression: `get(key) or compute()` treated cached None/0/[]
+        # as misses and recomputed (or re-queried) every time. The
+        # MISSING sentinel makes a cached falsy value a hit.
+        cache = LruCache(4)
+        cache.put("none", None)
+        cache.put("zero", 0)
+        cache.put("empty", [])
+        assert cache.get("none", MISSING) is None
+        assert cache.get("zero", MISSING) == 0
+        assert cache.get("empty", MISSING) == []
+        assert cache.get("absent", MISSING) is MISSING
+        assert repr(MISSING) == "<MISSING>"
 
 
 def _make_service(**config_kwargs) -> SelectionService:
@@ -391,6 +406,27 @@ class TestLoadGenerator:
         with pytest.raises(ValueError):
             generate_queries([], count=5)
 
+    def test_invalid_generation_knobs_rejected(self):
+        # Regression: a zero min_terms generated empty queries (instant
+        # 400s from the server), max_terms < min_terms crashed inside
+        # numpy's integers(), and an out-of-range oov_rate silently
+        # clamped the miss-path mix the run claimed to measure.
+        with pytest.raises(ValueError, match="min_terms"):
+            generate_queries(["alpha"], count=3, min_terms=0)
+        with pytest.raises(ValueError, match="max_terms"):
+            generate_queries(["alpha"], count=3, min_terms=3, max_terms=2)
+        with pytest.raises(ValueError, match="oov_rate"):
+            generate_queries(["alpha"], count=3, oov_rate=1.5)
+        with pytest.raises(ValueError, match="oov_rate"):
+            generate_queries(["alpha"], count=3, oov_rate=-0.1)
+
+    def test_empty_cell_vocabulary_rejected(self):
+        stub = types.SimpleNamespace(
+            metasearcher=types.SimpleNamespace(sampled_summaries={})
+        )
+        with pytest.raises(ValueError, match="no sampled summaries"):
+            service_vocabulary(stub)
+
     def test_run_load_summary(self, service):
         queries = generate_queries(
             service_vocabulary(service), count=25, seed=1
@@ -479,6 +515,25 @@ class TestLoadgenThroughputAccounting:
 
         with pytest.raises(RuntimeError, match="boom"):
             run_load(select, [["a"], ["b"]], concurrency=2)
+
+    def test_first_error_stops_every_worker(self):
+        # Regression: only the thread that saw the error stopped; the
+        # other workers replayed the entire remaining stream against a
+        # broken server before the error finally surfaced after join.
+        issued = []
+        lock = threading.Lock()
+
+        def select(terms, algorithm, strategy, k):
+            with lock:
+                issued.append(tuple(terms))
+            raise RuntimeError("broken backend")
+
+        queries = [[f"q{i}"] for i in range(200)]
+        with pytest.raises(RuntimeError, match="broken backend"):
+            run_load(select, queries, concurrency=4)
+        # Each worker issues at most one request before the shared stop
+        # flag halts the run — nowhere near the 200-query stream.
+        assert len(issued) <= 4
 
     def test_invalid_concurrency_rejected(self):
         with pytest.raises(ValueError):
