@@ -81,6 +81,31 @@ def _add_cell_arguments(parser: argparse.ArgumentParser) -> None:
     _add_runtime_arguments(parser)
 
 
+def _add_admission_arguments(parser: argparse.ArgumentParser) -> None:
+    """Admission-control and latency-budget flags (serve and loadgen)."""
+    parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admit at most N concurrent selects; excess requests wait "
+        "in a bounded queue and shed with 429 + Retry-After when it "
+        "fills (default: no admission control)",
+    )
+    parser.add_argument(
+        "--admission-queue", type=int, default=16, metavar="N",
+        help="bounded accept-queue depth ahead of the inflight limit",
+    )
+    parser.add_argument(
+        "--admission-timeout-ms", type=float, default=50.0, metavar="MS",
+        help="longest a queued request waits for an admission slot "
+        "before shedding",
+    )
+    parser.add_argument(
+        "--latency-budget", action="store_true",
+        help="pick adaptive-vs-plain per request from live strategy "
+        "p99s: degrade up front when the adaptive p99 would blow the "
+        "remaining deadline budget",
+    )
+
+
 def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -487,6 +512,12 @@ def _service_config(args: argparse.Namespace):
         slow_query_threshold_seconds=(
             getattr(args, "slow_query_threshold_ms", 100.0) / 1000.0
         ),
+        max_inflight=getattr(args, "max_inflight", None),
+        admission_queue=getattr(args, "admission_queue", 16),
+        admission_timeout_seconds=(
+            getattr(args, "admission_timeout_ms", 50.0) / 1000.0
+        ),
+        latency_budget=bool(getattr(args, "latency_budget", False)),
         **extra,
     )
 
@@ -707,6 +738,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     cluster = None
     vocabulary = None
     count_requests = None
+    service_obj = None
+    update_fn = None
+    victim = None
     try:
         if args.url:
             from repro.serving.client import ServingClient
@@ -752,6 +786,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             )
             label = f"in-process cluster ({args.cluster} shards)"
             databases = len(cluster.metasearcher.sampled_summaries)
+            victim = list(cluster.metasearcher.sampled_summaries)[-1]
+            update_fn = (
+                lambda ops, verify: frontend.update(ops, verify=verify)
+            )
         elif args.workers > 0:
             # Boot a worker pool right here and drive it over HTTP — the
             # one-command way to record per-worker-count serve-load
@@ -774,6 +812,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             )
             label = f"{pool.url} ({args.workers} workers)"
             databases = len(service.metasearcher.sampled_summaries)
+            victim = list(service.metasearcher.sampled_summaries)[-1]
+            update_fn = (
+                lambda ops, verify: client.update(
+                    ops, verify=verify, timeout=max(args.timeout, 120.0)
+                )
+            )
             # A /metrics scrape (fresh-polled by the dispatcher) before
             # and after the run cross-checks the telemetry pipeline:
             # the aggregated request count must match the load
@@ -792,13 +836,60 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             )
             label = "in-process"
             databases = len(service.metasearcher.sampled_summaries)
+            service_obj = service
+            victim = list(service.metasearcher.sampled_summaries)[-1]
+            update_fn = (
+                lambda ops, verify: service.apply_update(ops, verify=verify)
+            )
         if vocabulary is None:
             # Remote server: generate from generic word shapes; the OOV
             # and serial markers keep the stream distinct either way.
             vocabulary = [f"word{i:04d}" for i in range(500)]
-        queries = loadgen.generate_queries(
-            vocabulary, args.requests, seed=args.seed
-        )
+        spec = None
+        schedule = None
+        on_request = None
+        update_results = []
+        update_errors = []
+        if args.workload:
+            spec = loadgen.parse_workload(args.workload, seed=args.seed)
+            queries = spec.queries(vocabulary, args.requests)
+            schedule = spec.schedule(args.requests)
+            update_indices = spec.update_indices(args.requests)
+            if update_indices:
+                if update_fn is None or victim is None:
+                    raise SystemExit(
+                        "loadgen: mixed query/update workloads need a "
+                        "target with known database names (in-process, "
+                        "--workers, or --cluster; not --url)"
+                    )
+                import threading
+
+                update_lock = threading.Lock()
+                # A cancelling remove+restore of the last database: a
+                # real hot swap (epoch bump, retention decision) whose
+                # final cell holds the same summary objects, so the
+                # served stream's correctness is independently checkable
+                # with --verify-responses afterwards.
+                update_ops = [
+                    {"op": "remove", "name": victim},
+                    {"op": "restore", "name": victim},
+                ]
+
+                def on_request(index):
+                    if index not in update_indices:
+                        return
+                    try:
+                        result = update_fn(update_ops, args.verify_updates)
+                    except Exception as error:  # noqa: BLE001 - reported
+                        with update_lock:
+                            update_errors.append((index, error))
+                    else:
+                        with update_lock:
+                            update_results.append((index, result))
+        else:
+            queries = loadgen.generate_queries(
+                vocabulary, args.requests, seed=args.seed
+            )
         requests_before = count_requests() if count_requests else 0
         summary = loadgen.run_load(
             select,
@@ -807,6 +898,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             args.strategy,
             args.k,
             concurrency=args.concurrency,
+            schedule=schedule,
+            on_request=on_request,
         )
         requests_after = count_requests() if count_requests else 0
     finally:
@@ -815,7 +908,51 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         if cluster is not None:
             cluster.shutdown()
     print(f"target: {label} ({databases} databases)")
+    if spec is not None:
+        print(f"workload: {spec.describe()}")
     print(loadgen.format_summary(summary))
+    update_verify_failed = False
+    for index, error in update_errors:
+        update_verify_failed = True
+        print(
+            f"workload: update @{index} FAILED: "
+            f"{type(error).__name__}: {error}"
+        )
+    for index, result in update_results:
+        line = (
+            f"workload: update @{index} -> epoch "
+            f"{result.get('snapshot_version', '?')}, retained "
+            f"{result.get('response_cache_retained', 0)} cache entries"
+        )
+        verification = result.get("verification")
+        if verification is not None:
+            verified = bool(verification.get("verified"))
+            update_verify_failed = update_verify_failed or not verified
+            line += ", verification " + ("PASSED" if verified else "FAILED")
+        print(line)
+    sweep = None
+    if args.verify_responses:
+        if service_obj is None:
+            print(
+                "workload: --verify-responses needs the in-process "
+                "target; skipped"
+            )
+        else:
+            sweep = loadgen.verify_cached_responses(
+                service_obj,
+                queries,
+                algorithm=args.algorithm,
+                strategy=args.strategy,
+                k=args.k,
+            )
+            status = "[OK]" if sweep["wrong"] == 0 else "[FAIL]"
+            print(
+                f"workload: wrong responses {sweep['wrong']} of "
+                f"{sweep['checked']} distinct queries vs fresh scoring "
+                f"{status}"
+            )
+            for example in sweep["examples"]:
+                print(f"  - mismatched query: {example}")
     metrics_exact = None
     if count_requests is not None:
         counted = requests_after - requests_before
@@ -833,7 +970,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     if args.trajectory:
         context = {
-            "kind": "serve-load",
+            "kind": "serve-workload" if spec is not None else "serve-load",
+            "workload": spec.describe() if spec is not None else "distinct",
             "target": "http" if args.url else (
                 "cluster" if args.cluster > 0 else (
                     "workers" if args.workers > 0 else "in-process"
@@ -869,13 +1007,31 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             record["load"]["cores"] = len(os.sched_getaffinity(0))
         except AttributeError:  # pragma: no cover - non-Linux
             record["load"]["cores"] = os.cpu_count() or 1
+        if spec is not None:
+            record["workload"] = {
+                "spec": spec.describe(),
+                "updates": len(update_results),
+                "update_failures": len(update_errors),
+                "cache_retained": sum(
+                    int(result.get("response_cache_retained", 0))
+                    for _, result in update_results
+                ),
+            }
+            if sweep is not None:
+                record["workload"]["checked"] = sweep["checked"]
+                record["workload"]["wrong_responses"] = sweep["wrong"]
         trajectory_mod.append_and_compare(args.trajectory, record)
     # Keep the histograms visible when tracing is active.
     report = get_instrumentation().report()
     if "serve.request_seconds" in report:
         print()
         print(report)
-    return 0 if metrics_exact in (None, True) else 1
+    failed = (
+        metrics_exact is False
+        or update_verify_failed
+        or (sweep is not None and sweep["wrong"] > 0)
+    )
+    return 1 if failed else 0
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -997,8 +1153,20 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                         with counts_lock:
                             partial += 1
                         return response
+                    # The serving path scores the canonical (sorted,
+                    # deduplicated) term set; the raw reference must
+                    # fold the same order or float non-associativity
+                    # reads as a wrong response.
+                    from repro.serving.service import (
+                        canonical_terms,
+                        normalize_query,
+                    )
+
                     outcome = reference.select(
-                        terms, algorithm=algorithm, strategy=strategy, k=k
+                        list(canonical_terms(normalize_query(list(terms)))),
+                        algorithm=algorithm,
+                        strategy=strategy,
+                        k=k,
                     )
                     if list(response["selected"]) != list(outcome.names):
                         with counts_lock:
@@ -1388,6 +1556,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-query-threshold-ms", type=float, default=100.0,
         metavar="MS", help="slow-query log threshold in milliseconds",
     )
+    _add_admission_arguments(serve)
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
@@ -1528,9 +1697,31 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--slow-query-threshold-ms", type=float, default=100.0, metavar="MS"
     )
+    _add_admission_arguments(loadgen)
+    loadgen.add_argument(
+        "--workload", metavar="SPEC",
+        help="traffic model instead of the distinct stream: "
+        "kind[:s][,key=value...] — e.g. zipf:1.1, "
+        "zipf:1.3,pop=256,arrival=burst,rate=200,burst=20, "
+        "zipf:1.1,update=150 (inject a lifecycle update every 150 "
+        "requests); keys: pop, arrival (steady/burst/ramp), rate, "
+        "burst, update, seed",
+    )
+    loadgen.add_argument(
+        "--verify-updates", action="store_true",
+        help="prove bit-identity against a rebuild on every mid-stream "
+        "workload update before publishing the swap",
+    )
+    loadgen.add_argument(
+        "--verify-responses", action="store_true",
+        help="after the run, sweep the stream's distinct queries and "
+        "bit-compare served (possibly cached) responses against fresh "
+        "scoring on the current snapshot (in-process target only)",
+    )
     loadgen.add_argument(
         "--trajectory", metavar="FILE",
-        help="append a serve-load record and warn on latency regressions",
+        help="append a serve-load (or serve-workload) record and warn "
+        "on latency regressions",
     )
     loadgen.set_defaults(handler=_cmd_loadgen)
 

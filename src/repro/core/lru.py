@@ -91,6 +91,18 @@ class LruCache:
         with self._lock:
             self._data.clear()
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """A consistent (key, value) list, oldest-to-most-recent.
+
+        Taken under the lock so concurrent puts never surface a
+        half-updated ordering; recency is *not* refreshed (this is an
+        inspection walk, not a use). The serving layer's hot-swap uses
+        it to carry still-valid response-cache entries into the next
+        snapshot in their original recency order.
+        """
+        with self._lock:
+            return list(self._data.items())
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(size={len(self._data)}, "

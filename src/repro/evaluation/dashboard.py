@@ -327,6 +327,12 @@ def render_dashboard(
         if (record.get("context") or {}).get("kind") == "serve-load"
         and record.get("load")
     ]
+    serve_workload = [
+        record
+        for record in records
+        if (record.get("context") or {}).get("kind") == "serve-workload"
+        and record.get("load")
+    ]
     bench = [
         record
         for record in records
@@ -349,7 +355,22 @@ def render_dashboard(
             tiles.append(
                 ("degraded", f"{latest['degraded_fraction'] * 100:.1f}%")
             )
+    if serve_workload:
+        latest = serve_workload[-1]["load"]
+        tiles.append(
+            (
+                "workload hit rate",
+                f"{latest.get('cache_hit_rate', 0.0) * 100:.1f}%",
+            )
+        )
+        tiles.append(
+            (
+                "workload shed",
+                f"{latest.get('shed_fraction', 0.0) * 100:.1f}%",
+            )
+        )
     tiles.append(("serve-load runs", str(len(serve_load))))
+    tiles.append(("serve-workload runs", str(len(serve_workload))))
     tiles.append(("bench runs", str(len(bench))))
     sections.append(_stat_tiles(tiles))
 
@@ -380,6 +401,68 @@ def render_dashboard(
                 unit=" ms",
             )
         )
+    if serve_workload:
+        labels = [
+            (
+                _short_stamp(str(record.get("timestamp", "")))
+                + " "
+                + str((record.get("context") or {}).get("workload", ""))
+            ).strip()
+            for record in serve_workload
+        ]
+        sections.append(
+            _line_chart(
+                "Workload cache-hit / shed / degraded",
+                [
+                    (
+                        "hit %",
+                        [
+                            (r["load"].get("cache_hit_rate") or 0.0) * 100
+                            for r in serve_workload
+                        ],
+                    ),
+                    (
+                        "shed %",
+                        [
+                            (r["load"].get("shed_fraction") or 0.0) * 100
+                            for r in serve_workload
+                        ],
+                    ),
+                    (
+                        "degraded %",
+                        [
+                            (r["load"].get("degraded_fraction") or 0.0) * 100
+                            for r in serve_workload
+                        ],
+                    ),
+                ],
+                labels,
+                unit="%",
+            )
+        )
+        sections.append(
+            _line_chart(
+                "Workload latency",
+                [
+                    (
+                        "p50",
+                        [
+                            r["load"].get("latency_p50_ms")
+                            for r in serve_workload
+                        ],
+                    ),
+                    (
+                        "p99",
+                        [
+                            r["load"].get("latency_p99_ms")
+                            for r in serve_workload
+                        ],
+                    ),
+                ],
+                labels,
+                unit=" ms",
+            )
+        )
     if bench:
         sections.append(
             _line_chart(
@@ -394,7 +477,7 @@ def render_dashboard(
                 unit=" s",
             )
         )
-    if not serve_load and not bench:
+    if not serve_load and not serve_workload and not bench:
         sections.append(
             '<p class="subtitle">No trajectory records found — run '
             "<code>repro loadgen --trajectory ...</code> or "

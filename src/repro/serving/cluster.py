@@ -416,6 +416,7 @@ class ClusterFrontend:
         default_k: int = 10,
         ranking_limit: int | None = None,
         shard_deadline_seconds: float | None = None,
+        admission=None,
     ) -> None:
         if len(groups) != ring.shards:
             raise ClusterError(
@@ -426,6 +427,12 @@ class ClusterFrontend:
         self.default_k = default_k
         self.ranking_limit = ranking_limit
         self.shard_deadline_seconds = shard_deadline_seconds
+        #: Optional :class:`~repro.serving.admission.AdmissionController`
+        #: gating the scatter path: a saturated frontend sheds whole
+        #: fan-outs (429 upstream) instead of queueing them onto every
+        #: shard at once. ``shed`` counts the requests turned away.
+        self.admission = admission
+        self.shed = 0
         # Generous headroom: a shard dying mid-request leaves its calls
         # hung until the transport times out, and those must not starve
         # the healthy shards' submissions into missing the deadline too.
@@ -449,6 +456,34 @@ class ClusterFrontend:
         strategy: str = "plain",
         k: int | None = None,
         timeout_seconds: float | None = None,
+    ) -> dict:
+        from repro.evaluation.instrument import get_instrumentation
+
+        if self.admission is not None:
+            try:
+                self.admission.acquire()
+            except Exception:
+                with self._update_lock:
+                    self.shed += 1
+                get_instrumentation().count("serve.cluster.shed")
+                raise
+            try:
+                return self._select_admitted(
+                    query, algorithm, strategy, k, timeout_seconds
+                )
+            finally:
+                self.admission.release()
+        return self._select_admitted(
+            query, algorithm, strategy, k, timeout_seconds
+        )
+
+    def _select_admitted(
+        self,
+        query,
+        algorithm: str,
+        strategy: str,
+        k: int | None,
+        timeout_seconds: float | None,
     ) -> dict:
         from repro.evaluation.instrument import get_instrumentation
 
@@ -699,9 +734,16 @@ def verify_against_single_cell(
     the same names, bit-identical scores (``!=`` on the floats, no
     tolerance), and the same selected flags, in the same tie order.
     """
+    from repro.serving.service import canonical_terms, normalize_query
+
     mismatches: list[dict] = []
     checked = 0
     for terms in queries:
+        # The shards score the service-canonical (sorted, de-duplicated)
+        # term set; the reference must fold the same order or the per-term
+        # products differ in the last ulp and the sweep reports phantom
+        # mismatches.
+        reference_terms = list(canonical_terms(normalize_query(list(terms))))
         for algorithm in algorithms:
             for strategy in strategies:
                 checked += 1
@@ -710,7 +752,7 @@ def verify_against_single_cell(
                     list(terms), algorithm=algorithm, strategy=strategy, k=k
                 )
                 outcome = reference.select(
-                    list(terms), algorithm=algorithm, strategy=strategy, k=k
+                    reference_terms, algorithm=algorithm, strategy=strategy, k=k
                 )
                 if merged.get("partial"):
                     problems.append(
@@ -909,6 +951,13 @@ class ClusterConfig:
     #: primary becomes a WorkerPool cell — shared-memory snapshot,
     #: multi-process serving — while replicas stay single-process nodes.
     workers: int = 0
+    #: Frontend admission control: at most this many scatter fan-outs in
+    #: flight; beyond it (plus the bounded queue) requests are shed with
+    #: :class:`~repro.serving.admission.ServiceOverloaded`. ``None``
+    #: disables the gate.
+    max_inflight: int | None = None
+    admission_queue: int = 64
+    admission_timeout_seconds: float = 0.05
 
 
 class Cluster:
@@ -1097,12 +1146,22 @@ class Cluster:
         except BaseException:
             self.shutdown()
             raise
+        admission = None
+        if self.config.max_inflight is not None:
+            from repro.serving.admission import AdmissionController
+
+            admission = AdmissionController(
+                self.config.max_inflight,
+                max_queue=self.config.admission_queue,
+                queue_timeout_seconds=self.config.admission_timeout_seconds,
+            )
         self.frontend = ClusterFrontend(
             self.groups,
             self.ring,
             default_k=self.service_config.default_k,
             ranking_limit=self.service_config.ranking_limit,
             shard_deadline_seconds=self.config.shard_deadline_seconds,
+            admission=admission,
         )
         self._started = True
         return self

@@ -42,6 +42,7 @@ import json
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.serving.admission import ServiceOverloaded
 from repro.serving.service import (
     SelectionService,
     parse_request,
@@ -74,6 +75,7 @@ def pool_section_from_local(local: dict) -> dict:
         "cache_hits": local.get("cache_hits", 0),
         "degraded": local.get("degraded", 0),
         "errors": local.get("errors", 0),
+        "shed": local.get("shed", 0),
         "swaps": local.get("swaps", 0),
     }
 
@@ -92,11 +94,15 @@ class SelectionRequestHandler(BaseHTTPRequestHandler):
         if self.verbose:
             super().log_message(format, *args)
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -188,6 +194,24 @@ class SelectionRequestHandler(BaseHTTPRequestHandler):
                 response = self.service.select(
                     arrival=arrival, telemetry=telemetry, **kwargs
                 )
+            except ServiceOverloaded as error:
+                # Shed, not failed: the service never scored this
+                # request, and the client gets an actionable answer
+                # (back off `Retry-After` seconds) long before the
+                # degradation deadline would have fired.
+                self._respond(
+                    429,
+                    {
+                        "error": str(error),
+                        "retry_after_seconds": error.retry_after_seconds,
+                    },
+                    headers={
+                        "Retry-After": max(
+                            1, round(error.retry_after_seconds)
+                        )
+                    },
+                )
+                return
             except ValueError as error:
                 self.service.stats.record_error()
                 self._respond(400, {"error": str(error)})

@@ -45,6 +45,11 @@ from repro.selection.metasearcher import (
     SelectionDeadlineExceeded,
     SelectionStrategy,
 )
+from repro.serving.admission import (
+    AdmissionController,
+    LatencyBudgetPolicy,
+    ServiceOverloaded,
+)
 from repro.serving.lifecycle import (
     CellSnapshot,
     CellUpdater,
@@ -92,6 +97,24 @@ class ServiceConfig:
     slow_query_threshold_seconds: float = 0.1
     #: Rotation bound for the slow-query log (~2x this on disk).
     slow_query_log_max_bytes: int = 1 << 20
+    #: Admission control: at most this many requests score concurrently;
+    #: ``None`` disables the gate entirely (the prior behavior). See
+    #: :mod:`repro.serving.admission`.
+    max_inflight: int | None = None
+    #: How many requests may wait for an inflight slot before arrivals
+    #: are shed outright with 429.
+    admission_queue: int = 16
+    #: Longest a queued request waits for a slot. Keep well below
+    #: ``request_timeout_seconds``: shedding must answer before the
+    #: degradation deadline would have fired.
+    admission_timeout_seconds: float = 0.05
+    #: The ``Retry-After`` hint carried on shed (429) responses.
+    retry_after_seconds: float = 1.0
+    #: Choose adaptive-vs-plain per query from live p99s: when the
+    #: requested strategy's observed p99 already exceeds the request's
+    #: remaining budget, serve the plain path up front (marked degraded)
+    #: instead of timing out halfway through the adaptive loop.
+    latency_budget: bool = False
 
 
 class ServiceStats:
@@ -110,6 +133,7 @@ class ServiceStats:
         self.cache_hits = 0
         self.degraded = 0
         self.errors = 0
+        self.shed = 0
         self.swaps = 0
         self.last_swap_seconds = 0.0
         self.started_at = time.time()
@@ -131,6 +155,10 @@ class ServiceStats:
         with self._lock:
             self.errors += 1
 
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
     def record_swap(self, seconds: float) -> None:
         with self._lock:
             self.swaps += 1
@@ -143,6 +171,7 @@ class ServiceStats:
                 "cache_hits": self.cache_hits,
                 "degraded": self.degraded,
                 "errors": self.errors,
+                "shed": self.shed,
                 "swaps": self.swaps,
                 "last_swap_seconds": self.last_swap_seconds,
                 "uptime_seconds": time.time() - self.started_at,
@@ -156,6 +185,71 @@ def normalize_query(query: str | Sequence[str]) -> tuple[str, ...]:
     else:
         terms = list(query)
     return tuple(str(term).lower() for term in terms)
+
+
+def canonical_terms(terms: Sequence[str]) -> tuple[str, ...]:
+    """Sorted, de-duplicated terms — the service's canonical query form.
+
+    Every served scorer is a bag-of-words model, so a query is
+    semantically a *set* of terms; the service canonicalizes to the
+    sorted distinct tuple before scoring and caching. Canonicalizing
+    only the cache key would not be enough: the scorers fold per-term
+    factors sequentially, and IEEE float products are not associative,
+    so ``["a","b"]`` and ``["b","a"]`` scored as-given can differ in the
+    last ulp. Scoring the canonical order makes equal term sets
+    *bit-identical*, which is what lets them share one cache entry.
+    """
+    return tuple(sorted(set(terms)))
+
+
+def _copy_response(response: dict) -> dict:
+    """An independent copy of a cached response (no shared containers).
+
+    A cache hit must never hand out lists the cached entry still owns: a
+    caller that sorts or annotates ``ranking`` in place would silently
+    corrupt every later hit. The response shape is one level of nesting
+    (lists of scalars, ranking entries are flat dicts), so an explicit
+    copy beats ``copy.deepcopy`` by a wide margin on large rankings.
+    """
+    copied = dict(response)
+    copied["query"] = list(response["query"])
+    copied["selected"] = list(response["selected"])
+    copied["ranking"] = [dict(entry) for entry in response["ranking"]]
+    return copied
+
+
+def _survives_break_in(
+    response: Mapping, terms: Sequence[str], k: int, touched, summaries, scorer
+) -> bool:
+    """Whether a truncated cached ranking is safe despite touched databases.
+
+    The entry's dependency set (every database named in its ranking or
+    selection) is already known to be disjoint from ``touched`` — but a
+    touched database *outside* the cached ranking could have gained
+    enough mass to break into it. Rescoring just the touched databases
+    settles that: the entry survives only if every new score falls
+    strictly below the cached ranking's cutoff (ties could reorder the
+    prefix) and — when the cached selection holds fewer than ``k``
+    entries, meaning the score floor did the cutting — only if the new
+    scores sit exactly on the floor (0.0 for bGlOSS) so none becomes
+    selectable.
+    """
+    ranking = response.get("ranking") or []
+    if not ranking:
+        return False
+    cutoff = ranking[-1]["score"]
+    selected_full = len(response.get("selected") or ()) >= int(k)
+    query = list(terms)
+    for name in touched:
+        summary = summaries.get(name)
+        if summary is None:
+            return False
+        score = scorer.score(query, summary)
+        if score >= cutoff:
+            return False
+        if score > 0.0 and not selected_full:
+            return False
+    return True
 
 
 class SelectionService:
@@ -195,6 +289,24 @@ class SelectionService:
         self._updater: CellUpdater | None = None
         #: Serializes apply_update(); never taken on the request path.
         self._update_lock = threading.Lock()
+        #: Per-database journal revision, bumped each time an update
+        #: touches (or removes) the database. Cached responses record the
+        #: revisions of every database they depend on; the hot swap
+        #: carries an entry forward only while those revisions hold (see
+        #: DESIGN.md §5j). Written only under the update lock.
+        self._db_revisions: dict[str, int] = {}
+        if self.config.max_inflight is not None:
+            self._admission: AdmissionController | None = AdmissionController(
+                self.config.max_inflight,
+                max_queue=self.config.admission_queue,
+                queue_timeout_seconds=self.config.admission_timeout_seconds,
+                retry_after_seconds=self.config.retry_after_seconds,
+            )
+        else:
+            self._admission = None
+        self._latency_policy = (
+            LatencyBudgetPolicy() if self.config.latency_budget else None
+        )
 
     @property
     def metasearcher(self) -> Metasearcher:
@@ -317,10 +429,29 @@ class SelectionService:
         """
         if telemetry is None:
             telemetry = RequestTelemetry("select")
+        admission = self._admission
         try:
-            return self._select(
-                query, algorithm, strategy, k, timeout_seconds, arrival, telemetry
-            )
+            if admission is not None:
+                try:
+                    with telemetry.phase("admission"):
+                        admission.acquire()
+                except ServiceOverloaded:
+                    self.stats.record_shed()
+                    telemetry.tag_outcome(shed=True)
+                    raise
+            try:
+                return self._select(
+                    query,
+                    algorithm,
+                    strategy,
+                    k,
+                    timeout_seconds,
+                    arrival,
+                    telemetry,
+                )
+            finally:
+                if admission is not None:
+                    admission.release()
         except BaseException as error:
             telemetry.fail(error)
             raise
@@ -359,7 +490,7 @@ class SelectionService:
                     f"strategy {strategy!r} not served by this deployment; "
                     f"pick from {tuple(self.config.strategies)}"
                 )
-            terms = normalize_query(query)
+            terms = canonical_terms(normalize_query(query))
             if k is None:
                 k = self.config.default_k
             k = int(k)
@@ -388,7 +519,7 @@ class SelectionService:
         if cached is not MISSING:
             self.stats.record_cache_hit()
             telemetry.tag_outcome(cache_hit=True)
-            response = dict(cached)
+            response = _copy_response(cached["response"])
             response["cached"] = True
             response["request_id"] = telemetry.request_id
             return response
@@ -401,7 +532,24 @@ class SelectionService:
             response = self._serialize(
                 snapshot, terms, algorithm, strategy, k, outcome, degraded
             )
-        snapshot.cache.put(cache_key, response)
+        # The entry records the journal revision of every database it
+        # names; the hot swap uses those to carry still-valid entries
+        # into the next snapshot (epoch-keyed invalidation, DESIGN.md
+        # §5j). Revisions are read off the live map — a racing swap can
+        # only make the entry *look newer* than its snapshot, in which
+        # case it dies with this (already superseded) snapshot's cache.
+        names = set(response["selected"])
+        names.update(item["name"] for item in response["ranking"])
+        revisions = self._db_revisions
+        snapshot.cache.put(
+            cache_key,
+            {
+                "response": response,
+                "revisions": {
+                    name: revisions.get(name, 0) for name in names
+                },
+            },
+        )
         elapsed = time.perf_counter() - start
         telemetry.tag_outcome(
             degraded=degraded,
@@ -413,7 +561,9 @@ class SelectionService:
         instrumentation.observe("serve.request_seconds", elapsed)
         if degraded:
             instrumentation.count("serve.degraded")
-        response = dict(response)
+        # Full copy, not dict(): the miss response must not share its
+        # nested lists with the entry just cached either.
+        response = _copy_response(response)
         response["elapsed_seconds"] = elapsed
         response["request_id"] = telemetry.request_id
         return response
@@ -434,6 +584,29 @@ class SelectionService:
             arrival + timeout_seconds if timeout_seconds is not None else None
         )
         prune = self.config.prune
+        policy = self._latency_policy
+        if (
+            policy is not None
+            and deadline is not None
+            and strategy != SelectionStrategy.PLAIN.value
+        ):
+            remaining = deadline - time.monotonic()
+            if policy.should_preempt(strategy, remaining):
+                # The strategy's live p99 already exceeds this request's
+                # remaining budget: degrade up front instead of burning
+                # the budget discovering the same thing mid-loop.
+                from repro.evaluation.instrument import count
+
+                count("serve.latency_budget_preempted")
+                self.stats.record_degraded()
+                outcome = snapshot.metasearcher.select(
+                    list(terms),
+                    algorithm=algorithm,
+                    strategy=SelectionStrategy.PLAIN,
+                    k=k,
+                    prune=prune,
+                )
+                return outcome, True
         try:
             outcome = snapshot.metasearcher.select(
                 list(terms),
@@ -576,10 +749,14 @@ class SelectionService:
                         metasearcher
                     )
             swap_start = time.perf_counter()
+            cache = LruCache(self.config.response_cache_size)
+            result["response_cache_retained"] = self._carry_cache(
+                previous, metasearcher, info, cache
+            )
             snapshot = CellSnapshot(
                 version=next_version,
                 metasearcher=metasearcher,
-                cache=LruCache(self.config.response_cache_size),
+                cache=cache,
                 databases=tuple(metasearcher.sampled_summaries),
                 created_at=time.time(),
                 build_seconds=build_seconds,
@@ -603,11 +780,110 @@ class SelectionService:
             )
             return result
 
+    def _carry_cache(
+        self,
+        previous: CellSnapshot,
+        metasearcher: Metasearcher,
+        info: Mapping,
+        cache: LruCache,
+    ) -> int:
+        """Carry still-valid response-cache entries across the hot swap.
+
+        Called under the update lock. First bumps the journal revision of
+        every database the update touched or removed (an entry citing a
+        stale revision can never match again — this is the epoch keying),
+        then walks the previous snapshot's cache and retains an entry only
+        when one of three *proofs* covers it (DESIGN.md §5j):
+
+        1. **Identical cell** — the update cancelled out entirely: every
+           sampled summary is the previous object in the previous order,
+           no category aggregate changed bits, and every shrunk summary
+           was reused wholesale. The new snapshot recomputes bitwise the
+           same numbers for every (algorithm, strategy), so everything
+           survives.
+        2. **Plain-identical** — summaries and aggregates survived but EM
+           re-ran (or reloaded): only ``plain`` entries survive. Plain
+           scoring reads the sampled summaries (and, for LM, the Root
+           category model) — all proven unchanged — while adaptive
+           strategies read the recomputed shrunk set.
+        3. **Per-database (bGlOSS/plain)** — the update replaced some
+           summaries in place (no membership change, no pruned scans,
+           since a pruned scan's candidate pool depends on every row).
+           bGlOSS plain is the one per-database-local scorer: a database's
+           score depends on nothing but its own summary. An entry whose
+           dependency revisions all still hold, and whose truncated
+           ranking no touched database can break into
+           (:func:`_survives_break_in` rescoring proof), is bitwise what
+           the new snapshot would compute.
+
+        Everything else is dropped — correctness first, the cache is just
+        a cache. Returns the number of entries retained.
+        """
+        touched = set(info.get("touched_databases") or ())
+        removed = set(info.get("removed_databases") or ())
+        added = set(info.get("added_databases") or ())
+        for name in touched | removed:
+            self._db_revisions[name] = self._db_revisions.get(name, 0) + 1
+        if self.config.response_cache_size <= 0:
+            return 0
+        summaries_identical = bool(info.get("summaries_identical"))
+        aggregates_identical = bool(info.get("aggregates_identical"))
+        identical_cell = (
+            summaries_identical
+            and aggregates_identical
+            and bool(info.get("shrunk_identical"))
+        )
+        plain_identical = summaries_identical and aggregates_identical
+        granular_ok = not added and not removed and not self.config.prune
+        if not (identical_cell or plain_identical or granular_ok):
+            return 0
+        scorer = None
+        summaries = metasearcher.sampled_summaries
+        revisions = self._db_revisions
+        retained = 0
+        # items() is oldest-to-most-recent, so re-putting in order
+        # preserves the entries' relative recency in the new cache.
+        for key, entry in previous.cache.items():
+            algorithm, strategy, terms, k = key
+            if identical_cell:
+                keep = True
+            elif plain_identical and strategy == "plain":
+                keep = True
+            elif (
+                granular_ok
+                and algorithm == "bgloss"
+                and strategy == "plain"
+                and all(
+                    revisions.get(name, 0) == revision
+                    for name, revision in entry["revisions"].items()
+                )
+            ):
+                if scorer is None:
+                    from repro.selection.bgloss import BGlossScorer
+
+                    scorer = BGlossScorer()
+                keep = _survives_break_in(
+                    entry["response"], terms, k, touched, summaries, scorer
+                )
+            else:
+                keep = False
+            if keep:
+                cache.put(key, entry)
+                retained += 1
+        return retained
+
     # -- introspection ---------------------------------------------------------
 
-    def cache_sizes(self) -> dict[str, int]:
-        """Current sizes of every bounded cache on the request path."""
-        snapshot = self._snapshot
+    def cache_sizes(self, snapshot: CellSnapshot | None = None) -> dict[str, int]:
+        """Current sizes of every bounded cache on the request path.
+
+        ``snapshot`` pins which snapshot to measure: callers assembling a
+        multi-field report (``stats_snapshot``) pass the reference they
+        already read, so a hot swap landing between fields can't mix two
+        snapshots' caches in one response body.
+        """
+        if snapshot is None:
+            snapshot = self._snapshot
         sizes = {"responses": len(snapshot.cache)}
         for key, scorer in snapshot.metasearcher._prepared_scorers.items():
             cache = getattr(scorer, "_query_ids_cache", None)
@@ -656,8 +932,13 @@ class SelectionService:
         result["shm_segment"] = (
             snapshot.shm_manifest["segment"] if snapshot.shm_manifest else None
         )
-        result["cache_sizes"] = self.cache_sizes()
+        # Derive every cache size from the one snapshot reference read
+        # above: a concurrent hot swap must not surface two snapshots'
+        # caches in a single /stats body.
+        result["cache_sizes"] = self.cache_sizes(snapshot)
         result["response_cache_maxsize"] = snapshot.cache.maxsize
+        if self._admission is not None:
+            result["admission"] = self._admission.occupancy()
         return result
 
 

@@ -140,9 +140,17 @@ def record_request(
     endpoint = telemetry.endpoint
     tags = telemetry.tags
     elapsed = telemetry.elapsed_seconds()
-    status = "ok" if telemetry.error_class is None else "error"
+    # Shed ≠ error: an admission refusal is deliberate backpressure, not a
+    # failure — it gets its own status (and serve.shed_requests below)
+    # instead of polluting the error series.
+    if tags.get("shed"):
+        status = "shed"
+    elif telemetry.error_class is None:
+        status = "ok"
+    else:
+        status = "error"
     inst.count(labeled("serve.http.requests", endpoint=endpoint, status=status))
-    if telemetry.error_class is not None:
+    if telemetry.error_class is not None and status == "error":
         inst.count(
             labeled("serve.errors", endpoint=endpoint, **{"class": telemetry.error_class})
         )
@@ -160,6 +168,8 @@ def record_request(
         inst.count(labeled("serve.cache_hits", endpoint=endpoint))
     if tags.get("degraded"):
         inst.count(labeled("serve.degraded_requests", endpoint=endpoint))
+    if tags.get("shed"):
+        inst.count(labeled("serve.shed_requests", endpoint=endpoint))
     if "pruned" in tags:
         mode = "pruned" if tags["pruned"] else "full"
         inst.count(labeled("serve.scans", endpoint=endpoint, mode=mode))

@@ -788,7 +788,13 @@ class WorkerPool:
                 (handle.pid, dict(handle.telemetry or {}))
                 for handle in self._workers.values()
             ]
-        totals = {"requests": 0, "cache_hits": 0, "degraded": 0, "errors": 0}
+        totals = {
+            "requests": 0,
+            "cache_hits": 0,
+            "degraded": 0,
+            "errors": 0,
+            "shed": 0,
+        }
         detail = []
         for pid, payload in sorted(reports):
             service = payload.get("service") or {}
@@ -803,6 +809,7 @@ class WorkerPool:
                     "cache_hits": service.get("cache_hits", 0),
                     "degraded": service.get("degraded", 0),
                     "errors": service.get("errors", 0),
+                    "shed": service.get("shed", 0),
                     "shm_segment": service.get("shm_segment"),
                 }
             )

@@ -248,12 +248,18 @@ class TestClusterBitIdentity:
     )
     @settings(max_examples=25, deadline=None)
     def test_property_oov_and_mixed_queries(self, two_shard, source, terms):
+        # The serving layer scores the canonical (sorted, de-duplicated)
+        # term set; the raw reference must fold the same order for
+        # bitwise comparison (float products are not associative).
+        from repro.serving.service import canonical_terms
+
+        canonical = list(canonical_terms(terms))
         for algorithm in ("bgloss", "cori", "lm"):
             merged = two_shard.frontend.select(
                 list(terms), algorithm=algorithm, strategy="plain", k=5
             )
             outcome = source.select(
-                list(terms), algorithm=algorithm, strategy="plain", k=5
+                canonical, algorithm=algorithm, strategy="plain", k=5
             )
             assert not merged["partial"]
             assert merged["selected"] == outcome.names
